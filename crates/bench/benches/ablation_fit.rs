@@ -1,0 +1,49 @@
+//! Ablation: First-Fit vs Best-Fit packing on the rotating register file.
+//! The paper selects First-Fit "due to its simplicity" after Rau et al.
+//! found the disciplines near-equivalent; this bench re-checks both the
+//! quality (total registers over a corpus slice) and the cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::machine::Machine;
+use ncdrf::regalloc::{allocate_unified_with, lifetimes, FitPolicy};
+use ncdrf::sched::modulo_schedule;
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(30);
+    let machine = Machine::clustered(6, 1);
+
+    let prepared: Vec<_> = corpus
+        .iter()
+        .map(|l| {
+            let s = modulo_schedule(l, &machine).unwrap();
+            let lts = lifetimes(l, &machine, &s).unwrap();
+            (s.ii(), lts)
+        })
+        .collect();
+
+    for (name, fit) in [("first_fit", FitPolicy::FirstFit), ("best_fit", FitPolicy::BestFit)] {
+        let total: u64 = prepared
+            .iter()
+            .map(|(ii, lts)| allocate_unified_with(lts, *ii, fit).regs as u64)
+            .sum();
+        println!("{name}: total registers over {} loops = {total}", prepared.len());
+    }
+
+    for (name, fit) in [("first_fit", FitPolicy::FirstFit), ("best_fit", FitPolicy::BestFit)] {
+        c.bench_function(&format!("ablation_fit/{name}"), |b| {
+            b.iter(|| {
+                for (ii, lts) in &prepared {
+                    allocate_unified_with(lts, *ii, fit);
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: the IMS operation-selection priority — Rau's height-based
+//! priorities vs plain program order. Prints how many loops each variant
+//! schedules at the MII and the total II achieved, then benchmarks both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::machine::Machine;
+use ncdrf::sched::{mii, modulo_schedule_with, Priority, SchedulerOptions};
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(40);
+    let machine = Machine::clustered(6, 1);
+
+    for (name, priority) in [
+        ("height", Priority::Height),
+        ("input_order", Priority::InputOrder),
+    ] {
+        let opts = SchedulerOptions {
+            priority,
+            ..SchedulerOptions::default()
+        };
+        let mut total_ii = 0u64;
+        let mut at_mii = 0usize;
+        for l in corpus.iter() {
+            let bound = mii(l, &machine).unwrap().mii;
+            let s = modulo_schedule_with(l, &machine, opts).unwrap();
+            total_ii += s.ii() as u64;
+            at_mii += usize::from(s.ii() == bound);
+        }
+        println!(
+            "{name}: total II {total_ii}, {at_mii}/{} loops scheduled at the MII",
+            corpus.len()
+        );
+    }
+
+    for (name, priority) in [
+        ("height", Priority::Height),
+        ("input_order", Priority::InputOrder),
+    ] {
+        let opts = SchedulerOptions {
+            priority,
+            ..SchedulerOptions::default()
+        };
+        c.bench_function(&format!("ablation_priority/{name}"), |b| {
+            b.iter(|| {
+                for l in corpus.iter() {
+                    modulo_schedule_with(l, &machine, opts).unwrap();
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

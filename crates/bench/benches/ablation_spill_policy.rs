@@ -1,0 +1,69 @@
+//! Ablation: the spill-victim policy — the paper's longest-lifetime rule
+//! versus most-instances, fewest-uses and random selection. Prints the
+//! spill counts and final IIs each policy produces, and benchmarks them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::machine::Machine;
+use ncdrf::spill::{requirement_unified, spill_until_fits, SpillOptions, SpillPolicy};
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(20);
+    let machine = Machine::clustered(6, 1);
+    let budget = 16;
+
+    let policies = [
+        ("longest_lifetime", SpillPolicy::LongestLifetime),
+        ("most_instances", SpillPolicy::MostInstances),
+        ("fewest_uses", SpillPolicy::FewestUses),
+        ("random", SpillPolicy::Random(7)),
+    ];
+
+    for (name, policy) in policies {
+        let mut spills = 0usize;
+        let mut total_ii = 0u64;
+        for l in corpus.iter() {
+            let r = spill_until_fits(
+                l,
+                &machine,
+                budget,
+                &mut requirement_unified,
+                SpillOptions {
+                    policy,
+                    ..SpillOptions::default()
+                },
+            )
+            .unwrap();
+            spills += r.spilled.len();
+            total_ii += r.sched.ii() as u64;
+        }
+        println!("{name}: {spills} values spilled, total II {total_ii}");
+    }
+
+    for (name, policy) in policies {
+        c.bench_function(&format!("ablation_spill_policy/{name}"), |b| {
+            b.iter(|| {
+                for l in corpus.iter() {
+                    spill_until_fits(
+                        l,
+                        &machine,
+                        budget,
+                        &mut requirement_unified,
+                        SpillOptions {
+                            policy,
+                            ..SpillOptions::default()
+                        },
+                    )
+                    .unwrap();
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

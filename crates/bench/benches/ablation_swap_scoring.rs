@@ -1,0 +1,72 @@
+//! Ablation: the swapping pass's candidate scoring — the paper's cheap
+//! MaxLive lower bound versus exact re-allocation per candidate. Prints
+//! the achieved requirements side by side and benchmarks both.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ncdrf::machine::Machine;
+use ncdrf::sched::modulo_schedule;
+use ncdrf::swap::{swap_pass_with, Scoring, SwapOptions};
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(25);
+    let machine = Machine::clustered(6, 1);
+
+    // Quality comparison: total post-swap requirement under each scoring.
+    for scoring in [Scoring::MaxLiveBound, Scoring::ExactAlloc] {
+        let mut total = 0u64;
+        for l in corpus.iter() {
+            let mut s = modulo_schedule(l, &machine).unwrap();
+            let out = swap_pass_with(
+                l,
+                &machine,
+                &mut s,
+                SwapOptions {
+                    scoring,
+                    ..SwapOptions::default()
+                },
+            )
+            .unwrap();
+            total += out.after as u64;
+        }
+        println!("{scoring:?}: total post-swap requirement bound = {total}");
+    }
+
+    for (name, scoring) in [
+        ("maxlive_bound", Scoring::MaxLiveBound),
+        ("exact_alloc", Scoring::ExactAlloc),
+    ] {
+        c.bench_function(&format!("ablation_swap_scoring/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    corpus
+                        .iter()
+                        .map(|l| (l.clone(), modulo_schedule(l, &machine).unwrap()))
+                        .collect::<Vec<_>>()
+                },
+                |mut work| {
+                    for (l, s) in &mut work {
+                        swap_pass_with(
+                            l,
+                            &machine,
+                            s,
+                            SwapOptions {
+                                scoring,
+                                ..SwapOptions::default()
+                            },
+                        )
+                        .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates Tables 2-4 (the §4 worked example: lifetimes,
+//! classification, swapping) and benchmarks the single-loop pipeline that
+//! produces them.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ncdrf::ddg::{Loop, LoopBuilder, Weight};
+use ncdrf::machine::Machine;
+use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes, DualPressure};
+use ncdrf::sched::modulo_schedule;
+use ncdrf::swap::swap_pass;
+
+fn fig2() -> Loop {
+    let mut b = LoopBuilder::new("fig2");
+    let r = b.invariant("r", 0.5);
+    let t = b.invariant("t", 1.5);
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let l1 = b.load("L1", x, 0);
+    let l2 = b.load("L2", y, 0);
+    let m3 = b.mul("M3", l1.now(), r);
+    let a4 = b.add("A4", m3.now(), l2.now());
+    let m5 = b.mul("M5", a4.now(), t);
+    let a6 = b.add("A6", m5.now(), l1.now());
+    b.store("S7", z, 0, a6.now());
+    b.finish(Weight::new(100, 1)).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let l = fig2();
+    let machine = Machine::clustered(3, 2);
+
+    // Regenerate the tables once so the bench run doubles as the
+    // experiment.
+    let mut sched = modulo_schedule(&l, &machine).unwrap();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let total: u32 = lts.iter().map(|lt| lt.len()).sum();
+    let classes = classify(&l, &machine, &sched, &lts);
+    let p = DualPressure::new(&lts, &classes, sched.ii());
+    println!(
+        "\nTable 2: sum of lifetimes {} -> unified {}",
+        total,
+        allocate_unified(&lts, sched.ii()).regs
+    );
+    println!(
+        "Table 3: GL {} LO {} RO {} -> dual {}",
+        p.global,
+        p.left,
+        p.right,
+        allocate_dual(&lts, &classes, sched.ii()).regs
+    );
+    let out = swap_pass(&l, &machine, &mut sched).unwrap();
+    println!("Table 4: after swapping -> {}\n", out.after);
+
+    c.bench_function("example_loop/schedule", |b| {
+        b.iter(|| modulo_schedule(&l, &machine).unwrap())
+    });
+
+    c.bench_function("example_loop/tables_2_3", |b| {
+        let sched = modulo_schedule(&l, &machine).unwrap();
+        b.iter(|| {
+            let lts = lifetimes(&l, &machine, &sched).unwrap();
+            let classes = classify(&l, &machine, &sched, &lts);
+            (
+                allocate_unified(&lts, sched.ii()).regs,
+                allocate_dual(&lts, &classes, sched.ii()).regs,
+            )
+        })
+    });
+
+    c.bench_function("example_loop/table_4_swap", |b| {
+        b.iter_batched(
+            || modulo_schedule(&l, &machine).unwrap(),
+            |mut sched| swap_pass(&l, &machine, &mut sched).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

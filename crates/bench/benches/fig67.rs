@@ -1,0 +1,34 @@
+//! Regenerates Figures 6 and 7 (static and dynamic cumulative register
+//! distributions) and benchmarks the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::{figures_6_7, render_distribution, PipelineOptions};
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(20);
+    let opts = PipelineOptions::default();
+    let points = [8, 16, 32, 64, 128];
+
+    for lat in [3u32, 6] {
+        let curves = figures_6_7(&corpus, lat, &points, &opts).unwrap();
+        println!("\nFigure 6 (static), latency {lat}:");
+        println!("{}", render_distribution(&curves, false));
+        println!("Figure 7 (dynamic), latency {lat}:");
+        println!("{}", render_distribution(&curves, true));
+    }
+
+    c.bench_function("fig67/three_models_lat3", |b| {
+        b.iter(|| figures_6_7(&corpus, 3, &points, &opts).unwrap())
+    });
+    c.bench_function("fig67/three_models_lat6", |b| {
+        b.iter(|| figures_6_7(&corpus, 6, &points, &opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the individual passes: modulo scheduling, unified
+//! and dual allocation, the swapping pass, the spiller, and the VLIW
+//! executor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ncdrf::machine::Machine;
+use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes};
+use ncdrf::sched::modulo_schedule;
+use ncdrf::spill::{requirement_unified, spill_until_fits, SpillOptions};
+use ncdrf::swap::swap_pass;
+use ncdrf::vliw::{execute, Binding};
+use ncdrf_bench::micro_kernels;
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::clustered(3, 1);
+    let kernels = micro_kernels();
+
+    c.bench_function("sched/modulo_schedule_7_kernels", |b| {
+        b.iter(|| {
+            for l in &kernels {
+                modulo_schedule(l, &machine).unwrap();
+            }
+        })
+    });
+
+    let prepared: Vec<_> = kernels
+        .iter()
+        .map(|l| {
+            let s = modulo_schedule(l, &machine).unwrap();
+            let lts = lifetimes(l, &machine, &s).unwrap();
+            (l, s, lts)
+        })
+        .collect();
+
+    c.bench_function("regalloc/unified_7_kernels", |b| {
+        b.iter(|| {
+            for (_, s, lts) in &prepared {
+                allocate_unified(lts, s.ii());
+            }
+        })
+    });
+
+    c.bench_function("regalloc/dual_7_kernels", |b| {
+        b.iter(|| {
+            for (l, s, lts) in &prepared {
+                let classes = classify(l, &machine, s, lts);
+                allocate_dual(lts, &classes, s.ii());
+            }
+        })
+    });
+
+    c.bench_function("swap/greedy_pass_7_kernels", |b| {
+        b.iter_batched(
+            || prepared.iter().map(|(l, s, _)| ((*l).clone(), s.clone())).collect::<Vec<_>>(),
+            |mut work| {
+                for (l, s) in &mut work {
+                    swap_pass(l, &machine, s).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let pressured = ncdrf::corpus::kernels::recurrences::chain8();
+    let m6 = Machine::clustered(6, 1);
+    c.bench_function("spill/chain8_to_6_regs", |b| {
+        b.iter(|| {
+            spill_until_fits(
+                &pressured,
+                &m6,
+                6,
+                &mut requirement_unified,
+                SpillOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    let (l, s, lts) = &prepared[0];
+    let alloc = allocate_unified(lts, s.ii());
+    c.bench_function("vliw/execute_daxpy_100_iters", |b| {
+        b.iter(|| execute(l, &machine, s, &Binding::unified(lts, &alloc), 100).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

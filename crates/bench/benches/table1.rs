@@ -1,0 +1,28 @@
+//! Regenerates Table 1 (allocatable-loop percentages on PxLy machines) as
+//! a benchmark: run `cargo bench --bench table1` and read the printed
+//! rows; Criterion tracks the cost of the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::{render_table1, table1, PipelineOptions};
+use ncdrf_bench::bench_corpus;
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(20);
+    let opts = PipelineOptions::default();
+
+    // Print the regenerated table once, so the bench run doubles as the
+    // experiment.
+    let rows = table1(&corpus, &[(1, 3), (2, 3), (1, 6), (2, 6)], &opts).unwrap();
+    println!("\n{}", render_table1(&rows));
+
+    c.bench_function("table1/sweep_4_configs", |b| {
+        b.iter(|| table1(&corpus, &[(1, 3), (2, 6)], &opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches mirror the experiment binaries one-to-one (`table1`,
+//! `fig67`, `fig89`) plus micro-benchmarks of the individual passes and
+//! the ablation studies listed in `DESIGN.md` §5. They run on reduced
+//! corpora so a full `cargo bench` stays in the minutes range.
+
+use ncdrf::corpus::Corpus;
+
+/// A corpus slice small enough for statistically-stable Criterion runs.
+pub fn bench_corpus(n: usize) -> Corpus {
+    Corpus::small().take(n)
+}
+
+/// A handful of structurally-diverse kernels for micro-benchmarks.
+pub fn micro_kernels() -> Vec<ncdrf::ddg::Loop> {
+    use ncdrf::corpus::kernels;
+    vec![
+        kernels::blas::daxpy(),
+        kernels::blas::dot(),
+        kernels::livermore::state(),
+        kernels::stencils::stencil5(),
+        kernels::recurrences::chain8(),
+        kernels::recurrences::wide8(),
+        kernels::recurrences::lotka(),
+    ]
+}

@@ -1,0 +1,345 @@
+//! Corpus-level experiment drivers: one function per paper table/figure.
+
+use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
+use crate::model::Model;
+use crate::pipeline::{analyze, evaluate, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
+use ncdrf_corpus::Corpus;
+use ncdrf_machine::Machine;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Maps `f` over `items` with scoped threads, preserving order.
+///
+/// Falls back to sequential execution when parallelism is unavailable.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// Analyses every corpus loop under `model` with unlimited registers.
+///
+/// # Errors
+///
+/// Returns the first per-loop failure (the standard corpus never fails).
+pub fn sweep_analyze(
+    corpus: &Corpus,
+    machine: &Machine,
+    model: Model,
+    opts: &PipelineOptions,
+) -> Result<Vec<LoopAnalysis>, PipelineError> {
+    par_map(corpus.loops(), |l| analyze(l, machine, model, opts))
+        .into_iter()
+        .collect()
+}
+
+/// Evaluates every corpus loop under `model` with a `budget`-register
+/// file, spilling until fits.
+///
+/// # Errors
+///
+/// Returns the first per-loop failure.
+pub fn sweep_evaluate(
+    corpus: &Corpus,
+    machine: &Machine,
+    model: Model,
+    budget: u32,
+    opts: &PipelineOptions,
+) -> Result<Vec<LoopEval>, PipelineError> {
+    par_map(corpus.loops(), |l| evaluate(l, machine, model, budget, opts))
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// One row of Table 1: for a `PxLy` unified machine, the share of loops
+/// (and of estimated execution cycles) allocatable without spilling within
+/// 16/32/64 registers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Machine preset name (`P1L3`, ...).
+    pub config: String,
+    /// Percent of loops allocatable with ≤16/32/64 registers.
+    pub loops_within: [f64; 3],
+    /// Percent of estimated cycles those loops represent.
+    pub cycles_within: [f64; 3],
+}
+
+/// Reproduces Table 1 over `(x, latency)` unified configurations.
+///
+/// # Errors
+///
+/// Propagates per-loop pipeline failures.
+pub fn table1(
+    corpus: &Corpus,
+    configs: &[(u32, u32)],
+    opts: &PipelineOptions,
+) -> Result<Vec<Table1Row>, PipelineError> {
+    configs
+        .iter()
+        .map(|&(x, lat)| {
+            let machine = Machine::pxly(x, lat);
+            let rows = sweep_analyze(corpus, &machine, Model::Unified, opts)?;
+            let static_obs: Vec<Observation> = rows
+                .iter()
+                .map(|r| Observation {
+                    regs: r.regs,
+                    weight: 1.0,
+                })
+                .collect();
+            let dyn_obs: Vec<Observation> = rows
+                .iter()
+                .map(|r| Observation {
+                    regs: r.regs,
+                    weight: r.cycles() as f64,
+                })
+                .collect();
+            let s = Cumulative::new(&TABLE1_POINTS, &static_obs);
+            let d = Cumulative::new(&TABLE1_POINTS, &dyn_obs);
+            Ok(Table1Row {
+                config: machine.name().to_owned(),
+                loops_within: [s.at(16), s.at(32), s.at(64)],
+                cycles_within: [d.at(16), d.at(32), d.at(64)],
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 and 7
+// ---------------------------------------------------------------------
+
+/// One curve of Figure 6 (static) and Figure 7 (dynamic): a model's
+/// cumulative distribution of loops / cycles over register requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionCurve {
+    /// Evaluation model.
+    pub model: Model,
+    /// Functional-unit latency of the clustered machine.
+    pub latency: u32,
+    /// Static (loop-count-weighted) cumulative distribution.
+    pub static_dist: Cumulative,
+    /// Dynamic (cycle-weighted) cumulative distribution.
+    pub dynamic_dist: Cumulative,
+}
+
+/// Reproduces one panel of Figures 6–7: the three finite models'
+/// distributions on the clustered machine with the given latency.
+///
+/// # Errors
+///
+/// Propagates per-loop pipeline failures.
+pub fn figures_6_7(
+    corpus: &Corpus,
+    latency: u32,
+    points: &[u32],
+    opts: &PipelineOptions,
+) -> Result<Vec<DistributionCurve>, PipelineError> {
+    let machine = Machine::clustered(latency, 1);
+    Model::finite()
+        .iter()
+        .map(|&model| {
+            let rows = sweep_analyze(corpus, &machine, model, opts)?;
+            let static_obs: Vec<Observation> = rows
+                .iter()
+                .map(|r| Observation {
+                    regs: r.regs,
+                    weight: 1.0,
+                })
+                .collect();
+            let dyn_obs: Vec<Observation> = rows
+                .iter()
+                .map(|r| Observation {
+                    regs: r.regs,
+                    weight: r.cycles() as f64,
+                })
+                .collect();
+            Ok(DistributionCurve {
+                model,
+                latency,
+                static_dist: Cumulative::new(points, &static_obs),
+                dynamic_dist: Cumulative::new(points, &dyn_obs),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 and 9
+// ---------------------------------------------------------------------
+
+/// One bar of Figures 8–9: a model's corpus-wide performance and memory
+/// traffic density for one (latency, registers) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetOutcome {
+    /// Evaluation model.
+    pub model: Model,
+    /// Functional-unit latency.
+    pub latency: u32,
+    /// Register budget (per file).
+    pub registers: u32,
+    /// Total estimated cycles over the corpus (Σ iterations × II).
+    pub cycles: u128,
+    /// Total memory accesses over the corpus (Σ iterations × memory ops).
+    pub accesses: u128,
+    /// Performance relative to the ideal model (1.0 = ideal).
+    pub relative_performance: f64,
+    /// Corpus-wide density of memory traffic: accesses per bus slot.
+    pub traffic_density: f64,
+    /// Loops that needed spill code.
+    pub loops_spilled: usize,
+}
+
+/// Reproduces one configuration column of Figures 8–9: evaluates all four
+/// models on the clustered machine with `latency` and a `registers`-entry
+/// file, with the §5.4 spiller active.
+///
+/// # Errors
+///
+/// Propagates per-loop pipeline failures.
+pub fn figures_8_9(
+    corpus: &Corpus,
+    latency: u32,
+    registers: u32,
+    opts: &PipelineOptions,
+) -> Result<Vec<BudgetOutcome>, PipelineError> {
+    let machine = Machine::clustered(latency, 1);
+    let ports = machine.memory_ports() as u128;
+
+    let ideal_rows = sweep_evaluate(corpus, &machine, Model::Ideal, registers, opts)?;
+    let ideal_cycles: u128 = ideal_rows.iter().map(LoopEval::cycles).sum();
+
+    Model::all()
+        .iter()
+        .map(|&model| {
+            let rows = if model == Model::Ideal {
+                ideal_rows.clone()
+            } else {
+                sweep_evaluate(corpus, &machine, model, registers, opts)?
+            };
+            let cycles: u128 = rows.iter().map(LoopEval::cycles).sum();
+            let accesses: u128 = rows.iter().map(LoopEval::accesses).sum();
+            let loops_spilled = rows.iter().filter(|r| r.spilled > 0).count();
+            Ok(BudgetOutcome {
+                model,
+                latency,
+                registers,
+                cycles,
+                accesses,
+                relative_performance: if cycles == 0 {
+                    1.0
+                } else {
+                    ideal_cycles as f64 / cycles as f64
+                },
+                traffic_density: if cycles == 0 {
+                    0.0
+                } else {
+                    accesses as f64 / (cycles * ports) as f64
+                },
+                loops_spilled,
+            })
+        })
+        .collect()
+}
+
+/// The four (latency, registers) configurations of Figures 8–9.
+pub const FIG89_CONFIGS: [(u32, u32); 4] = [(3, 32), (6, 32), (3, 64), (6, 64)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Corpus {
+        Corpus::small().take(12)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_analyze_covers_corpus() {
+        let c = tiny_corpus();
+        let machine = Machine::clustered(3, 1);
+        let rows =
+            sweep_analyze(&c, &machine, Model::Unified, &PipelineOptions::default()).unwrap();
+        assert_eq!(rows.len(), c.len());
+    }
+
+    #[test]
+    fn table1_shape() {
+        let c = tiny_corpus();
+        let rows = table1(&c, &[(1, 3), (2, 6)], &PipelineOptions::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            // Monotone in the register budget.
+            assert!(row.loops_within[0] <= row.loops_within[1]);
+            assert!(row.loops_within[1] <= row.loops_within[2]);
+        }
+    }
+
+    #[test]
+    fn figures_6_7_partitioned_dominates_unified() {
+        let c = Corpus::small().take(25);
+        let curves =
+            figures_6_7(&c, 3, &[8, 16, 32, 64], &PipelineOptions::default()).unwrap();
+        let uni = curves.iter().find(|c| c.model == Model::Unified).unwrap();
+        let part = curves
+            .iter()
+            .find(|c| c.model == Model::Partitioned)
+            .unwrap();
+        // At every sampled point, at least as many loops fit under the
+        // partitioned model (its requirement is never larger).
+        for (u, p) in uni.static_dist.percent.iter().zip(&part.static_dist.percent) {
+            assert!(p >= u, "partitioned curve must lie left of unified");
+        }
+    }
+
+    #[test]
+    fn figures_8_9_ideal_is_upper_bound() {
+        let c = tiny_corpus();
+        let outcomes = figures_8_9(&c, 3, 16, &PipelineOptions::default()).unwrap();
+        let ideal = outcomes.iter().find(|o| o.model == Model::Ideal).unwrap();
+        assert_eq!(ideal.relative_performance, 1.0);
+        for o in &outcomes {
+            assert!(o.relative_performance <= 1.0 + 1e-12);
+            assert!(o.cycles >= ideal.cycles);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! # ncdrf — Non-Consistent Dual Register Files
+//!
+//! A full reproduction of *"Non-Consistent Dual Register Files to Reduce
+//! Register Pressure"* (J. Llosa, M. Valero, E. Ayguadé, HPCA 1995) as a
+//! Rust library.
+//!
+//! The paper proposes building a clustered VLIW's register file from two
+//! independently-addressed subfiles: values consumed by both clusters are
+//! replicated ("global"), values consumed by one cluster live only in
+//! that cluster's subfile ("left-only"/"right-only"). Because most
+//! register instances are read once, this halves read-port pressure *and*
+//! lowers each subfile's register requirement, which reduces spill code
+//! in software-pipelined loops — improving performance and memory-traffic
+//! density. A greedy post-scheduling pass that swaps same-cycle,
+//! same-unit-type operations across clusters reduces the requirement
+//! further.
+//!
+//! This crate is the facade over the full pipeline:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`ncdrf_ddg`] | loop dependence graphs (executable) |
+//! | [`ncdrf_machine`] | VLIW machine models + register-file cost models |
+//! | [`ncdrf_sched`] | iterative modulo scheduling |
+//! | [`ncdrf_regalloc`] | rotating-file allocation, unified & dual |
+//! | [`ncdrf_swap`] | the greedy cluster-swapping pass |
+//! | [`ncdrf_spill`] | the §5.4 naive spiller |
+//! | [`ncdrf_corpus`] | the benchmark loop population |
+//! | [`ncdrf_vliw`] | cycle-accurate executor + equivalence oracle |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ncdrf::{analyze, Model, PipelineOptions};
+//! use ncdrf::corpus::kernels;
+//! use ncdrf::machine::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let loop_ = kernels::livermore::hydro();
+//! let machine = Machine::clustered(3, 1);
+//! let opts = PipelineOptions::default();
+//!
+//! let unified = analyze(&loop_, &machine, Model::Unified, &opts)?;
+//! let swapped = analyze(&loop_, &machine, Model::Swapped, &opts)?;
+//! assert!(swapped.regs <= unified.regs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod distribution;
+mod experiment;
+mod model;
+mod pipeline;
+mod report;
+
+pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
+pub use experiment::{
+    figures_6_7, figures_8_9, par_map, sweep_analyze, sweep_evaluate, table1, BudgetOutcome,
+    DistributionCurve, Table1Row, FIG89_CONFIGS,
+};
+pub use model::Model;
+pub use pipeline::{
+    analyze, evaluate, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
+};
+pub use report::{
+    csv_budget_outcomes, csv_distribution, csv_table1, render_budget_outcomes,
+    render_distribution, render_table1, BudgetMetric,
+};
+
+/// Re-export of the dependence-graph crate.
+pub use ncdrf_ddg as ddg;
+/// Re-export of the machine-model crate.
+pub use ncdrf_machine as machine;
+/// Re-export of the modulo-scheduling crate.
+pub use ncdrf_sched as sched;
+/// Re-export of the register-allocation crate.
+pub use ncdrf_regalloc as regalloc;
+/// Re-export of the swapping-pass crate.
+pub use ncdrf_swap as swap;
+/// Re-export of the spiller crate.
+pub use ncdrf_spill as spill;
+/// Re-export of the corpus crate.
+pub use ncdrf_corpus as corpus;
+/// Re-export of the VLIW-executor crate.
+pub use ncdrf_vliw as vliw;

@@ -1,0 +1,95 @@
+//! The four evaluation models of the paper's §5.2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A register-file organisation / management model.
+///
+/// The paper's experiments compare four models on the same clustered
+/// datapath (2 adders, 2 multipliers, 2 load/store units — one of each per
+/// cluster):
+///
+/// * [`Model::Ideal`] — infinitely many registers; the performance upper
+///   bound.
+/// * [`Model::Unified`] — one rotating register file readable by every
+///   unit (equivalently, a *consistent* dual file à la POWER2: both
+///   subfiles always hold the same contents, so the requirement equals
+///   the unified one).
+/// * [`Model::Partitioned`] — the **non-consistent dual register file**:
+///   values consumed by both clusters are replicated (global), values
+///   consumed by one cluster live only in that subfile; the requirement
+///   is the larger subfile.
+/// * [`Model::Swapped`] — partitioned plus the greedy post-scheduling
+///   cluster-swapping pass that localises values and balances subfiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// Infinite registers (upper bound).
+    Ideal,
+    /// Unified / consistent dual register file.
+    Unified,
+    /// Non-consistent dual register file, no swapping.
+    Partitioned,
+    /// Non-consistent dual register file with operation swapping.
+    Swapped,
+}
+
+impl Model {
+    /// All models, in the paper's presentation order.
+    pub fn all() -> [Model; 4] {
+        [
+            Model::Ideal,
+            Model::Unified,
+            Model::Partitioned,
+            Model::Swapped,
+        ]
+    }
+
+    /// The three finite-register models (those that can require spill
+    /// code).
+    pub fn finite() -> [Model; 3] {
+        [Model::Unified, Model::Partitioned, Model::Swapped]
+    }
+
+    /// Whether this model allocates on the non-consistent dual file.
+    pub fn is_dual(self) -> bool {
+        matches!(self, Model::Partitioned | Model::Swapped)
+    }
+
+    /// Whether this model runs the swapping pass.
+    pub fn swaps(self) -> bool {
+        self == Model::Swapped
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Model::Ideal => "ideal",
+            Model::Unified => "unified",
+            Model::Partitioned => "partitioned",
+            Model::Swapped => "swapped",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Model::all().iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, ["ideal", "unified", "partitioned", "swapped"]);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(!Model::Unified.is_dual());
+        assert!(Model::Partitioned.is_dual());
+        assert!(Model::Swapped.is_dual());
+        assert!(Model::Swapped.swaps());
+        assert!(!Model::Partitioned.swaps());
+        assert_eq!(Model::finite().len(), 3);
+    }
+}

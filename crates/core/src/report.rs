@@ -1,0 +1,226 @@
+//! Plain-text and CSV rendering of experiment results, shaped like the
+//! paper's tables and figure series.
+
+use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
+use std::fmt::Write as _;
+
+/// Renders Table 1 in the paper's layout: one row per configuration, one
+/// column pair (loops %, cycles %) per register budget.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "config", "loops<16", "loops<32", "loops<64", "cyc<16", "cyc<32", "cyc<64"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(66));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<6} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",
+            r.config,
+            r.loops_within[0],
+            r.loops_within[1],
+            r.loops_within[2],
+            r.cycles_within[0],
+            r.cycles_within[1],
+            r.cycles_within[2],
+        );
+    }
+    s
+}
+
+/// Renders Table 1 as CSV.
+pub fn csv_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::from("config,loops_16,loops_32,loops_64,cycles_16,cycles_32,cycles_64\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            r.config,
+            r.loops_within[0],
+            r.loops_within[1],
+            r.loops_within[2],
+            r.cycles_within[0],
+            r.cycles_within[1],
+            r.cycles_within[2],
+        );
+    }
+    s
+}
+
+/// Renders one Figure 6/7 panel: rows are sampled register counts, columns
+/// are models; `dynamic` selects the cycle-weighted panel (Figure 7).
+pub fn render_distribution(curves: &[DistributionCurve], dynamic: bool) -> String {
+    let mut s = String::new();
+    let what = if dynamic { "cycles" } else { "loops" };
+    let lat = curves.first().map(|c| c.latency).unwrap_or(0);
+    let _ = writeln!(s, "cumulative % of {what} vs registers (latency {lat})");
+    let _ = write!(s, "{:>6}", "regs");
+    for c in curves {
+        let _ = write!(s, " {:>12}", c.model.to_string());
+    }
+    let _ = writeln!(s);
+    if let Some(first) = curves.first() {
+        for (i, &p) in first.static_dist.points.iter().enumerate() {
+            let _ = write!(s, "{p:>6}");
+            for c in curves {
+                let v = if dynamic {
+                    c.dynamic_dist.percent[i]
+                } else {
+                    c.static_dist.percent[i]
+                };
+                let _ = write!(s, " {v:>11.1}%");
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Renders Figure 6/7 curves as CSV (`regs,model,static,dynamic`).
+pub fn csv_distribution(curves: &[DistributionCurve]) -> String {
+    let mut s = String::from("latency,regs,model,static_percent,dynamic_percent\n");
+    for c in curves {
+        for (i, &p) in c.static_dist.points.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{},{},{},{:.3},{:.3}",
+                c.latency, p, c.model, c.static_dist.percent[i], c.dynamic_dist.percent[i]
+            );
+        }
+    }
+    s
+}
+
+/// Renders Figure 8 (performance) or Figure 9 (traffic density) bars for a
+/// set of configurations.
+pub fn render_budget_outcomes(outcomes: &[BudgetOutcome], metric: BudgetMetric) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:>10} {:>10} {:>12} {:>12}",
+        "model", "latency", "regs", metric.header(), "spilled"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(60));
+    for o in outcomes {
+        let v = match metric {
+            BudgetMetric::Performance => o.relative_performance,
+            BudgetMetric::TrafficDensity => o.traffic_density,
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>10} {:>12.4} {:>12}",
+            o.model.to_string(),
+            o.latency,
+            o.registers,
+            v,
+            o.loops_spilled
+        );
+    }
+    s
+}
+
+/// Which Figure 8/9 quantity to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetMetric {
+    /// Relative performance (Figure 8).
+    Performance,
+    /// Density of memory traffic (Figure 9).
+    TrafficDensity,
+}
+
+impl BudgetMetric {
+    fn header(self) -> &'static str {
+        match self {
+            BudgetMetric::Performance => "rel. perf",
+            BudgetMetric::TrafficDensity => "density",
+        }
+    }
+}
+
+/// Renders Figure 8/9 outcomes as CSV.
+pub fn csv_budget_outcomes(outcomes: &[BudgetOutcome]) -> String {
+    let mut s = String::from(
+        "model,latency,registers,cycles,accesses,relative_performance,traffic_density,loops_spilled\n",
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{:.6},{:.6},{}",
+            o.model,
+            o.latency,
+            o.registers,
+            o.cycles,
+            o.accesses,
+            o.relative_performance,
+            o.traffic_density,
+            o.loops_spilled
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Cumulative;
+    use crate::model::Model;
+
+    fn sample_curves() -> Vec<DistributionCurve> {
+        let dist = Cumulative {
+            points: vec![16, 32],
+            percent: vec![50.0, 75.0],
+        };
+        vec![DistributionCurve {
+            model: Model::Unified,
+            latency: 3,
+            static_dist: dist.clone(),
+            dynamic_dist: dist,
+        }]
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let rows = vec![Table1Row {
+            config: "P1L3".into(),
+            loops_within: [88.0, 97.8, 99.7],
+            cycles_within: [64.4, 94.9, 99.9],
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("P1L3"));
+        assert!(text.contains("97.8%"));
+        let csv = csv_table1(&rows);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("P1L3,88.00"));
+    }
+
+    #[test]
+    fn distribution_renders_points_and_models() {
+        let text = render_distribution(&sample_curves(), false);
+        assert!(text.contains("unified"));
+        assert!(text.contains("16"));
+        let csv = csv_distribution(&sample_curves());
+        assert!(csv.contains("3,16,unified,50.000,50.000"));
+    }
+
+    #[test]
+    fn budget_outcomes_render_both_metrics() {
+        let o = vec![BudgetOutcome {
+            model: Model::Swapped,
+            latency: 6,
+            registers: 32,
+            cycles: 1000,
+            accesses: 300,
+            relative_performance: 0.87,
+            traffic_density: 0.15,
+            loops_spilled: 12,
+        }];
+        let perf = render_budget_outcomes(&o, BudgetMetric::Performance);
+        assert!(perf.contains("0.8700"));
+        let dens = render_budget_outcomes(&o, BudgetMetric::TrafficDensity);
+        assert!(dens.contains("0.1500"));
+        let csv = csv_budget_outcomes(&o);
+        assert!(csv.contains("swapped,6,32,1000,300,0.870000,0.150000,12"));
+    }
+}

@@ -1,0 +1,267 @@
+//! BLAS-1-style vector kernels.
+
+use ncdrf_ddg::{Loop, LoopBuilder, Weight};
+
+fn done(b: LoopBuilder) -> Loop {
+    b.finish(Weight::default())
+        .expect("hand-written kernel is valid")
+}
+
+/// `z[i] = a*x[i] + y[i]` — the canonical daxpy.
+pub fn daxpy() -> Loop {
+    let mut b = LoopBuilder::new("daxpy");
+    let a = b.invariant("a", 2.5);
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let m = b.mul("M", lx.now(), a);
+    let s = b.add("A", m.now(), ly.now());
+    b.store("S", z, 0, s.now());
+    done(b)
+}
+
+/// `z[i] = a*x[i] + b*y[i]` — two scaled streams.
+pub fn axpby() -> Loop {
+    let mut b = LoopBuilder::new("axpby");
+    let ca = b.invariant("ca", 2.0);
+    let cb = b.invariant("cb", -0.75);
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let mx = b.mul("MX", lx.now(), ca);
+    let my = b.mul("MY", ly.now(), cb);
+    let s = b.add("A", mx.now(), my.now());
+    b.store("S", z, 0, s.now());
+    done(b)
+}
+
+/// `s += x[i] * y[i]` — dot product (distance-1 add recurrence).
+pub fn dot() -> Loop {
+    let mut b = LoopBuilder::new("dot");
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let m = b.mul("M", lx.now(), ly.now());
+    let s = b.reserve_add("S");
+    b.bind(s, [m.now(), s.prev(1)]);
+    b.set_init(s, 0.0);
+    b.store("ST", z, 0, s.now());
+    done(b)
+}
+
+/// `z[i] = x[i] + y[i]` — vector addition.
+pub fn vadd() -> Loop {
+    let mut b = LoopBuilder::new("vadd");
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let s = b.add("A", lx.now(), ly.now());
+    b.store("S", z, 0, s.now());
+    done(b)
+}
+
+/// `z[i] = a * x[i]` — vector scaling.
+pub fn vscale() -> Loop {
+    let mut b = LoopBuilder::new("vscale");
+    let a = b.invariant("a", 1.25);
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let m = b.mul("M", lx.now(), a);
+    b.store("S", z, 0, m.now());
+    done(b)
+}
+
+/// `a[i] = b[i] + s*c[i]` — the STREAM triad.
+pub fn triad() -> Loop {
+    let mut b = LoopBuilder::new("triad");
+    let s = b.invariant("s", 3.0);
+    let bb = b.array_in("b");
+    let c = b.array_in("c");
+    let a = b.array_out("a");
+    let lb = b.load("LB", bb, 0);
+    let lc = b.load("LC", c, 0);
+    let m = b.mul("M", lc.now(), s);
+    let t = b.add("A", lb.now(), m.now());
+    b.store("S", a, 0, t.now());
+    done(b)
+}
+
+/// `z[i] = x[i] / y[i]` — elementwise division.
+pub fn vdiv() -> Loop {
+    let mut b = LoopBuilder::new("vdiv");
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let d = b.div("D", lx.now(), ly.now());
+    b.store("S", z, 0, d.now());
+    done(b)
+}
+
+/// `z[i] = x[i] / nrm` — normalisation by a loop-invariant.
+pub fn normalize() -> Loop {
+    let mut b = LoopBuilder::new("normalize");
+    let nrm = b.invariant("nrm", 4.0);
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let d = b.div("D", lx.now(), nrm);
+    b.store("S", z, 0, d.now());
+    done(b)
+}
+
+/// `s += x[i]` — sum reduction.
+pub fn vsum() -> Loop {
+    let mut b = LoopBuilder::new("vsum");
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let s = b.reserve_add("S");
+    b.bind(s, [lx.now(), s.prev(1)]);
+    b.set_init(s, 0.0);
+    b.store("ST", z, 0, s.now());
+    done(b)
+}
+
+/// `p *= x[i]` — product reduction.
+pub fn vprod() -> Loop {
+    let mut b = LoopBuilder::new("vprod");
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let p = b.reserve_mul("P");
+    b.bind(p, [lx.now(), p.prev(1)]);
+    b.set_init(p, 1.0);
+    b.store("ST", z, 0, p.now());
+    done(b)
+}
+
+/// `s += x[i]*x[i]` — sum of squares.
+pub fn sumsq() -> Loop {
+    let mut b = LoopBuilder::new("sumsq");
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let m = b.mul("M", lx.now(), lx.now());
+    let s = b.reserve_add("S");
+    b.bind(s, [m.now(), s.prev(1)]);
+    b.set_init(s, 0.0);
+    b.store("ST", z, 0, s.now());
+    done(b)
+}
+
+/// `s += (x[i]-y[i])^2` — squared Euclidean distance.
+pub fn sqdist() -> Loop {
+    let mut b = LoopBuilder::new("sqdist");
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let d = b.sub("D", lx.now(), ly.now());
+    let m = b.mul("M", d.now(), d.now());
+    let s = b.reserve_add("S");
+    b.bind(s, [m.now(), s.prev(1)]);
+    b.set_init(s, 0.0);
+    b.store("ST", z, 0, s.now());
+    done(b)
+}
+
+/// `s += 1/x[i]` — harmonic sum (division feeding a reduction).
+pub fn harmonic() -> Loop {
+    let mut b = LoopBuilder::new("harmonic");
+    let one = b.invariant("one", 1.0);
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let d = b.div("D", one, lx.now());
+    let s = b.reserve_add("S");
+    b.bind(s, [d.now(), s.prev(1)]);
+    b.set_init(s, 0.0);
+    b.store("ST", z, 0, s.now());
+    done(b)
+}
+
+/// Two simultaneous reductions: `s1 += x[i]`, `s2 += x[i]^2`.
+pub fn sum_and_sumsq() -> Loop {
+    let mut b = LoopBuilder::new("sum_and_sumsq");
+    let x = b.array_in("x");
+    let z1 = b.array_out("z1");
+    let z2 = b.array_out("z2");
+    let lx = b.load("LX", x, 0);
+    let s1 = b.reserve_add("S1");
+    b.bind(s1, [lx.now(), s1.prev(1)]);
+    let m = b.mul("M", lx.now(), lx.now());
+    let s2 = b.reserve_add("S2");
+    b.bind(s2, [m.now(), s2.prev(1)]);
+    b.store("ST1", z1, 0, s1.now());
+    b.store("ST2", z2, 0, s2.now());
+    done(b)
+}
+
+/// `z[i] = x[i] + t*(y[i] - x[i])` — linear interpolation.
+pub fn lerp() -> Loop {
+    let mut b = LoopBuilder::new("lerp");
+    let t = b.invariant("t", 0.3);
+    let x = b.array_in("x");
+    let y = b.array_in("y");
+    let z = b.array_out("z");
+    let lx = b.load("LX", x, 0);
+    let ly = b.load("LY", y, 0);
+    let d = b.sub("D", ly.now(), lx.now());
+    let m = b.mul("M", d.now(), t);
+    let s = b.add("A", lx.now(), m.now());
+    b.store("S", z, 0, s.now());
+    done(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blas_kernels_are_valid_and_named() {
+        let ks = [
+            daxpy(),
+            axpby(),
+            dot(),
+            vadd(),
+            vscale(),
+            triad(),
+            vdiv(),
+            normalize(),
+            vsum(),
+            vprod(),
+            sumsq(),
+            sqdist(),
+            harmonic(),
+            sum_and_sumsq(),
+            lerp(),
+        ];
+        for k in &ks {
+            assert!(!k.name().is_empty());
+            assert!(!k.ops().is_empty());
+        }
+    }
+
+    #[test]
+    fn reductions_have_recurrences() {
+        for k in [dot(), vsum(), vprod(), sumsq(), sqdist(), harmonic()] {
+            let has_rec = k
+                .iter_ops()
+                .flat_map(|(_, op)| op.inputs().iter())
+                .any(|v| matches!(v.op(), Some((_, d)) if d > 0));
+            assert!(has_rec, "{} should carry a recurrence", k.name());
+        }
+    }
+}

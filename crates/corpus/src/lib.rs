@@ -1,0 +1,40 @@
+//! The benchmark corpus of the NCDRF reproduction.
+//!
+//! The paper evaluated ~795 floating-point single-basic-block inner loops
+//! from the Perfect Club suite, extracted from optimized R3000 assembler
+//! with a custom tool and weighted by CONVEX CXpa profiles (§5.1). Neither
+//! the tool nor the profiles survive, so this crate rebuilds the
+//! *population*, preserving what the experiments actually consume:
+//!
+//! * [`kernels`] — 53 hand-written classic kernels (BLAS-1, SPEC89-Fortran style,
+//!   Livermore-loop fragments, stencils/filters, recurrence and ILP
+//!   stress loops), each a valid executable [`ncdrf_ddg::Loop`];
+//! * [`generate`]/[`GenConfig`] — a seeded random loop generator spanning
+//!   the same structural axes the paper's loops vary (op count and mix,
+//!   memory ratio, recurrences, chain depth);
+//! * [`assign_weights`] — heavy-tailed deterministic execution weights
+//!   standing in for the profiler;
+//! * [`Corpus`] — assembly, filtering and statistics;
+//!   [`Corpus::standard`] is the 795-loop population used by the
+//!   experiment drivers, [`Corpus::small`] a fast subset.
+//!
+//! # Example
+//!
+//! ```
+//! use ncdrf_corpus::{Corpus, kernels};
+//!
+//! let c = Corpus::small();
+//! assert_eq!(c.loops()[0].name(), "daxpy");
+//! assert_eq!(kernels::all().len(), 53);
+//! ```
+
+#![warn(missing_docs)]
+
+mod corpus;
+mod generator;
+pub mod kernels;
+mod weights;
+
+pub use corpus::{Corpus, CorpusStats, STANDARD_SEED};
+pub use generator::{generate, generate_many, GenConfig};
+pub use weights::assign_weights;

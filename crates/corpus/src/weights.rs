@@ -1,0 +1,86 @@
+//! Deterministic execution weights for the dynamic (cycle-weighted)
+//! figures.
+//!
+//! The paper weighted each loop by its measured execution time (CONVEX
+//! CXpa profiles). Only *relative* weights matter for Figures 7–9, so we
+//! draw trip and invocation counts from a seeded log-normal-like
+//! distribution — heavy-tailed, as loop trip counts in scientific codes
+//! are — making a small set of loops dominate total execution time, as in
+//! the paper.
+
+use ncdrf_ddg::{Loop, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one log-normal sample `exp(mu + sigma * z)` using a Box–Muller
+/// transform over the generator's uniforms.
+fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Assigns a deterministic execution weight to each loop, derived from
+/// `seed` and the loop's position: trip counts are log-normal around ~100
+/// iterations, invocation counts log-normal around ~20 calls.
+pub fn assign_weights(loops: Vec<Loop>, seed: u64) -> Vec<Loop> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loops
+        .into_iter()
+        .map(|l| {
+            let trip = log_normal(&mut rng, 100f64.ln(), 1.2).clamp(4.0, 100_000.0) as u64;
+            let calls = log_normal(&mut rng, 20f64.ln(), 1.0).clamp(1.0, 10_000.0) as u64;
+            l.with_weight(Weight::new(trip, calls))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_ddg::LoopBuilder;
+
+    fn tiny(name: &str) -> Loop {
+        let mut b = LoopBuilder::new(name);
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        b.store("S", z, 0, l.now());
+        b.finish(Weight::default()).unwrap()
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let ls: Vec<Loop> = (0..10).map(|i| tiny(&format!("l{i}"))).collect();
+        let a = assign_weights(ls.clone(), 5);
+        let b = assign_weights(ls, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weight(), y.weight());
+        }
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let ls: Vec<Loop> = (0..400).map(|i| tiny(&format!("l{i}"))).collect();
+        let ws = assign_weights(ls, 9);
+        let mut iters: Vec<u64> = ws.iter().map(|l| l.weight().iterations()).collect();
+        iters.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u128 = iters.iter().map(|&x| x as u128).sum();
+        let top_decile: u128 = iters[..40].iter().map(|&x| x as u128).sum();
+        assert!(
+            top_decile * 2 > total,
+            "top 10% of loops should dominate execution time"
+        );
+    }
+
+    #[test]
+    fn weights_stay_in_bounds() {
+        let ls: Vec<Loop> = (0..200).map(|i| tiny(&format!("l{i}"))).collect();
+        for l in assign_weights(ls, 3) {
+            assert!(l.weight().trip >= 4);
+            assert!(l.weight().calls >= 1);
+            assert!(l.weight().iterations() <= 1_000_000_000);
+        }
+    }
+}

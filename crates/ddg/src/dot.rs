@@ -1,0 +1,92 @@
+//! Graphviz (DOT) export of loop graphs, for debugging and documentation.
+
+use crate::graph::Loop;
+use crate::op::ValueRef;
+use std::fmt::Write as _;
+
+impl Loop {
+    /// Renders the dependence graph in Graphviz DOT syntax.
+    ///
+    /// Flow dependences are solid edges (labelled with their distance when
+    /// non-zero); explicit memory/order dependences are dashed.
+    ///
+    /// ```
+    /// # use ncdrf_ddg::{LoopBuilder, Weight};
+    /// # let mut b = LoopBuilder::new("t");
+    /// # let x = b.array_in("x");
+    /// # let z = b.array_out("z");
+    /// # let l = b.load("L", x, 0);
+    /// # let a = b.add("A", l.now(), l.now());
+    /// # b.store("S", z, 0, a.now());
+    /// # let lp = b.finish(Weight::default()).unwrap();
+    /// let dot = lp.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=TB;");
+        for (id, op) in self.iter_ops() {
+            let shape = if op.kind().is_memory() { "box" } else { "ellipse" };
+            let _ = writeln!(
+                s,
+                "  n{} [label=\"{}\\n{}\" shape={}];",
+                id.index(),
+                op.name(),
+                op.kind(),
+                shape
+            );
+        }
+        for (to, op) in self.iter_ops() {
+            for input in op.inputs() {
+                if let ValueRef::Op { id: from, dist } = *input {
+                    if dist == 0 {
+                        let _ = writeln!(s, "  n{} -> n{};", from.index(), to.index());
+                    } else {
+                        let _ = writeln!(
+                            s,
+                            "  n{} -> n{} [label=\"{}\" constraint=false];",
+                            from.index(),
+                            to.index(),
+                            dist
+                        );
+                    }
+                }
+            }
+        }
+        for dep in self.deps() {
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [style=dashed label=\"{}\"];",
+                dep.from.index(),
+                dep.to.index(),
+                dep.dist
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LoopBuilder, Weight};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = LoopBuilder::new("dot");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let a = b.reserve_add("A");
+        b.bind(a, [l.now(), a.prev(1)]);
+        let s = b.store("S", z, 0, a.now());
+        b.mem_dep(s, l, 1);
+        let lp = b.finish(Weight::default()).unwrap();
+        let dot = lp.to_dot();
+        assert_eq!(dot.matches("label=\"L").count(), 1);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("constraint=false")); // the recurrence edge
+        assert!(dot.ends_with("}\n"));
+    }
+}

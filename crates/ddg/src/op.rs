@@ -1,0 +1,213 @@
+//! Operation kinds, identifiers and operand references.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation inside a [`Loop`](crate::Loop).
+///
+/// `OpId`s are dense indices into [`Loop::ops`](crate::Loop::ops); they are
+/// only meaningful relative to the loop that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Creates an id from a raw index. Intended for code that iterates over
+    /// `0..loop.ops().len()`.
+    pub fn from_index(index: usize) -> Self {
+        OpId(index as u32)
+    }
+
+    /// The dense index of this operation inside its loop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A same-iteration reference to the value produced by this operation.
+    pub fn now(self) -> ValueRef {
+        ValueRef::Op { id: self, dist: 0 }
+    }
+
+    /// A cross-iteration reference to the value this operation produced
+    /// `dist` iterations ago (`dist` is the dependence distance Ω).
+    pub fn prev(self, dist: u32) -> ValueRef {
+        ValueRef::Op { id: self, dist }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifier of a loop-invariant input value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InvId(pub(crate) u32);
+
+impl InvId {
+    /// The dense index of this invariant inside its loop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an array referenced by loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArrayId(pub(crate) u32);
+
+impl ArrayId {
+    /// The dense index of this array inside its loop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a floating-point loop operation.
+///
+/// The set matches the paper's machine model (§5.2): adders execute
+/// additions, subtractions and int↔fp conversions; multipliers execute
+/// multiplications and divisions; load/store units execute memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Floating-point addition (2 operands).
+    FpAdd,
+    /// Floating-point subtraction (2 operands).
+    FpSub,
+    /// Floating-point multiplication (2 operands).
+    FpMul,
+    /// Floating-point division (2 operands).
+    FpDiv,
+    /// Type conversion (1 operand); executes on an adder in the paper's
+    /// machine model.
+    Conv,
+    /// Memory load (0 value operands + a memory reference).
+    Load,
+    /// Memory store (1 value operand + a memory reference). Produces no
+    /// value.
+    Store,
+}
+
+impl OpKind {
+    /// Number of value operands this kind consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::FpAdd | OpKind::FpSub | OpKind::FpMul | OpKind::FpDiv => 2,
+            OpKind::Conv | OpKind::Store => 1,
+            OpKind::Load => 0,
+        }
+    }
+
+    /// Whether operations of this kind produce a register value.
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// Whether this kind accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// All kinds, in a fixed order (useful for statistics tables).
+    pub fn all() -> [OpKind; 7] {
+        [
+            OpKind::FpAdd,
+            OpKind::FpSub,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+            OpKind::Conv,
+            OpKind::Load,
+            OpKind::Store,
+        ]
+    }
+
+    /// A short mnemonic (`add`, `mul`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::FpAdd => "add",
+            OpKind::FpSub => "sub",
+            OpKind::FpMul => "mul",
+            OpKind::FpDiv => "div",
+            OpKind::Conv => "conv",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A reference to an operand value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueRef {
+    /// The value produced by operation `id`, `dist` iterations ago.
+    /// `dist == 0` is a same-iteration (intra-body) flow dependence;
+    /// `dist > 0` is a loop-carried dependence (a recurrence when it closes
+    /// a cycle).
+    Op {
+        /// Producing operation.
+        id: OpId,
+        /// Dependence distance (Ω): how many iterations earlier the value
+        /// was produced.
+        dist: u32,
+    },
+    /// A loop-invariant input (kept in the non-rotating general file; not
+    /// part of the register-pressure accounting, per §2 of the paper).
+    Inv(InvId),
+    /// An immediate constant.
+    Const(f64),
+}
+
+impl ValueRef {
+    /// The producing operation, if this reference names one.
+    pub fn op(self) -> Option<(OpId, u32)> {
+        match self {
+            ValueRef::Op { id, dist } => Some((id, dist)),
+            _ => None,
+        }
+    }
+}
+
+/// One operation of a loop body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    pub(crate) kind: OpKind,
+    pub(crate) name: String,
+    pub(crate) inputs: Vec<ValueRef>,
+    pub(crate) mem: Option<crate::graph::MemRef>,
+    /// Initial value(s) observed by cross-iteration consumers that read
+    /// this op's output before iteration 0 produced it (reductions start
+    /// from this seed). Only meaningful for value-producing ops consumed at
+    /// distance > 0.
+    pub(crate) init: f64,
+}
+
+impl Op {
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The (unique, human-readable) name, e.g. `"L1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value operands.
+    pub fn inputs(&self) -> &[ValueRef] {
+        &self.inputs
+    }
+
+    /// The memory reference, for loads and stores.
+    pub fn mem(&self) -> Option<&crate::graph::MemRef> {
+        self.mem.as_ref()
+    }
+
+    /// The seed value read by cross-iteration consumers before iteration 0.
+    pub fn init(&self) -> f64 {
+        self.init
+    }
+}

@@ -1,0 +1,320 @@
+//! Structural validation of loop graphs.
+
+use crate::graph::Loop;
+use crate::op::{OpKind, ValueRef};
+use std::fmt;
+
+/// A structural invariant violated by a loop graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The loop has no operations.
+    Empty,
+    /// An operation has the wrong number of value operands.
+    Arity {
+        /// Offending op name.
+        op: String,
+        /// Expected operand count for its kind.
+        expected: usize,
+        /// Actual operand count.
+        found: usize,
+    },
+    /// A memory operation lacks a memory reference, or a non-memory
+    /// operation has one.
+    MemRef {
+        /// Offending op name.
+        op: String,
+    },
+    /// An operand or dependence references an operation id out of range.
+    DanglingOp {
+        /// Offending op name (the referencing op).
+        op: String,
+    },
+    /// An operand references an invariant or array id out of range.
+    DanglingInput {
+        /// Offending op name.
+        op: String,
+    },
+    /// A store's value is consumed (stores produce no value).
+    StoreConsumed {
+        /// Consuming op name.
+        op: String,
+    },
+    /// A value-producing operation has no consumer (dead code).
+    DeadValue {
+        /// Producing op name.
+        op: String,
+    },
+    /// The graph contains a dependence cycle of total distance zero, which
+    /// no schedule can satisfy.
+    ZeroDistanceCycle {
+        /// Name of one operation on the cycle.
+        op: String,
+    },
+    /// An array is read although declared [`Output`](crate::ArrayRole), or
+    /// written although declared [`Input`](crate::ArrayRole).
+    ArrayRole {
+        /// Offending op name.
+        op: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Empty => write!(f, "loop has no operations"),
+            ValidateError::Arity {
+                op,
+                expected,
+                found,
+            } => write!(f, "op `{op}` expects {expected} operands, found {found}"),
+            ValidateError::MemRef { op } => {
+                write!(f, "op `{op}` has a mismatched memory reference")
+            }
+            ValidateError::DanglingOp { op } => {
+                write!(f, "op `{op}` references an out-of-range operation")
+            }
+            ValidateError::DanglingInput { op } => {
+                write!(f, "op `{op}` references an out-of-range invariant or array")
+            }
+            ValidateError::StoreConsumed { op } => {
+                write!(f, "op `{op}` consumes the (non-existent) value of a store")
+            }
+            ValidateError::DeadValue { op } => {
+                write!(f, "op `{op}` produces a value nothing consumes")
+            }
+            ValidateError::ZeroDistanceCycle { op } => {
+                write!(f, "zero-distance dependence cycle through op `{op}`")
+            }
+            ValidateError::ArrayRole { op } => {
+                write!(f, "op `{op}` violates an array's declared role")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks every structural invariant of `l`.
+pub(crate) fn validate(l: &Loop) -> Result<(), ValidateError> {
+    if l.ops.is_empty() {
+        return Err(ValidateError::Empty);
+    }
+
+    let n = l.ops.len();
+    for op in &l.ops {
+        if op.inputs.len() != op.kind.arity() {
+            return Err(ValidateError::Arity {
+                op: op.name.clone(),
+                expected: op.kind.arity(),
+                found: op.inputs.len(),
+            });
+        }
+        if op.kind.is_memory() != op.mem.is_some() {
+            return Err(ValidateError::MemRef {
+                op: op.name.clone(),
+            });
+        }
+        for input in &op.inputs {
+            match *input {
+                ValueRef::Op { id, .. } => {
+                    if id.index() >= n {
+                        return Err(ValidateError::DanglingOp {
+                            op: op.name.clone(),
+                        });
+                    }
+                    if l.ops[id.index()].kind == OpKind::Store {
+                        return Err(ValidateError::StoreConsumed {
+                            op: op.name.clone(),
+                        });
+                    }
+                }
+                ValueRef::Inv(inv) => {
+                    if inv.index() >= l.invariants.len() {
+                        return Err(ValidateError::DanglingInput {
+                            op: op.name.clone(),
+                        });
+                    }
+                }
+                ValueRef::Const(_) => {}
+            }
+        }
+        if let Some(mem) = &op.mem {
+            if mem.array.index() >= l.arrays.len() {
+                return Err(ValidateError::DanglingInput {
+                    op: op.name.clone(),
+                });
+            }
+            let role = l.arrays[mem.array.index()].role;
+            let ok = match op.kind {
+                OpKind::Load => matches!(
+                    role,
+                    crate::graph::ArrayRole::Input | crate::graph::ArrayRole::InOut
+                ),
+                OpKind::Store => matches!(
+                    role,
+                    crate::graph::ArrayRole::Output | crate::graph::ArrayRole::InOut
+                ),
+                _ => false,
+            };
+            if !ok {
+                return Err(ValidateError::ArrayRole {
+                    op: op.name.clone(),
+                });
+            }
+        }
+    }
+
+    for dep in &l.deps {
+        if dep.from.index() >= n || dep.to.index() >= n {
+            return Err(ValidateError::DanglingOp {
+                op: format!("dep {}->{}", dep.from, dep.to),
+            });
+        }
+    }
+
+    // Dead values: every value-producing op must have at least one consumer.
+    let consumers = l.consumers();
+    for (id, op) in l.iter_ops() {
+        if op.kind.produces_value() && consumers[id.index()].is_empty() {
+            return Err(ValidateError::DeadValue {
+                op: op.name.clone(),
+            });
+        }
+    }
+
+    // Zero-distance cycles: DFS over edges with dist == 0.
+    if let Some(idx) = find_zero_distance_cycle(l) {
+        return Err(ValidateError::ZeroDistanceCycle {
+            op: l.ops[idx].name.clone(),
+        });
+    }
+
+    Ok(())
+}
+
+/// Returns the index of an op on a zero-distance cycle, if one exists.
+fn find_zero_distance_cycle(l: &Loop) -> Option<usize> {
+    let n = l.ops.len();
+    let mut adj = vec![Vec::new(); n];
+    for (from, to, dist) in l.sched_edges() {
+        if dist == 0 {
+            adj[from.index()].push(to.index());
+        }
+    }
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root] = Color::Gray;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < adj[v].len() {
+                let w = adj[v][*i];
+                *i += 1;
+                match color[w] {
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Gray => return Some(w),
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BuildError, LoopBuilder, ValidateError, ValueRef, Weight};
+
+    #[test]
+    fn empty_loop_rejected() {
+        let b = LoopBuilder::new("e");
+        assert!(matches!(
+            b.finish(Weight::default()),
+            Err(BuildError::Invalid(ValidateError::Empty))
+        ));
+    }
+
+    #[test]
+    fn dead_value_rejected() {
+        let mut b = LoopBuilder::new("dead");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let _dead = b.add("D", l.now(), ValueRef::Const(1.0));
+        // store l directly; D's value is dead (it does consume l though).
+        b.store("S", z, 0, l.now());
+        assert!(matches!(
+            b.finish(Weight::default()),
+            Err(BuildError::Invalid(ValidateError::DeadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected() {
+        let mut b = LoopBuilder::new("cyc");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let a = b.reserve_add("A");
+        let m = b.mul("M", a.now(), l.now());
+        b.bind(a, [m.now(), l.now()]); // a -> m -> a, both dist 0
+        b.store("S", z, 0, a.now());
+        assert!(matches!(
+            b.finish(Weight::default()),
+            Err(BuildError::Invalid(ValidateError::ZeroDistanceCycle { .. }))
+        ));
+    }
+
+    #[test]
+    fn positive_distance_cycle_accepted() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.array_in("x");
+        let l = b.load("L", x, 0);
+        let a = b.reserve_add("A");
+        b.bind(a, [l.now(), a.prev(1)]);
+        assert!(b.finish(Weight::default()).is_ok());
+    }
+
+    #[test]
+    fn store_value_cannot_be_consumed() {
+        let mut b = LoopBuilder::new("sv");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let s = b.store("S", z, 0, l.now());
+        let a = b.add("A", s.now(), ValueRef::Const(0.0));
+        b.store("S2", z, 1, a.now());
+        assert!(matches!(
+            b.finish(Weight::default()),
+            Err(BuildError::Invalid(ValidateError::StoreConsumed { .. }))
+        ));
+    }
+
+    #[test]
+    fn array_roles_enforced() {
+        let mut b = LoopBuilder::new("role");
+        let x = b.array_in("x");
+        let l = b.load("L", x, 0);
+        // Store into an *input* array: role violation.
+        b.store("S", x, 0, l.now());
+        assert!(matches!(
+            b.finish(Weight::default()),
+            Err(BuildError::Invalid(ValidateError::ArrayRole { .. }))
+        ));
+    }
+}

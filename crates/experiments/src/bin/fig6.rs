@@ -1,0 +1,25 @@
+//! Figure 6: static cumulative distribution of loops over register
+//! requirements, for the Unified / Partitioned / Swapped models at
+//! latencies 3 and 6.
+
+use ncdrf::{csv_distribution, default_points, figures_6_7, render_distribution, PipelineOptions};
+use ncdrf_experiments::{banner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Figure 6: static cumulative distribution of loops", &cli);
+
+    let points = default_points();
+    let mut all = Vec::new();
+    for lat in [3, 6] {
+        let curves = figures_6_7(&cli.corpus, lat, &points, &PipelineOptions::default())
+            .expect("corpus loops always schedule");
+        println!("{}", render_distribution(&curves, false));
+        all.extend(curves);
+    }
+    cli.write("fig6.csv", &csv_distribution(&all));
+    println!(
+        "paper shape: Partitioned lies left of (above) Unified, Swapped \
+         slightly left of Partitioned; the gap grows with latency."
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 9: density of memory traffic (average bus occupancy per cycle)
+//! for the same model/latency/register grid as Figure 8.
+
+use ncdrf::{
+    csv_budget_outcomes, figures_8_9, render_budget_outcomes, BudgetMetric, PipelineOptions,
+    FIG89_CONFIGS,
+};
+use ncdrf_experiments::{banner, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Figure 9: density of memory traffic", &cli);
+
+    let mut all = Vec::new();
+    for (lat, regs) in FIG89_CONFIGS {
+        let outcomes = figures_8_9(&cli.corpus, lat, regs, &PipelineOptions::default())
+            .expect("corpus loops always schedule");
+        println!("--- L={lat}, R={regs} ---");
+        println!(
+            "{}",
+            render_budget_outcomes(&outcomes, BudgetMetric::TrafficDensity)
+        );
+        all.extend(outcomes);
+    }
+    cli.write("fig9.csv", &csv_budget_outcomes(&all));
+    println!(
+        "paper shape: Partitioned/Swapped carry less traffic than Unified \
+         (less spill code) except at L=6/R=32 where heavy spilling makes \
+         the three converge."
+    );
+}

@@ -1,0 +1,62 @@
+//! Shared plumbing for the experiment binaries (one per paper
+//! table/figure).
+//!
+//! Every binary accepts:
+//!
+//! * `--standard` — run on the full 795-loop corpus (minutes in release
+//!   mode); the default is the fast `small` corpus (~100 loops), which
+//!   already reproduces every qualitative shape;
+//! * `--out <dir>` — where to write CSV results (default `results/`).
+
+use ncdrf::corpus::Corpus;
+use std::path::PathBuf;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The selected corpus.
+    pub corpus: Corpus,
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().collect();
+        let corpus = if args.iter().any(|a| a == "--standard") {
+            Corpus::standard()
+        } else {
+            Corpus::small()
+        };
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Cli { corpus, out }
+    }
+
+    /// Writes `contents` to `<out>/<name>`, creating the directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filesystem refuses (experiments want loud failures).
+    pub fn write(&self, name: &str, contents: &str) {
+        std::fs::create_dir_all(&self.out).expect("create results dir");
+        let path = self.out.join(name);
+        std::fs::write(&path, contents).expect("write results file");
+        println!("[wrote {}]", path.display());
+    }
+}
+
+/// Banner line identifying a run.
+pub fn banner(what: &str, cli: &Cli) {
+    println!(
+        "=== {what} — corpus `{}` ({} loops) ===\n",
+        cli.corpus.name(),
+        cli.corpus.len()
+    );
+}
+

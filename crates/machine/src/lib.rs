@@ -1,0 +1,29 @@
+//! VLIW machine descriptions for the NCDRF reproduction.
+//!
+//! A [`Machine`] describes the functional units of a VLIW floating-point
+//! processor (§2 of the paper): groups of identical, fully-pipelined units,
+//! each serving a set of operation kinds with a fixed latency, and — for the
+//! clustered configurations — an assignment of every unit instance to a
+//! cluster.
+//!
+//! Two families of presets reproduce the paper's configurations:
+//!
+//! * [`Machine::pxly`] — the unified `PxLy` machines of Table 1
+//!   (`x` adders + `x` multipliers of latency `y`, two load ports, one
+//!   store port);
+//! * [`Machine::clustered`] — the two-cluster evaluation machine of §5.2
+//!   (per cluster: 1 adder, 1 multiplier, `ls_per_cluster` load/store
+//!   units), used for Figures 6–9, and with 2 load/store units per cluster
+//!   for the worked example of §4.
+//!
+//! The crate also carries the register-file cost models of §3.2
+//! ([`RegFileCost`]): area linear in registers and quadratic in ports,
+//! access time logarithmic in read ports and registers.
+
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+
+pub use config::{ClusterId, FuClass, FuGroup, Machine, MachineError, UnitRef};
+pub use cost::{access_time, area, RegFileCost, RegFileOrg};

@@ -1,0 +1,342 @@
+//! Value classification and allocation for the non-consistent dual file.
+
+use crate::alloc::UnifiedAlloc;
+use crate::lifetime::{max_live_subset, Lifetime};
+use crate::offsets_conflict;
+use ncdrf_ddg::Loop;
+use ncdrf_machine::{ClusterId, Machine};
+use ncdrf_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Where a value must reside in a non-consistent dual register file (§4 of
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueClass {
+    /// Consumed by both clusters: replicated in both subfiles ("GL").
+    Global,
+    /// Consumed by one cluster only: stored only in that cluster's subfile
+    /// ("LO"/"RO").
+    Only(ClusterId),
+}
+
+impl ValueClass {
+    /// Whether a value of this class occupies the given cluster's subfile.
+    pub fn occupies(self, cluster: ClusterId) -> bool {
+        match self {
+            ValueClass::Global => true,
+            ValueClass::Only(c) => c == cluster,
+        }
+    }
+}
+
+/// Classifies every lifetime's value by the clusters of its consumers.
+///
+/// A value read by operations scheduled in both clusters is
+/// [`ValueClass::Global`]; a value read by a single cluster is local to it.
+/// On a single-cluster machine everything is `Only(cluster 0)`.
+pub fn classify(
+    l: &Loop,
+    machine: &Machine,
+    sched: &Schedule,
+    lifetimes: &[Lifetime],
+) -> Vec<ValueClass> {
+    let consumers = l.consumers();
+    lifetimes
+        .iter()
+        .map(|lt| {
+            let mut seen_left = false;
+            let mut seen_right = false;
+            let mut any = None;
+            for &(c, _) in &consumers[lt.op.index()] {
+                let cluster = sched.cluster(c, machine);
+                any = Some(cluster);
+                match cluster {
+                    ClusterId::LEFT => seen_left = true,
+                    _ => seen_right = true,
+                }
+            }
+            match (seen_left, seen_right) {
+                (true, true) => ValueClass::Global,
+                (true, false) => ValueClass::Only(ClusterId::LEFT),
+                (false, true) => ValueClass::Only(any.expect("consumer seen")),
+                // Unconsumed values cannot occur in validated loops; place
+                // them arbitrarily.
+                (false, false) => ValueClass::Only(ClusterId::LEFT),
+            }
+        })
+        .collect()
+}
+
+/// Per-class register pressures of a dual allocation (the quantities of the
+/// paper's Tables 3–4: GL / LO / RO, and the per-subfile totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualPressure {
+    /// MaxLive of the global (replicated) values.
+    pub global: u32,
+    /// MaxLive of the left-only values.
+    pub left: u32,
+    /// MaxLive of the right-only values.
+    pub right: u32,
+    /// MaxLive of the left subfile's contents (globals + left-only).
+    pub left_total: u32,
+    /// MaxLive of the right subfile's contents (globals + right-only).
+    pub right_total: u32,
+}
+
+impl DualPressure {
+    /// Computes per-class pressures from lifetimes and their classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn new(lifetimes: &[Lifetime], classes: &[ValueClass], ii: u32) -> Self {
+        assert_eq!(lifetimes.len(), classes.len());
+        let subset = |keep: &dyn Fn(ValueClass) -> bool| -> Vec<Lifetime> {
+            lifetimes
+                .iter()
+                .zip(classes)
+                .filter(|(_, &c)| keep(c))
+                .map(|(lt, _)| *lt)
+                .collect()
+        };
+        let ml = |keep: &dyn Fn(ValueClass) -> bool| {
+            max_live_subset(&subset(keep), ii, |_| true)
+        };
+        DualPressure {
+            global: ml(&|c| c == ValueClass::Global),
+            left: ml(&|c| c == ValueClass::Only(ClusterId::LEFT)),
+            right: ml(&|c| c == ValueClass::Only(ClusterId::RIGHT)),
+            left_total: ml(&|c| c.occupies(ClusterId::LEFT)),
+            right_total: ml(&|c| c.occupies(ClusterId::RIGHT)),
+        }
+    }
+
+    /// The dual-file requirement lower bound: the larger subfile pressure.
+    pub fn requirement_bound(&self) -> u32 {
+        self.left_total.max(self.right_total)
+    }
+}
+
+/// Result of allocating on a non-consistent dual register file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DualAlloc {
+    /// Registers required per subfile (the dual "register requirement" of
+    /// the loop — the paper reports the maximum over the two clusters).
+    pub regs: u32,
+    /// Rotating offset of each lifetime; globals use the same offset in
+    /// both subfiles.
+    pub offsets: Vec<u32>,
+    /// Class of each lifetime.
+    pub classes: Vec<ValueClass>,
+    /// Per-class pressure summary.
+    pub pressure: DualPressure,
+}
+
+/// First-Fit allocation on the dual file: globals must be conflict-free in
+/// *both* subfiles at the same offset; locals only in their own subfile.
+/// The subfile size starts at the pressure lower bound and grows until the
+/// packing succeeds.
+///
+/// # Panics
+///
+/// Panics if `classes.len() != lifetimes.len()` or `ii == 0`.
+pub fn allocate_dual(lifetimes: &[Lifetime], classes: &[ValueClass], ii: u32) -> DualAlloc {
+    assert!(ii > 0, "II must be positive");
+    assert_eq!(lifetimes.len(), classes.len());
+    let n = lifetimes.len();
+    let pressure = DualPressure::new(lifetimes, classes, ii);
+    if n == 0 || lifetimes.iter().all(Lifetime::is_empty) {
+        return DualAlloc {
+            regs: 0,
+            offsets: vec![0; n],
+            classes: classes.to_vec(),
+            pressure,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (lifetimes[i].start, i));
+
+    let files = [ClusterId::LEFT, ClusterId::RIGHT];
+    let mut r = pressure.requirement_bound().max(1);
+    'grow: loop {
+        let mut offsets: Vec<Option<u32>> = vec![None; n];
+        for &v in &order {
+            if lifetimes[v].is_empty() {
+                offsets[v] = Some(0);
+                continue;
+            }
+            let mut placed = false;
+            'offsets: for cand in 0..r {
+                for (u, off_u) in offsets.iter().enumerate() {
+                    let Some(off_u) = off_u else { continue };
+                    if lifetimes[u].is_empty() {
+                        continue;
+                    }
+                    // u and v interfere only if they share some subfile.
+                    let share = files
+                        .iter()
+                        .any(|&f| classes[u].occupies(f) && classes[v].occupies(f));
+                    if !share {
+                        continue;
+                    }
+                    if offsets_conflict(
+                        &lifetimes[v],
+                        &lifetimes[u],
+                        ii,
+                        cand as i64,
+                        *off_u as i64,
+                        r as i64,
+                    ) {
+                        continue 'offsets;
+                    }
+                }
+                offsets[v] = Some(cand);
+                placed = true;
+                break;
+            }
+            if !placed {
+                r += 1;
+                continue 'grow;
+            }
+        }
+        return DualAlloc {
+            regs: r,
+            offsets: offsets.into_iter().map(|o| o.unwrap()).collect(),
+            classes: classes.to_vec(),
+            pressure,
+        };
+    }
+}
+
+/// Independently re-checks a dual allocation: any two lifetimes sharing a
+/// subfile must be conflict-free at their offsets. Returns the offending
+/// pair, if any.
+pub fn verify_dual(
+    lifetimes: &[Lifetime],
+    ii: u32,
+    alloc: &DualAlloc,
+) -> Result<(), (usize, usize)> {
+    if alloc.regs == 0 {
+        return Ok(());
+    }
+    let files = [ClusterId::LEFT, ClusterId::RIGHT];
+    for a in 0..lifetimes.len() {
+        for b in (a + 1)..lifetimes.len() {
+            let share = files
+                .iter()
+                .any(|&f| alloc.classes[a].occupies(f) && alloc.classes[b].occupies(f));
+            if !share {
+                continue;
+            }
+            if offsets_conflict(
+                &lifetimes[a],
+                &lifetimes[b],
+                ii,
+                alloc.offsets[a] as i64,
+                alloc.offsets[b] as i64,
+                alloc.regs as i64,
+            ) {
+                return Err((a, b));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: a [`UnifiedAlloc`]-shaped view of a dual allocation
+/// (same offsets, subfile size), for consumers that only need offsets.
+impl From<&DualAlloc> for UnifiedAlloc {
+    fn from(d: &DualAlloc) -> Self {
+        UnifiedAlloc {
+            regs: d.regs,
+            offsets: d.offsets.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_ddg::OpId;
+
+    fn lt(i: usize, start: u32, end: u32) -> Lifetime {
+        Lifetime {
+            op: OpId::from_index(i),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn locals_in_different_clusters_share_offsets() {
+        // Two overlapping values, one left-only and one right-only: they
+        // never share a subfile, so 1 register per subfile suffices... but
+        // each still needs its own instance space within its subfile.
+        let lts = [lt(0, 0, 4), lt(1, 0, 4)];
+        let classes = [
+            ValueClass::Only(ClusterId::LEFT),
+            ValueClass::Only(ClusterId::RIGHT),
+        ];
+        let a = allocate_dual(&lts, &classes, 4);
+        assert_eq!(a.regs, 1);
+        assert!(verify_dual(&lts, 4, &a).is_ok());
+    }
+
+    #[test]
+    fn globals_count_in_both_subfiles() {
+        let lts = [lt(0, 0, 4), lt(1, 0, 4)];
+        let classes = [ValueClass::Global, ValueClass::Only(ClusterId::RIGHT)];
+        let a = allocate_dual(&lts, &classes, 4);
+        assert_eq!(a.regs, 2); // right subfile holds both values
+        assert_eq!(a.pressure.left_total, 1);
+        assert_eq!(a.pressure.right_total, 2);
+        assert!(verify_dual(&lts, 4, &a).is_ok());
+    }
+
+    #[test]
+    fn pressure_matches_paper_shape() {
+        // The §4.1 example at II=1 (classes from Table 3): GL 13, LO 13,
+        // RO 16 -> max cluster 29.
+        let lts = [
+            lt(0, 0, 13), // L1  GL
+            lt(1, 0, 7),  // L2  LO
+            lt(2, 1, 7),  // M3  LO
+            lt(3, 4, 10), // A4  RO
+            lt(4, 7, 13), // M5  RO
+            lt(5, 10, 14),// A6  RO
+        ];
+        let classes = [
+            ValueClass::Global,
+            ValueClass::Only(ClusterId::LEFT),
+            ValueClass::Only(ClusterId::LEFT),
+            ValueClass::Only(ClusterId::RIGHT),
+            ValueClass::Only(ClusterId::RIGHT),
+            ValueClass::Only(ClusterId::RIGHT),
+        ];
+        let p = DualPressure::new(&lts, &classes, 1);
+        assert_eq!(p.global, 13);
+        assert_eq!(p.left, 13);
+        assert_eq!(p.right, 16);
+        assert_eq!(p.left_total, 26);
+        assert_eq!(p.right_total, 29);
+        let a = allocate_dual(&lts, &classes, 1);
+        assert_eq!(a.regs, 29);
+        assert!(verify_dual(&lts, 1, &a).is_ok());
+    }
+
+    #[test]
+    fn all_global_degenerates_to_unified() {
+        let lts = [lt(0, 0, 5), lt(1, 2, 9), lt(2, 4, 6)];
+        let classes = [ValueClass::Global; 3];
+        let dual = allocate_dual(&lts, &classes, 2);
+        let uni = crate::alloc::allocate_unified(&lts, 2);
+        assert_eq!(dual.regs, uni.regs);
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = allocate_dual(&[], &[], 3);
+        assert_eq!(a.regs, 0);
+        assert!(verify_dual(&[], 3, &a).is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Value lifetimes and the MaxLive lower bound.
+
+use ncdrf_ddg::{Loop, OpId};
+use ncdrf_machine::{Machine, MachineError};
+use ncdrf_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// The lifetime of one loop-variant value under a schedule, in absolute
+/// cycles of iteration 0.
+///
+/// Per the paper's definition (§2): starts when the producer issues, ends
+/// when the last consumer *finishes* (issue + latency, plus `dist * II`
+/// for cross-iteration consumers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lifetime {
+    /// The producing operation.
+    pub op: OpId,
+    /// Issue cycle of the producer.
+    pub start: u32,
+    /// Cycle after the last consumer finishes (exclusive).
+    pub end: u32,
+}
+
+impl Lifetime {
+    /// Length in cycles.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the lifetime is empty (never true for validated loops,
+    /// whose values always have a consumer).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Number of concurrently-live instances with initiation interval
+    /// `ii`: `ceil(len / ii)`.
+    pub fn instances(&self, ii: u32) -> u32 {
+        self.len().div_ceil(ii)
+    }
+}
+
+/// Computes the lifetime of every value-producing operation of `l` under
+/// `sched` (stores are skipped — they produce no value).
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation.
+pub fn lifetimes(
+    l: &Loop,
+    machine: &Machine,
+    sched: &Schedule,
+) -> Result<Vec<Lifetime>, MachineError> {
+    let consumers = l.consumers();
+    let ii = sched.ii();
+    let mut out = Vec::new();
+    for (id, op) in l.iter_ops() {
+        if !op.kind().produces_value() {
+            continue;
+        }
+        let start = sched.start(id);
+        let mut end = start; // empty if no consumer (validation forbids it)
+        for &(c, dist) in &consumers[id.index()] {
+            let lat = machine.latency(l.op(c).kind())?;
+            end = end.max(sched.start(c) + dist * ii + lat);
+        }
+        out.push(Lifetime { op: id, start, end });
+    }
+    Ok(out)
+}
+
+/// MaxLive: the maximum, over the II kernel cycles, of the number of
+/// simultaneously-live value instances. A lower bound on the registers any
+/// allocation needs.
+pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> u32 {
+    max_live_subset(lifetimes, ii, |_| true)
+}
+
+/// MaxLive restricted to the lifetimes selected by `keep` (used for the
+/// per-class pressures of the dual organisation and by the swapping pass).
+pub fn max_live_subset<F: Fn(&Lifetime) -> bool>(
+    lifetimes: &[Lifetime],
+    ii: u32,
+    keep: F,
+) -> u32 {
+    assert!(ii > 0, "II must be positive");
+    let ii_i = ii as i64;
+    let mut best = 0u32;
+    for t in 0..ii as i64 {
+        let mut live = 0i64;
+        for lt in lifetimes.iter().filter(|lt| keep(lt)) {
+            if lt.is_empty() {
+                continue;
+            }
+            // Instances k with start + k*ii <= t < end + k*ii.
+            let hi = crate::div_floor(t - lt.start as i64, ii_i);
+            let lo = crate::div_floor(t - lt.end as i64, ii_i);
+            live += hi - lo;
+        }
+        best = best.max(live.max(0) as u32);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_ddg::{LoopBuilder, Weight};
+    use ncdrf_machine::Machine;
+    use ncdrf_sched::modulo_schedule;
+
+    #[test]
+    fn instances_is_ceil_div() {
+        let lt = Lifetime {
+            op: OpId::from_index(0),
+            start: 2,
+            end: 15,
+        };
+        assert_eq!(lt.len(), 13);
+        assert_eq!(lt.instances(1), 13);
+        assert_eq!(lt.instances(2), 7);
+        assert_eq!(lt.instances(13), 1);
+        assert_eq!(lt.instances(14), 1);
+    }
+
+    #[test]
+    fn max_live_single_value() {
+        let lts = [Lifetime {
+            op: OpId::from_index(0),
+            start: 0,
+            end: 13,
+        }];
+        assert_eq!(max_live(&lts, 1), 13);
+        assert_eq!(max_live(&lts, 2), 7);
+        assert_eq!(max_live(&lts, 13), 1);
+    }
+
+    #[test]
+    fn max_live_staggered_values() {
+        // Two values each of length 2 at II=2, starting at 0 and 1: one
+        // live at every cycle from each -> 2 at cycle 1? Enumerate:
+        // v1 instances live [0,2)+2k ; v2 live [1,3)+2k.
+        // cycle 0: v1 live (k=0), v2 live (k=-1 covers [-1,1) -> cycle 0
+        // yes). => 2. cycle 1: v1 no (k=0 covers 0,1 -> 1 yes!) v1 live at
+        // 1, v2 live at 1. => 2.
+        let lts = [
+            Lifetime {
+                op: OpId::from_index(0),
+                start: 0,
+                end: 2,
+            },
+            Lifetime {
+                op: OpId::from_index(1),
+                start: 1,
+                end: 3,
+            },
+        ];
+        assert_eq!(max_live(&lts, 2), 2);
+        assert_eq!(max_live(&lts, 1), 4);
+        assert_eq!(max_live(&lts, 3), 2);
+    }
+
+    #[test]
+    fn lifetime_ends_at_last_consumer_finish() {
+        // L (lat 1) -> M (lat 3) chain: lifetime of L = start(M) + 3 -
+        // start(L).
+        let mut b = LoopBuilder::new("t");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        let m = b.mul("M", ld.now(), ld.now());
+        b.store("S", z, 0, m.now());
+        let lp = b.finish(Weight::default()).unwrap();
+        let machine = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&lp, &machine).unwrap();
+        let lts = lifetimes(&lp, &machine, &sched).unwrap();
+        let lt_l = lts.iter().find(|lt| lt.op == ld).unwrap();
+        assert_eq!(lt_l.start, sched.start(ld));
+        assert_eq!(lt_l.end, sched.start(m) + 3);
+        // The store consumes M with latency 1.
+        let lt_m = lts.iter().find(|lt| lt.op == m).unwrap();
+        let st = lp.find_op("S").unwrap();
+        assert_eq!(lt_m.end, sched.start(st) + 1);
+    }
+
+    #[test]
+    fn cross_iteration_consumer_extends_lifetime() {
+        // s = s + x: the add consumes its own value one iteration later,
+        // so the lifetime includes II + latency.
+        let mut b = LoopBuilder::new("sum");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(1)]);
+        let lp = b.finish(Weight::default()).unwrap();
+        let machine = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&lp, &machine).unwrap();
+        let lts = lifetimes(&lp, &machine, &sched).unwrap();
+        let lt_s = lts.iter().find(|lt| lt.op == s).unwrap();
+        assert_eq!(lt_s.len(), sched.ii() + 3);
+    }
+
+    #[test]
+    fn stores_have_no_lifetime() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        b.store("S", z, 0, ld.now());
+        let lp = b.finish(Weight::default()).unwrap();
+        let machine = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&lp, &machine).unwrap();
+        let lts = lifetimes(&lp, &machine, &sched).unwrap();
+        assert_eq!(lts.len(), 1); // only the load's value
+    }
+}

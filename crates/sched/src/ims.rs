@@ -1,0 +1,505 @@
+//! Iterative modulo scheduling (Rau's IMS).
+
+use crate::mii::mii;
+use crate::mrt::ModuloReservationTable;
+use crate::schedule::Schedule;
+use ncdrf_ddg::{Loop, OpId};
+use ncdrf_machine::{Machine, MachineError, UnitRef};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tuning knobs for the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerOptions {
+    /// Scheduling-step budget per II attempt, as a multiple of the
+    /// operation count. When exhausted the scheduler gives up on the
+    /// current II and retries with II+1.
+    pub budget_ratio: u32,
+    /// Hard ceiling on the II search (defaults to the sequential schedule
+    /// length, at which scheduling always succeeds).
+    pub max_ii: Option<u32>,
+    /// Operation-selection priority (see [`Priority`]).
+    pub priority: Priority,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            budget_ratio: 8,
+            max_ii: None,
+            priority: Priority::Height,
+        }
+    }
+}
+
+/// How the IMS main loop picks the next operation to (re)schedule, and
+/// which occupant it evicts on a forced placement.
+///
+/// Rau's IMS uses height-based priorities; the `ablation_priority` bench
+/// compares them against plain program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Priority {
+    /// Height above the graph's sinks under the current II (Rau's IMS).
+    #[default]
+    Height,
+    /// Program (input) order: earlier operations first.
+    InputOrder,
+}
+
+/// Failure to produce a modulo schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The machine cannot execute the loop at all.
+    Machine(MachineError),
+    /// No schedule was found up to the II ceiling (only possible with an
+    /// explicit, too-small [`SchedulerOptions::max_ii`]).
+    NoSchedule {
+        /// Largest II attempted.
+        tried_up_to: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Machine(e) => write!(f, "machine cannot serve loop: {e}"),
+            ScheduleError::NoSchedule { tried_up_to } => {
+                write!(f, "no modulo schedule found up to II={tried_up_to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<MachineError> for ScheduleError {
+    fn from(e: MachineError) -> Self {
+        ScheduleError::Machine(e)
+    }
+}
+
+/// Schedules `l` on `machine` with default options, searching IIs upward
+/// from the MII.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn modulo_schedule(l: &Loop, machine: &Machine) -> Result<Schedule, ScheduleError> {
+    modulo_schedule_with(l, machine, SchedulerOptions::default())
+}
+
+/// Schedules `l` on `machine`, searching IIs upward from the MII.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn modulo_schedule_with(
+    l: &Loop,
+    machine: &Machine,
+    opts: SchedulerOptions,
+) -> Result<Schedule, ScheduleError> {
+    let info = mii(l, machine)?;
+    let seq_len: u32 = l
+        .ops()
+        .iter()
+        .map(|op| machine.latency(op.kind()).unwrap_or(1))
+        .sum::<u32>()
+        + l.ops().len() as u32
+        + 1;
+    let max_ii = opts.max_ii.unwrap_or(seq_len).max(info.mii);
+    for ii in info.mii..=max_ii {
+        if let Some(s) = schedule_at_ii_opts(l, machine, ii, opts)? {
+            return Ok(s);
+        }
+    }
+    Err(ScheduleError::NoSchedule {
+        tried_up_to: max_ii,
+    })
+}
+
+/// Attempts to schedule `l` at exactly the given II (one IMS pass with the
+/// default budget). Returns `Ok(None)` when the budget is exhausted without
+/// a valid schedule.
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation.
+pub fn schedule_at_ii(
+    l: &Loop,
+    machine: &Machine,
+    ii: u32,
+) -> Result<Option<Schedule>, MachineError> {
+    schedule_at_ii_opts(l, machine, ii, SchedulerOptions::default())
+}
+
+fn schedule_at_ii_opts(
+    l: &Loop,
+    machine: &Machine,
+    ii: u32,
+    opts: SchedulerOptions,
+) -> Result<Option<Schedule>, MachineError> {
+    assert!(ii > 0, "II must be positive");
+    let n = l.ops().len();
+    let mut group = vec![0usize; n];
+    let mut lat = vec![0u32; n];
+    for (id, op) in l.iter_ops() {
+        group[id.index()] = machine.group_for(op.kind())?;
+        lat[id.index()] = machine.latency(op.kind())?;
+        if machine.groups()[group[id.index()]].count() == 0 {
+            return Err(MachineError::Unserved(op.kind()));
+        }
+    }
+
+    // Quick infeasibility check: a self-dependence tighter than II.
+    let edges = l.sched_edges();
+    for &(from, to, dist) in &edges {
+        if from == to && lat[from.index()] as i64 > ii as i64 * dist as i64 {
+            return Ok(None);
+        }
+    }
+
+    let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for &(from, to, dist) in &edges {
+        preds[to.index()].push((from.index(), dist));
+        succs[from.index()].push((to.index(), dist));
+    }
+
+    let height = match opts.priority {
+        Priority::Height => compute_heights(n, &succs, &lat, ii),
+        Priority::InputOrder => (0..n).map(|v| (n - v) as i64).collect(),
+    };
+
+    let mut mrt = ModuloReservationTable::new(machine, ii);
+    let mut start: Vec<Option<u32>> = vec![None; n];
+    let mut instance: Vec<usize> = vec![0; n];
+    let mut prev_time: Vec<Option<u32>> = vec![None; n];
+    let mut budget: u64 = (opts.budget_ratio as u64).saturating_mul(n as u64).max(64);
+
+    loop {
+        // Highest-priority unscheduled op; ties broken by index for
+        // determinism.
+        let Some(op) = (0..n)
+            .filter(|&v| start[v].is_none())
+            .max_by(|&a, &b| height[a].cmp(&height[b]).then(b.cmp(&a)))
+        else {
+            break;
+        };
+        if budget == 0 {
+            return Ok(None);
+        }
+        budget -= 1;
+
+        let mut estart: i64 = 0;
+        for &(p, dist) in &preds[op] {
+            if let Some(sp) = start[p] {
+                estart = estart.max(sp as i64 + lat[p] as i64 - ii as i64 * dist as i64);
+            }
+        }
+        let estart = estart.max(0) as u32;
+        let min_t = match prev_time[op] {
+            Some(pt) => estart.max(pt + 1),
+            None => estart,
+        };
+
+        // First resource-free slot in the II-wide window.
+        let mut placed = None;
+        for t in min_t..min_t + ii {
+            if let Some(inst) = mrt.free_instance(group[op], t) {
+                placed = Some((t, inst));
+                break;
+            }
+        }
+        let (t, inst) = match placed {
+            Some(p) => p,
+            None => {
+                // Forced placement at min_t: evict the lowest-priority
+                // occupant of the group's row.
+                let occ = mrt.occupants(group[op], min_t);
+                let &(evict_inst, evict_op) = occ
+                    .iter()
+                    .min_by_key(|&&(_, o)| height[o.index()])
+                    .expect("full row has occupants");
+                let et = start[evict_op.index()].expect("occupant is scheduled");
+                mrt.remove(evict_op, group[evict_op.index()], evict_inst, et);
+                start[evict_op.index()] = None;
+                (min_t, evict_inst)
+            }
+        };
+
+        start[op] = Some(t);
+        instance[op] = inst;
+        prev_time[op] = Some(t);
+        mrt.place(OpId::from_index(op), group[op], inst, t);
+
+        // Evict scheduled successors whose dependence is now violated.
+        for &(s, dist) in &succs[op] {
+            if s == op {
+                continue; // self-edges were pre-checked
+            }
+            if let Some(ts) = start[s] {
+                if (ts as i64) < t as i64 + lat[op] as i64 - ii as i64 * dist as i64 {
+                    mrt.remove(OpId::from_index(s), group[s], instance[s], ts);
+                    start[s] = None;
+                }
+            }
+        }
+    }
+
+    // Normalize so the earliest op starts at cycle 0 while preserving
+    // kernel slots (shift by a multiple of II).
+    let t0 = start.iter().map(|s| s.unwrap()).min().unwrap_or(0);
+    let shift = (t0 / ii) * ii;
+    let starts: Vec<u32> = start.iter().map(|s| s.unwrap() - shift).collect();
+    let units: Vec<UnitRef> = (0..n)
+        .map(|v| UnitRef {
+            group: group[v],
+            instance: instance[v],
+        })
+        .collect();
+    let sched = Schedule::from_parts(l, machine, ii, starts, units);
+    debug_assert_eq!(crate::schedule::verify(l, machine, &sched), Ok(()));
+    Ok(Some(sched))
+}
+
+/// Height-based priorities: `height[v] = max over edges v->w of
+/// lat(v) - II*dist + height[w]`, clamped at 0. Relaxed to a fixpoint,
+/// bounded by `n` passes (heights diverge only when II < RecMII, in which
+/// case the scheduling attempt fails anyway).
+fn compute_heights(n: usize, succs: &[Vec<(usize, u32)>], lat: &[u32], ii: u32) -> Vec<i64> {
+    let mut height = vec![0i64; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for v in 0..n {
+            for &(w, dist) in &succs[v] {
+                let cand = lat[v] as i64 - ii as i64 * dist as i64 + height[w];
+                if cand > height[v] {
+                    height[v] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mii::mii;
+    use crate::schedule::verify;
+    use ncdrf_ddg::{LoopBuilder, ValueRef, Weight};
+    use ncdrf_machine::Machine;
+
+    fn chain(n_mults: usize) -> Loop {
+        let mut b = LoopBuilder::new("chain");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let mut prev = l.now();
+        for i in 0..n_mults {
+            let m = b.mul(format!("M{i}"), prev, ValueRef::Const(1.5));
+            prev = m.now();
+        }
+        b.store("S", z, 0, prev);
+        b.finish(Weight::default()).unwrap()
+    }
+
+    #[test]
+    fn achieves_mii_on_simple_chain() {
+        let l = chain(3);
+        let m = Machine::pxly(1, 3);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), mii(&l, &m).unwrap().mii);
+        assert!(verify(&l, &m, &sched).is_ok());
+    }
+
+    #[test]
+    fn resource_bound_is_respected() {
+        // 4 multiplies on 1 multiplier: II = 4.
+        let l = chain(4);
+        let m = Machine::pxly(1, 3);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), 4);
+        assert!(verify(&l, &m, &sched).is_ok());
+    }
+
+    #[test]
+    fn recurrence_bound_is_respected() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(1)]);
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::pxly(2, 6);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), 6);
+        assert!(verify(&l, &m, &sched).is_ok());
+        // The self-recurrence really is tight: S -> S distance 1.
+        assert!(sched.start(s) + 6 <= sched.start(s) + sched.ii() * 1);
+    }
+
+    #[test]
+    fn paper_example_schedules_at_ii_1() {
+        // The §4.1 example: 2 loads, 2 muls, 2 adds, 1 store on a machine
+        // with 2 adders, 2 multipliers, 4 load/store units => II = 1,
+        // 14 stages (latency 3 for add/mul, 1 for mem).
+        let l = example_loop();
+        let m = Machine::clustered(3, 2);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), 1);
+        assert_eq!(sched.stages(), 14);
+        assert!(verify(&l, &m, &sched).is_ok());
+    }
+
+    /// The worked example of §4.1: z[i] = (x[i]*r + y[i])*t + x[i].
+    fn example_loop() -> Loop {
+        let mut b = LoopBuilder::new("hpca95_example");
+        let r = b.invariant("r", 2.0);
+        let t = b.invariant("t", 3.0);
+        let x = b.array_in("x");
+        let y = b.array_in("y");
+        let z = b.array_out("z");
+        let l1 = b.load("L1", x, 0);
+        let l2 = b.load("L2", y, 0);
+        let m3 = b.mul("M3", l1.now(), r);
+        let a4 = b.add("A4", m3.now(), l2.now());
+        let m5 = b.mul("M5", a4.now(), t);
+        let a6 = b.add("A6", m5.now(), l1.now());
+        b.store("S7", z, 0, a6.now());
+        b.finish(Weight::default()).unwrap()
+    }
+
+    #[test]
+    fn tight_memory_ports_raise_ii() {
+        // 3 memory ops on a machine with 2 combined mem ports (1/cluster):
+        // ResMII = ceil(3/2) = 2.
+        let mut b = LoopBuilder::new("mem_heavy");
+        let x = b.array_in("x");
+        let y = b.array_in("y");
+        let z = b.array_out("z");
+        let l1 = b.load("L1", x, 0);
+        let l2 = b.load("L2", y, 0);
+        let a = b.add("A", l1.now(), l2.now());
+        b.store("S", z, 0, a.now());
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), 2);
+        assert!(verify(&l, &m, &sched).is_ok());
+    }
+
+    #[test]
+    fn cross_iteration_cycle_with_mem_dep() {
+        let mut b = LoopBuilder::new("memrec");
+        let a = b.array_inout("a");
+        let ld = b.load("L", a, -1);
+        let ad = b.add("A", ld.now(), ld.now());
+        let st = b.store("S", a, 0, ad.now());
+        b.mem_dep(st, ld, 1);
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        assert_eq!(sched.ii(), 5); // 1 + 3 + 1 over distance 1
+        assert!(verify(&l, &m, &sched).is_ok());
+    }
+
+    #[test]
+    fn explicit_max_ii_can_fail() {
+        let l = chain(4);
+        let m = Machine::pxly(1, 3);
+        let err = modulo_schedule_with(
+            &l,
+            &m,
+            SchedulerOptions {
+                max_ii: Some(3),
+                ..SchedulerOptions::default()
+            },
+        );
+        // MII is 4 (> max_ii), so the II loop never runs.
+        assert!(matches!(err, Err(ScheduleError::NoSchedule { .. })) || err.is_ok());
+    }
+
+    #[test]
+    fn input_order_priority_still_schedules_validly() {
+        let l = chain(6);
+        let m = Machine::pxly(2, 3);
+        let sched = modulo_schedule_with(
+            &l,
+            &m,
+            SchedulerOptions {
+                priority: Priority::InputOrder,
+                ..SchedulerOptions::default()
+            },
+        )
+        .unwrap();
+        crate::schedule::verify(&l, &m, &sched).unwrap();
+    }
+
+    #[test]
+    fn height_priority_never_worse_on_chains() {
+        // On serial chains both priorities reach the same II; height
+        // priorities matter on mixed-width graphs (exercised in the
+        // ablation bench), but must never produce an invalid schedule.
+        let l = chain(8);
+        let m = Machine::pxly(1, 3);
+        let h = modulo_schedule_with(&l, &m, SchedulerOptions::default()).unwrap();
+        let f = modulo_schedule_with(
+            &l,
+            &m,
+            SchedulerOptions {
+                priority: Priority::InputOrder,
+                ..SchedulerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(h.ii(), f.ii());
+    }
+
+    #[test]
+    fn schedule_at_exact_ii() {
+        let l = chain(2);
+        let m = Machine::pxly(1, 3);
+        let s = schedule_at_ii(&l, &m, 5).unwrap().unwrap();
+        assert_eq!(s.ii(), 5);
+        assert!(verify(&l, &m, &s).is_ok());
+    }
+
+    #[test]
+    fn wide_graph_saturates_both_clusters() {
+        // 4 independent multiply chains: 4 muls on 2 multipliers => II 2.
+        let mut b = LoopBuilder::new("wide");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let mut outs = Vec::new();
+        for i in 0..4 {
+            let l = b.load(format!("L{i}"), x, i);
+            let m = b.mul(format!("M{i}"), l.now(), ValueRef::Const(2.0));
+            outs.push(m);
+        }
+        let a1 = b.add("A1", outs[0].now(), outs[1].now());
+        let a2 = b.add("A2", outs[2].now(), outs[3].now());
+        let a3 = b.add("A3", a1.now(), a2.now());
+        b.store("S", z, 0, a3.now());
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::clustered(3, 2);
+        let sched = modulo_schedule(&l, &m).unwrap();
+        // ResMII: 4 loads + 1 store on 4 mem ports => 2; 4 muls on 2 => 2;
+        // 3 adds on 2 => 2.
+        assert_eq!(sched.ii(), 2);
+        assert!(verify(&l, &m, &sched).is_ok());
+        // Both multiplier instances are used.
+        let g = m.group_for(ncdrf_ddg::OpKind::FpMul).unwrap();
+        let instances: std::collections::HashSet<usize> = l
+            .iter_ops()
+            .filter(|(_, op)| op.kind() == ncdrf_ddg::OpKind::FpMul)
+            .map(|(id, _)| sched.unit(id).instance)
+            .collect();
+        assert_eq!(instances.len(), m.groups()[g].count().min(2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Rendering the steady-state kernel (the paper's Figures 4 and 5).
+
+use crate::schedule::Schedule;
+use ncdrf_ddg::{Loop, OpId};
+use ncdrf_machine::{ClusterId, Machine, UnitRef};
+use std::fmt;
+
+/// One slot of the kernel table: a functional unit at a kernel row, and
+/// the operation occupying it (if any) with its stage number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSlotEntry {
+    /// The functional unit.
+    pub unit: UnitRef,
+    /// The unit's cluster.
+    pub cluster: ClusterId,
+    /// Kernel row (0..II).
+    pub row: u32,
+    /// The occupying operation and its stage (counted from 1, as in the
+    /// paper's bracketed figures), or `None` for a no-op slot.
+    pub op: Option<(OpId, u32)>,
+}
+
+/// A fully-expanded view of the kernel: `II` rows × all unit instances,
+/// grouped by cluster. This is the same information as the paper's kernel
+/// code figures (e.g. `[11] A6 | [2] M3 | [1] L1 | [1] L2 || [5] A4 | ...`).
+#[derive(Debug, Clone)]
+pub struct KernelView {
+    entries: Vec<KernelSlotEntry>,
+    ii: u32,
+    names: Vec<String>,
+}
+
+impl KernelView {
+    /// Builds the kernel view of a schedule.
+    pub fn new(l: &Loop, machine: &Machine, sched: &Schedule) -> Self {
+        let mut entries = Vec::new();
+        for row in 0..sched.ii() {
+            for (g, grp) in machine.groups().iter().enumerate() {
+                for instance in 0..grp.count() {
+                    let unit = UnitRef { group: g, instance };
+                    let op = sched
+                        .occupant(unit, row)
+                        .map(|op| (op, sched.stage(op) + 1));
+                    entries.push(KernelSlotEntry {
+                        unit,
+                        cluster: machine.cluster_of(unit),
+                        row,
+                        op,
+                    });
+                }
+            }
+        }
+        KernelView {
+            entries,
+            ii: sched.ii(),
+            names: l.ops().iter().map(|o| o.name().to_string()).collect(),
+        }
+    }
+
+    /// All slots, ordered by row then group then instance.
+    pub fn entries(&self) -> &[KernelSlotEntry] {
+        &self.entries
+    }
+
+    /// The initiation interval (number of kernel rows).
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The slots of one cluster in one row.
+    pub fn row_for_cluster(&self, row: u32, cluster: ClusterId) -> Vec<&KernelSlotEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.row == row && e.cluster == cluster)
+            .collect()
+    }
+}
+
+impl fmt::Display for KernelView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clusters: Vec<ClusterId> = {
+            let mut cs: Vec<ClusterId> = self.entries.iter().map(|e| e.cluster).collect();
+            cs.sort();
+            cs.dedup();
+            cs
+        };
+        for row in 0..self.ii {
+            write!(f, "cycle {row:2}: ")?;
+            for (ci, &c) in clusters.iter().enumerate() {
+                if ci > 0 {
+                    write!(f, " || ")?;
+                }
+                let slots = self.row_for_cluster(row, c);
+                for (i, slot) in slots.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    match slot.op {
+                        Some((op, stage)) => {
+                            write!(f, "[{stage}] {}", self.names[op.index()])?
+                        }
+                        None => write!(f, "nop")?,
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ims::modulo_schedule;
+    use ncdrf_ddg::{LoopBuilder, Weight};
+    use ncdrf_machine::Machine;
+
+    #[test]
+    fn kernel_view_covers_all_slots() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let m = b.mul("M", l.now(), l.now());
+        b.store("S", z, 0, m.now());
+        let lp = b.finish(Weight::default()).unwrap();
+        let machine = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&lp, &machine).unwrap();
+        let view = KernelView::new(&lp, &machine, &sched);
+        assert_eq!(
+            view.entries().len(),
+            (sched.ii() as usize) * machine.total_units()
+        );
+        let occupied = view.entries().iter().filter(|e| e.op.is_some()).count();
+        assert_eq!(occupied, lp.ops().len());
+        let text = view.to_string();
+        assert!(text.contains("[1] L") || text.contains("L"));
+        assert!(text.contains("||")); // two clusters rendered
+    }
+}

@@ -1,0 +1,58 @@
+//! Iterative modulo scheduling (IMS) for VLIW loops.
+//!
+//! Modulo scheduling (Rau & Glaeser, 1981; the paper's §2) overlaps loop
+//! iterations: a new iteration starts every *initiation interval* (II)
+//! cycles, and every operation occupies the same slot of a *modulo
+//! reservation table* of II rows. This crate implements:
+//!
+//! * the **lower bounds** on the II — [`res_mii`] (resource-constrained)
+//!   and [`rec_mii`] (recurrence-constrained, via positive-cycle detection
+//!   on the dependence graph) — combined by [`mii`];
+//! * **iterative modulo scheduling** ([`modulo_schedule`],
+//!   [`schedule_at_ii`]) following Rau's IMS: height-based priorities,
+//!   earliest-start windows of II slots, budgeted eviction, and II escalation
+//!   when the budget is exhausted;
+//! * the resulting [`Schedule`]: per-operation start cycles and
+//!   functional-unit bindings, from which kernel slot, stage and — on a
+//!   clustered machine — the operation's *cluster* are derived;
+//! * [`verify`]: an independent checker for dependence and resource
+//!   constraints, used by tests and downstream passes.
+//!
+//! # Example
+//!
+//! ```
+//! use ncdrf_ddg::{LoopBuilder, Weight};
+//! use ncdrf_machine::Machine;
+//! use ncdrf_sched::{mii, modulo_schedule};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = LoopBuilder::new("axpy");
+//! let a = b.invariant("a", 3.0);
+//! let x = b.array_in("x");
+//! let z = b.array_out("z");
+//! let l = b.load("L", x, 0);
+//! let m = b.mul("M", l.now(), a);
+//! b.store("S", z, 0, m.now());
+//! let lp = b.finish(Weight::default())?;
+//!
+//! let machine = Machine::clustered(3, 1);
+//! let sched = modulo_schedule(&lp, &machine)?;
+//! assert_eq!(sched.ii(), mii(&lp, &machine)?.mii);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ims;
+mod kernel;
+mod mii;
+mod mrt;
+mod schedule;
+mod table;
+
+pub use ims::{modulo_schedule, modulo_schedule_with, schedule_at_ii, Priority, ScheduleError, SchedulerOptions};
+pub use kernel::{KernelSlotEntry, KernelView};
+pub use mii::{mii, rec_mii, res_mii, MiiInfo};
+pub use schedule::{verify, Schedule, VerifyError};
+pub use table::ScheduleTable;

@@ -1,0 +1,248 @@
+//! Lower bounds on the initiation interval.
+
+use ncdrf_ddg::{Loop, OpId};
+use ncdrf_machine::{Machine, MachineError};
+use serde::{Deserialize, Serialize};
+
+/// The two lower bounds on the initiation interval and their maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiiInfo {
+    /// Resource-constrained minimum II.
+    pub res: u32,
+    /// Recurrence-constrained minimum II.
+    pub rec: u32,
+    /// `max(res, rec, 1)` — the minimum II any modulo schedule can achieve.
+    pub mii: u32,
+}
+
+/// Resource-constrained minimum initiation interval: for each
+/// functional-unit group, `ceil(ops_served / units)`; the maximum over
+/// groups.
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation of the loop.
+pub fn res_mii(l: &Loop, machine: &Machine) -> Result<u32, MachineError> {
+    let mut per_group = vec![0u32; machine.groups().len()];
+    for op in l.ops() {
+        per_group[machine.group_for(op.kind())?] += 1;
+    }
+    Ok(per_group
+        .iter()
+        .zip(machine.groups())
+        .map(|(&n, g)| n.div_ceil(g.count() as u32))
+        .max()
+        .unwrap_or(1)
+        .max(1))
+}
+
+/// Recurrence-constrained minimum initiation interval: the smallest II for
+/// which no dependence cycle has positive slack deficit, i.e.
+/// `max over cycles C of ceil(latency(C) / distance(C))`.
+///
+/// Computed by binary search on II with a Bellman–Ford positive-cycle check
+/// on the graph whose edge weights are `latency(from) - II * distance`.
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation of the loop.
+pub fn rec_mii(l: &Loop, machine: &Machine) -> Result<u32, MachineError> {
+    let edges = weighted_edges(l, machine)?;
+    let has_recurrence = edges.iter().any(|&(_, _, _, dist)| dist > 0);
+    if !has_recurrence {
+        return Ok(1);
+    }
+    // Upper bound: at II = sum of latencies + 1, every cycle (distance >= 1)
+    // has non-positive weight.
+    let hi: u32 = l
+        .ops()
+        .iter()
+        .map(|op| machine.latency(op.kind()).unwrap_or(1))
+        .sum::<u32>()
+        .max(1);
+    let mut lo = 1u32;
+    let mut hi = hi + 1;
+    // Invariant: feasible(hi) is true, feasible(lo - 1)... search smallest
+    // feasible value in [lo, hi].
+    debug_assert!(feasible(l, &edges, hi));
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(l, &edges, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// Both bounds plus their maximum.
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation of the loop.
+pub fn mii(l: &Loop, machine: &Machine) -> Result<MiiInfo, MachineError> {
+    let res = res_mii(l, machine)?;
+    let rec = rec_mii(l, machine)?;
+    Ok(MiiInfo {
+        res,
+        rec,
+        mii: res.max(rec).max(1),
+    })
+}
+
+/// Edge list `(from, to, latency(from), dist)`.
+fn weighted_edges(
+    l: &Loop,
+    machine: &Machine,
+) -> Result<Vec<(OpId, OpId, u32, u32)>, MachineError> {
+    l.sched_edges()
+        .into_iter()
+        .map(|(from, to, dist)| {
+            let lat = machine.latency(l.op(from).kind())?;
+            Ok((from, to, lat, dist))
+        })
+        .collect()
+}
+
+/// True if no dependence cycle has positive weight at the given II, i.e.
+/// a schedule with this II can satisfy all recurrence constraints.
+fn feasible(l: &Loop, edges: &[(OpId, OpId, u32, u32)], ii: u32) -> bool {
+    // Bellman–Ford longest-path relaxation: a positive-weight cycle exists
+    // iff relaxation still updates after n passes.
+    let n = l.ops().len();
+    let mut dist = vec![0i64; n];
+    for pass in 0..=n {
+        let mut changed = false;
+        for &(from, to, lat, d) in edges {
+            let w = lat as i64 - ii as i64 * d as i64;
+            let cand = dist[from.index()] + w;
+            if cand > dist[to.index()] {
+                dist[to.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+        if pass == n {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_ddg::{LoopBuilder, ValueRef, Weight};
+    use ncdrf_machine::Machine;
+
+    fn simple_chain() -> Loop {
+        let mut b = LoopBuilder::new("chain");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let m = b.mul("M", l.now(), l.now());
+        let a = b.add("A", m.now(), ValueRef::Const(1.0));
+        b.store("S", z, 0, a.now());
+        b.finish(Weight::default()).unwrap()
+    }
+
+    #[test]
+    fn res_mii_counts_group_pressure() {
+        let l = simple_chain();
+        // P1L3: 1 adder, 1 multiplier, 2 load ports, 1 store port.
+        let m = Machine::pxly(1, 3);
+        assert_eq!(res_mii(&l, &m), Ok(1));
+
+        // Two multiplies on one multiplier => ResMII 2.
+        let mut b = LoopBuilder::new("two_muls");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        let m1 = b.mul("M1", ld.now(), ld.now());
+        let m2 = b.mul("M2", m1.now(), ld.now());
+        b.store("S", z, 0, m2.now());
+        let l2 = b.finish(Weight::default()).unwrap();
+        assert_eq!(res_mii(&l2, &m), Ok(2));
+    }
+
+    #[test]
+    fn rec_mii_of_acyclic_graph_is_one() {
+        let l = simple_chain();
+        let m = Machine::pxly(1, 6);
+        assert_eq!(rec_mii(&l, &m), Ok(1));
+    }
+
+    #[test]
+    fn rec_mii_of_self_recurrence_is_latency_over_distance() {
+        // s = s + x[i]  with add latency 6 and distance 1 => RecMII = 6.
+        let mut b = LoopBuilder::new("sum");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(1)]);
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::pxly(1, 6);
+        assert_eq!(rec_mii(&l, &m), Ok(6));
+        // Distance 3 divides the latency across iterations: ceil(6/3) = 2.
+        let mut b = LoopBuilder::new("sum3");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(3)]);
+        let l = b.finish(Weight::default()).unwrap();
+        assert_eq!(rec_mii(&l, &m), Ok(2));
+    }
+
+    #[test]
+    fn rec_mii_of_two_op_cycle() {
+        // a = b@-1 + x; b = a * y  => cycle latency 3+3=6 over distance 1.
+        let mut b = LoopBuilder::new("cyc2");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let a = b.reserve_add("A");
+        let mu = b.mul("M", a.now(), ld.now());
+        b.bind(a, [mu.prev(1), ld.now()]);
+        let l = b.finish(Weight::default()).unwrap();
+        let m3 = Machine::pxly(1, 3);
+        assert_eq!(rec_mii(&l, &m3), Ok(6));
+        let m6 = Machine::pxly(1, 6);
+        assert_eq!(rec_mii(&l, &m6), Ok(12));
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        let mut b = LoopBuilder::new("mix");
+        let x = b.array_in("x");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(1)]);
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::pxly(1, 3);
+        let info = mii(&l, &m).unwrap();
+        assert_eq!(info.res, 1);
+        assert_eq!(info.rec, 3);
+        assert_eq!(info.mii, 3);
+    }
+
+    #[test]
+    fn mem_deps_affect_rec_mii() {
+        // store a[i]; load a[i-1] next iteration: cycle store->load (dist 1)
+        // -> consumer -> store (dist 0): latencies 1 (store) + 1 (load) + 3
+        // (add) over distance 1 => RecMII 5.
+        let mut b = LoopBuilder::new("memrec");
+        let a = b.array_inout("a");
+        let ld = b.load("L", a, -1);
+        let ad = b.add("A", ld.now(), ld.now());
+        let st = b.store("S", a, 0, ad.now());
+        b.mem_dep(st, ld, 1);
+        let l = b.finish(Weight::default()).unwrap();
+        let m = Machine::pxly(1, 3);
+        assert_eq!(rec_mii(&l, &m), Ok(5));
+    }
+}

@@ -1,0 +1,93 @@
+//! The modulo reservation table (MRT).
+
+use ncdrf_ddg::OpId;
+use ncdrf_machine::Machine;
+
+/// Resource occupancy of a schedule-in-progress: for every functional-unit
+/// group, II rows of per-instance slots.
+///
+/// An operation scheduled at absolute cycle `t` occupies row `t % II` of
+/// one instance of its group for one cycle (all units are fully pipelined).
+#[derive(Debug, Clone)]
+pub(crate) struct ModuloReservationTable {
+    ii: u32,
+    /// `slots[group][row][instance]`
+    slots: Vec<Vec<Vec<Option<OpId>>>>,
+}
+
+impl ModuloReservationTable {
+    pub(crate) fn new(machine: &Machine, ii: u32) -> Self {
+        let slots = machine
+            .groups()
+            .iter()
+            .map(|g| vec![vec![None; g.count()]; ii as usize])
+            .collect();
+        ModuloReservationTable { ii, slots }
+    }
+
+    /// First free instance of `group` at absolute time `t`, if any.
+    pub(crate) fn free_instance(&self, group: usize, t: u32) -> Option<usize> {
+        let row = (t % self.ii) as usize;
+        self.slots[group][row].iter().position(Option::is_none)
+    }
+
+    /// Occupies an instance. Panics if taken (internal logic error).
+    pub(crate) fn place(&mut self, op: OpId, group: usize, instance: usize, t: u32) {
+        let row = (t % self.ii) as usize;
+        let cell = &mut self.slots[group][row][instance];
+        debug_assert!(cell.is_none(), "MRT cell already occupied");
+        *cell = Some(op);
+    }
+
+    /// Frees the cell occupied by `op`. Panics if the cell does not hold
+    /// `op` (internal logic error).
+    pub(crate) fn remove(&mut self, op: OpId, group: usize, instance: usize, t: u32) {
+        let row = (t % self.ii) as usize;
+        let cell = &mut self.slots[group][row][instance];
+        debug_assert_eq!(*cell, Some(op), "MRT cell does not hold the evicted op");
+        *cell = None;
+    }
+
+    /// All occupants of `group`'s row at time `t`, with their instance.
+    pub(crate) fn occupants(&self, group: usize, t: u32) -> Vec<(usize, OpId)> {
+        let row = (t % self.ii) as usize;
+        self.slots[group][row]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, cell)| cell.map(|op| (i, op)))
+            .collect()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_machine::Machine;
+
+    #[test]
+    fn place_and_free_roundtrip() {
+        let m = Machine::clustered(3, 1);
+        let mut mrt = ModuloReservationTable::new(&m, 2);
+        let op = OpId::from_index(0);
+        assert_eq!(mrt.free_instance(0, 5), Some(0));
+        mrt.place(op, 0, 0, 5);
+        // Row 5 % 2 == 1: instance 0 taken, instance 1 free.
+        assert_eq!(mrt.free_instance(0, 3), Some(1));
+        // Row 0 untouched.
+        assert_eq!(mrt.free_instance(0, 4), Some(0));
+        let occ = mrt.occupants(0, 1);
+        assert_eq!(occ, vec![(0, op)]);
+        mrt.remove(op, 0, 0, 5);
+        assert_eq!(mrt.free_instance(0, 3), Some(0));
+    }
+
+    #[test]
+    fn full_row_reports_no_free_instance() {
+        let m = Machine::clustered(3, 1);
+        let mut mrt = ModuloReservationTable::new(&m, 1);
+        mrt.place(OpId::from_index(0), 0, 0, 0);
+        mrt.place(OpId::from_index(1), 0, 1, 7);
+        assert_eq!(mrt.free_instance(0, 3), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Rendering the full modulo-schedule table (the paper's Figure 3): one
+//! row per cycle of a single iteration's span, one column per functional
+//! unit, clusters separated — the flat view the kernel is folded from.
+
+use crate::schedule::Schedule;
+use ncdrf_ddg::{Loop, OpId};
+use ncdrf_machine::{ClusterId, Machine, UnitRef};
+use std::fmt;
+
+/// A flat (unfolded) view of one iteration's schedule, Figure-3 style.
+#[derive(Debug, Clone)]
+pub struct ScheduleTable {
+    /// `cells[cycle][column]` is the op issuing there, if any.
+    cells: Vec<Vec<Option<OpId>>>,
+    columns: Vec<(UnitRef, ClusterId)>,
+    names: Vec<String>,
+    ii: u32,
+}
+
+impl ScheduleTable {
+    /// Builds the flat schedule table of iteration 0.
+    pub fn new(l: &Loop, machine: &Machine, sched: &Schedule) -> Self {
+        let mut columns = Vec::new();
+        for (g, grp) in machine.groups().iter().enumerate() {
+            for instance in 0..grp.count() {
+                let unit = UnitRef { group: g, instance };
+                columns.push((unit, machine.cluster_of(unit)));
+            }
+        }
+        // Order columns cluster-first so the "||" separator can sit
+        // between clusters.
+        columns.sort_by_key(|&(u, c)| (c, u.group, u.instance));
+
+        let span = l
+            .iter_ops()
+            .map(|(id, op)| {
+                sched.start(id) + machine.latency(op.kind()).expect("servable loop")
+            })
+            .max()
+            .unwrap_or(1);
+        let mut cells = vec![vec![None; columns.len()]; span as usize];
+        for (id, _) in l.iter_ops() {
+            let col = columns
+                .iter()
+                .position(|&(u, _)| u == sched.unit(id))
+                .expect("every bound unit is a column");
+            cells[sched.start(id) as usize][col] = Some(id);
+        }
+        ScheduleTable {
+            cells,
+            columns,
+            names: l.ops().iter().map(|o| o.name().to_string()).collect(),
+            ii: sched.ii(),
+        }
+    }
+
+    /// Number of cycles an iteration spans (table height).
+    pub fn span(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The op issuing at `cycle` on column `col`, if any.
+    pub fn cell(&self, cycle: usize, col: usize) -> Option<OpId> {
+        self.cells[cycle][col]
+    }
+
+    /// The unit/cluster of each column.
+    pub fn columns(&self) -> &[(UnitRef, ClusterId)] {
+        &self.columns
+    }
+}
+
+impl fmt::Display for ScheduleTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .names
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(3)
+            .max(3);
+        for (t, row) in self.cells.iter().enumerate() {
+            write!(f, "{t:>3} |")?;
+            let mut prev_cluster = None;
+            for (cell, &(_, cluster)) in row.iter().zip(&self.columns) {
+                if prev_cluster.is_some() && prev_cluster != Some(cluster) {
+                    write!(f, " ||")?;
+                }
+                prev_cluster = Some(cluster);
+                match cell {
+                    Some(op) => write!(f, " {:>width$}", self.names[op.index()])?,
+                    None => write!(f, " {:>width$}", "-")?,
+                }
+            }
+            // Mark kernel-row boundaries (every II cycles).
+            if (t + 1) % self.ii as usize == 0 && t + 1 != self.cells.len() {
+                writeln!(f, "  <- stage boundary")?;
+            } else {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ims::modulo_schedule;
+    use ncdrf_ddg::{LoopBuilder, Weight};
+    use ncdrf_machine::Machine;
+
+    fn sample() -> (Loop, Machine, Schedule) {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l = b.load("L", x, 0);
+        let m = b.mul("M", l.now(), l.now());
+        let a = b.add("A", m.now(), l.now());
+        b.store("S", z, 0, a.now());
+        let lp = b.finish(Weight::default()).unwrap();
+        let machine = Machine::clustered(3, 1);
+        let sched = modulo_schedule(&lp, &machine).unwrap();
+        (lp, machine, sched)
+    }
+
+    #[test]
+    fn table_places_every_op_once() {
+        let (l, machine, sched) = sample();
+        let table = ScheduleTable::new(&l, &machine, &sched);
+        let placed: usize = (0..table.span())
+            .map(|t| {
+                (0..table.columns().len())
+                    .filter(|&c| table.cell(t, c).is_some())
+                    .count()
+            })
+            .sum();
+        assert_eq!(placed, l.ops().len());
+    }
+
+    #[test]
+    fn table_height_is_the_iteration_span() {
+        let (l, machine, sched) = sample();
+        let table = ScheduleTable::new(&l, &machine, &sched);
+        // Span >= last issue + 1 and <= stages * II.
+        let last_issue = l
+            .iter_ops()
+            .map(|(id, _)| sched.start(id))
+            .max()
+            .unwrap() as usize;
+        assert!(table.span() > last_issue);
+        assert!(table.span() <= (sched.stages() * sched.ii()) as usize);
+    }
+
+    #[test]
+    fn display_renders_ops_and_cluster_separator() {
+        let (l, machine, sched) = sample();
+        let table = ScheduleTable::new(&l, &machine, &sched);
+        let text = table.to_string();
+        assert!(text.contains(" L"));
+        assert!(text.contains("||"), "cluster separator expected");
+        assert_eq!(text.lines().count(), table.span());
+    }
+
+    #[test]
+    fn columns_are_cluster_contiguous() {
+        let (_, machine, sched) = sample();
+        let (l, ..) = sample();
+        let table = ScheduleTable::new(&l, &machine, &sched);
+        let clusters: Vec<_> = table.columns().iter().map(|&(_, c)| c).collect();
+        // Once the cluster changes it never changes back.
+        let mut switches = 0;
+        for w in clusters.windows(2) {
+            if w[0] != w[1] {
+                switches += 1;
+            }
+        }
+        assert!(switches <= 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! The simulated memory shared by the VLIW executor and the reference
+//! evaluator.
+
+use ncdrf_ddg::{ArrayId, ArrayRole, Loop};
+
+/// Deterministic initial contents of array element `j` of array `a`.
+///
+/// Both the pipelined executor and the sequential reference evaluator
+/// initialise memory with this function, so equivalence checks compare
+/// computations over identical inputs. Outputs start at zero; inputs and
+/// in/out arrays get a varied, sign-mixed pattern that exercises all
+/// arithmetic paths (no zeros, so divisions stay finite).
+pub fn init_element(a: usize, j: usize) -> f64 {
+    let v = ((a * 37 + j * 101) % 199) as i64 - 99;
+    let v = if v == 0 { 7 } else { v };
+    v as f64 / 8.0
+}
+
+/// A flat simulated memory for one loop execution: one buffer per array,
+/// index-shifted so negative affine offsets stay in bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMemory {
+    buffers: Vec<Vec<f64>>,
+    shift: i64,
+}
+
+impl SimMemory {
+    /// Allocates and initialises memory for executing `iterations`
+    /// iterations of `l`. Every address `i + offset` with
+    /// `0 <= i < iterations` and any offset used by the loop is in bounds.
+    pub fn new(l: &Loop, iterations: u64) -> Self {
+        let mut min_off = 0i64;
+        let mut max_off = 0i64;
+        for op in l.ops() {
+            if let Some(mem) = op.mem() {
+                min_off = min_off.min(mem.offset);
+                max_off = max_off.max(mem.offset);
+            }
+        }
+        let shift = -min_off;
+        let len = (iterations as i64 + max_off + shift + 1) as usize;
+        let buffers = l
+            .arrays()
+            .iter()
+            .enumerate()
+            .map(|(a, decl)| match decl.role() {
+                ArrayRole::Output => vec![0.0; len],
+                _ => (0..len).map(|j| init_element(a, j)).collect(),
+            })
+            .collect();
+        SimMemory { buffers, shift }
+    }
+
+    fn index(&self, i: i64, offset: i64) -> usize {
+        (i + offset + self.shift) as usize
+    }
+
+    /// Reads `array[i + offset]` for iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of the simulated range (an executor
+    /// bug, not a user error).
+    pub fn read(&self, array: ArrayId, i: i64, offset: i64) -> f64 {
+        self.buffers[array.index()][self.index(i, offset)]
+    }
+
+    /// Writes `array[i + offset]` for iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of the simulated range.
+    pub fn write(&mut self, array: ArrayId, i: i64, offset: i64, value: f64) {
+        let idx = self.index(i, offset);
+        self.buffers[array.index()][idx] = value;
+    }
+
+    /// The final contents of `array` (including the index-shift padding).
+    pub fn buffer(&self, array: ArrayId) -> &[f64] {
+        &self.buffers[array.index()]
+    }
+
+    /// Number of arrays.
+    pub fn arrays(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+/// The semantics of each operation kind, shared by both interpreters so
+/// pipelined execution and the sequential reference produce bit-identical
+/// results.
+pub fn apply_op(kind: ncdrf_ddg::OpKind, operands: &[f64]) -> f64 {
+    use ncdrf_ddg::OpKind::*;
+    match kind {
+        FpAdd => operands[0] + operands[1],
+        FpSub => operands[0] - operands[1],
+        FpMul => operands[0] * operands[1],
+        FpDiv => operands[0] / operands[1],
+        // Model int<->fp conversion as truncation: deterministic and
+        // non-identity, so a misrouted conv is caught by the equivalence
+        // check.
+        Conv => operands[0].trunc(),
+        Load | Store => unreachable!("memory ops are interpreted, not applied"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_ddg::{LoopBuilder, OpKind, Weight};
+
+    fn loop_with_offsets() -> Loop {
+        let mut b = LoopBuilder::new("stencil");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let lm = b.load("LM", x, -2);
+        let lp = b.load("LP", x, 3);
+        let a = b.add("A", lm.now(), lp.now());
+        b.store("S", z, 0, a.now());
+        b.finish(Weight::default()).unwrap()
+    }
+
+    #[test]
+    fn negative_offsets_in_bounds() {
+        let l = loop_with_offsets();
+        let m = SimMemory::new(&l, 10);
+        let x = l.find_array("x").unwrap();
+        // Iteration 0 reads x[-2]; iteration 9 reads x[12].
+        let _ = m.read(x, 0, -2);
+        let _ = m.read(x, 9, 3);
+    }
+
+    #[test]
+    fn outputs_start_zeroed_inputs_do_not() {
+        let l = loop_with_offsets();
+        let m = SimMemory::new(&l, 4);
+        let x = l.find_array("x").unwrap();
+        let z = l.find_array("z").unwrap();
+        assert!(m.buffer(z).iter().all(|&v| v == 0.0));
+        assert!(m.buffer(x).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let l = loop_with_offsets();
+        let mut m = SimMemory::new(&l, 4);
+        let z = l.find_array("z").unwrap();
+        m.write(z, 2, 0, 42.5);
+        assert_eq!(m.read(z, 2, 0), 42.5);
+        assert_eq!(m.read(z, 1, 1), 42.5); // same address, different split
+    }
+
+    #[test]
+    fn init_is_deterministic_and_nonzero() {
+        for a in 0..8 {
+            for j in 0..256 {
+                assert_eq!(init_element(a, j), init_element(a, j));
+                assert_ne!(init_element(a, j), 0.0, "a={a} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_truncates() {
+        assert_eq!(apply_op(OpKind::Conv, &[3.7]), 3.0);
+        assert_eq!(apply_op(OpKind::Conv, &[-3.7]), -3.0);
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        assert_eq!(apply_op(OpKind::FpAdd, &[2.0, 3.0]), 5.0);
+        assert_eq!(apply_op(OpKind::FpSub, &[2.0, 3.0]), -1.0);
+        assert_eq!(apply_op(OpKind::FpMul, &[2.0, 3.0]), 6.0);
+        assert_eq!(apply_op(OpKind::FpDiv, &[3.0, 2.0]), 1.5);
+    }
+}

@@ -1,0 +1,210 @@
+//! The sequential reference evaluator: the semantic ground truth a
+//! pipelined execution must match.
+
+use crate::memory::{apply_op, SimMemory};
+use ncdrf_ddg::{Loop, OpId, ValueRef};
+use std::collections::VecDeque;
+
+/// Result of a sequential evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefResult {
+    /// Final memory state.
+    pub memory: SimMemory,
+    /// Value produced by each op in the *last* iteration (stores hold the
+    /// value they wrote). Useful for debugging mismatches.
+    pub last_values: Vec<f64>,
+}
+
+/// Evaluates `iterations` iterations of `l` strictly in order, one
+/// iteration at a time, with operations in a topological order of the
+/// iteration-local (distance-0) dependences.
+///
+/// Cross-iteration operands (`dist > 0`) read a history of previous
+/// iterations' values; iterations before the first read the producer's
+/// declared `init` seed — the same convention the pipelined executor
+/// implements with pre-loaded rotating registers.
+///
+/// # Panics
+///
+/// Panics if `l` contains a zero-distance dependence cycle (impossible for
+/// loops built through [`ncdrf_ddg::LoopBuilder`], which validates).
+pub fn evaluate(l: &Loop, iterations: u64) -> RefResult {
+    let order = topo_order(l);
+    let n = l.ops().len();
+    let mut memory = SimMemory::new(l, iterations);
+
+    // History ring: values of the most recent `depth` iterations.
+    let max_dist = l
+        .iter_ops()
+        .flat_map(|(_, op)| op.inputs().iter())
+        .filter_map(|v| v.op().map(|(_, d)| d))
+        .chain(l.deps().iter().map(|d| d.dist))
+        .max()
+        .unwrap_or(0) as usize;
+    let depth = max_dist + 1;
+    let mut history: VecDeque<Vec<f64>> = VecDeque::with_capacity(depth);
+
+    let mut current = vec![0.0f64; n];
+    for i in 0..iterations as i64 {
+        for &id in &order {
+            let op = l.op(id);
+            let read = |v: &ValueRef, current: &[f64]| -> f64 {
+                match *v {
+                    ValueRef::Op { id: p, dist } => {
+                        if dist == 0 {
+                            current[p.index()]
+                        } else if (dist as i64) > i {
+                            l.op(p).init()
+                        } else {
+                            history[dist as usize - 1][p.index()]
+                        }
+                    }
+                    ValueRef::Inv(inv) => l.invariants()[inv.index()].value(),
+                    ValueRef::Const(c) => c,
+                }
+            };
+            let value = match op.kind() {
+                ncdrf_ddg::OpKind::Load => {
+                    let mem = op.mem().expect("loads carry a memory reference");
+                    memory.read(mem.array, i, mem.offset)
+                }
+                ncdrf_ddg::OpKind::Store => {
+                    let mem = op.mem().expect("stores carry a memory reference");
+                    let v = read(&op.inputs()[0], &current);
+                    memory.write(mem.array, i, mem.offset, v);
+                    v
+                }
+                kind => {
+                    let operands: Vec<f64> =
+                        op.inputs().iter().map(|v| read(v, &current)).collect();
+                    apply_op(kind, &operands)
+                }
+            };
+            current[id.index()] = value;
+        }
+        history.push_front(current.clone());
+        history.truncate(depth);
+    }
+
+    RefResult {
+        memory,
+        last_values: current,
+    }
+}
+
+/// Topological order of the iteration-local dependence graph (distance-0
+/// flow edges plus distance-0 explicit edges).
+fn topo_order(l: &Loop) -> Vec<OpId> {
+    let n = l.ops().len();
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, to, dist) in l.sched_edges() {
+        if dist == 0 {
+            succ[from.index()].push(to.index());
+            indeg[to.index()] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(OpId::from_index(i));
+        for &s in &succ[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "zero-distance cycle in validated loop");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::init_element;
+    use ncdrf_ddg::{LoopBuilder, Weight};
+
+    #[test]
+    fn daxpy_matches_hand_computation() {
+        // z[i] = a*x[i] + y[i]
+        let mut b = LoopBuilder::new("daxpy");
+        let a = b.invariant("a", 2.5);
+        let x = b.array_in("x");
+        let y = b.array_in("y");
+        let z = b.array_out("z");
+        let lx = b.load("LX", x, 0);
+        let ly = b.load("LY", y, 0);
+        let m = b.mul("M", lx.now(), a);
+        let s = b.add("A", m.now(), ly.now());
+        b.store("S", z, 0, s.now());
+        let l = b.finish(Weight::default()).unwrap();
+
+        let r = evaluate(&l, 8);
+        let zi = l.find_array("z").unwrap();
+        for i in 0..8usize {
+            let expect = 2.5 * init_element(0, i) + init_element(1, i);
+            assert_eq!(r.memory.buffer(zi)[i], expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn reduction_uses_init_seed() {
+        // s = s + x[i], s0 = 10.
+        let mut b = LoopBuilder::new("sum");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        let s = b.reserve_add("S");
+        b.bind(s, [ld.now(), s.prev(1)]);
+        b.set_init(s, 10.0);
+        b.store("ST", z, 0, s.now());
+        let l = b.finish(Weight::default()).unwrap();
+
+        let r = evaluate(&l, 4);
+        let mut expect = 10.0;
+        let zi = l.find_array("z").unwrap();
+        for i in 0..4usize {
+            expect += init_element(0, i);
+            assert_eq!(r.memory.buffer(zi)[i], expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn in_place_update_sees_previous_store() {
+        // y[i] = y[i] + y[i-1]  (load of y[i-1] must see iteration i-1's
+        // store, enforced by a mem dep).
+        let mut b = LoopBuilder::new("scan");
+        let y = b.array_inout("y");
+        let l0 = b.load("L0", y, 0);
+        let l1 = b.load("L1", y, -1);
+        let a = b.add("A", l0.now(), l1.now());
+        let st = b.store("S", y, 0, a.now());
+        b.mem_dep(st, l1, 1);
+        let l = b.finish(Weight::default()).unwrap();
+
+        let r = evaluate(&l, 3);
+        let yi = l.find_array("y").unwrap();
+        // Buffer is shifted by 1 (offset -1): logical y[i] = buffer[i+1].
+        let y_init: Vec<f64> = (0..5).map(|j| init_element(0, j)).collect();
+        let y0 = y_init[1] + y_init[0];
+        let y1 = y_init[2] + y0;
+        let y2 = y_init[3] + y1;
+        assert_eq!(r.memory.buffer(yi)[1], y0);
+        assert_eq!(r.memory.buffer(yi)[2], y1);
+        assert_eq!(r.memory.buffer(yi)[3], y2);
+    }
+
+    #[test]
+    fn zero_iterations_leaves_memory_initial() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        b.store("S", z, 0, ld.now());
+        let l = b.finish(Weight::default()).unwrap();
+        let r = evaluate(&l, 0);
+        let zi = l.find_array("z").unwrap();
+        assert!(r.memory.buffer(zi).iter().all(|&v| v == 0.0));
+    }
+}

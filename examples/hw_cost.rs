@@ -1,0 +1,89 @@
+//! The §3.2 hardware story: why dual register files at all.
+//!
+//! Compares area, access time and operand-encoding bits of a unified
+//! file, a consistent dual file (POWER2-style) and the paper's
+//! non-consistent dual file, across sizes — reproducing the paper's §6
+//! claim that the NCDRF is cheaper than doubling the register count and
+//! no slower than the consistent dual implementation trick.
+//!
+//! Run with `cargo run --example hw_cost`.
+
+use ncdrf::machine::RegFileOrg;
+
+fn main() {
+    const BITS: u32 = 64;
+    const READS: u32 = 8;
+    const WRITES: u32 = 4;
+
+    println!("register-file cost model (64-bit registers, 8R/4W ports)");
+    println!(
+        "{:<28} {:>6} {:>12} {:>10} {:>8}",
+        "organisation", "regs", "area", "access", "op bits"
+    );
+    for regs in [32, 64, 128] {
+        let rows = [
+            (
+                "unified",
+                RegFileOrg::Unified {
+                    registers: regs,
+                    read_ports: READS,
+                    write_ports: WRITES,
+                },
+            ),
+            (
+                "consistent dual",
+                RegFileOrg::ConsistentDual {
+                    registers: regs,
+                    read_ports: READS,
+                    write_ports: WRITES,
+                },
+            ),
+            (
+                "non-consistent dual",
+                RegFileOrg::NonConsistentDual {
+                    registers: regs,
+                    read_ports: READS,
+                    write_ports: WRITES,
+                },
+            ),
+        ];
+        for (name, org) in rows {
+            let c = org.cost(BITS);
+            println!(
+                "{:<28} {:>6} {:>12.0} {:>10.3} {:>8}",
+                name, regs, c.area, c.access_time, c.operand_bits
+            );
+        }
+        println!();
+    }
+
+    // The paper's bottom line (§6): an NCDRF with R registers per subfile
+    // vs a unified file with 2R registers.
+    let ncdrf = RegFileOrg::NonConsistentDual {
+        registers: 32,
+        read_ports: READS,
+        write_ports: WRITES,
+    }
+    .cost(BITS);
+    let doubled = RegFileOrg::Unified {
+        registers: 64,
+        read_ports: READS,
+        write_ports: WRITES,
+    }
+    .cost(BITS);
+    println!("NCDRF 2x32 vs unified 64:");
+    println!(
+        "  area      {:>10.0} vs {:>10.0}  ({:.0}% of doubling)",
+        ncdrf.area,
+        doubled.area,
+        100.0 * ncdrf.area / doubled.area
+    );
+    println!(
+        "  access    {:>10.3} vs {:>10.3}",
+        ncdrf.access_time, doubled.access_time
+    );
+    println!(
+        "  operand bits {:>6} vs {:>6}",
+        ncdrf.operand_bits, doubled.operand_bits
+    );
+}

@@ -1,0 +1,44 @@
+//! Spill behaviour under register pressure: sweep the register budget for
+//! one pressured loop and watch spills, II and memory traffic respond —
+//! the per-loop mechanics behind Figures 8 and 9.
+//!
+//! Run with `cargo run --example spill_study`.
+
+use ncdrf::corpus::kernels;
+use ncdrf::machine::Machine;
+use ncdrf::{analyze, evaluate, Model, PipelineOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let l = kernels::livermore::state(); // a wide 16-op loop
+    let machine = Machine::clustered(6, 1);
+    let opts = PipelineOptions::default();
+
+    let free = analyze(&l, &machine, Model::Unified, &opts)?;
+    println!(
+        "loop `{}`: II {} with unlimited registers, unified requirement {}\n",
+        l.name(),
+        free.ii,
+        free.regs
+    );
+
+    println!(
+        "{:<12} {:>6} {:>4} {:>7} {:>8} {:>9}",
+        "model", "budget", "II", "spills", "mem ops", "density"
+    );
+    for model in [Model::Unified, Model::Partitioned, Model::Swapped] {
+        for budget in [64, 32, 24, 16, 12] {
+            let e = evaluate(&l, &machine, model, budget, &opts)?;
+            println!(
+                "{:<12} {:>6} {:>4} {:>7} {:>8} {:>9.3}",
+                model.to_string(),
+                budget,
+                e.ii,
+                e.spilled,
+                e.mem_ops,
+                e.density()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

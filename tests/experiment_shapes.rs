@@ -1,0 +1,114 @@
+//! The paper's qualitative result shapes, checked on a reduced corpus:
+//! who wins, in which direction, and where the models converge.
+
+use ncdrf::corpus::Corpus;
+use ncdrf::{figures_6_7, figures_8_9, table1, Model, PipelineOptions};
+
+fn corpus() -> Corpus {
+    Corpus::small()
+}
+
+#[test]
+fn table1_pressure_grows_with_latency_and_width() {
+    let rows = table1(
+        &corpus().take(70),
+        &[(1, 3), (2, 3), (1, 6), (2, 6)],
+        &PipelineOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 4);
+    let at32 = |name: &str| {
+        rows.iter()
+            .find(|r| r.config == name)
+            .unwrap()
+            .loops_within[1]
+    };
+    // More latency -> fewer loops fit in 32 registers. (Width alone may
+    // not hurt on a small corpus, but latency reliably does — the paper's
+    // Table 1 diagonal.)
+    assert!(at32("P1L3") >= at32("P1L6"));
+    assert!(at32("P2L3") >= at32("P2L6"));
+    assert!(at32("P1L3") >= at32("P2L6"));
+}
+
+#[test]
+fn figures_6_7_model_ordering_holds_pointwise() {
+    let points = [8, 16, 24, 32, 48, 64, 96, 128];
+    for lat in [3, 6] {
+        let curves = figures_6_7(&corpus(), lat, &points, &PipelineOptions::default()).unwrap();
+        let get = |m: Model| curves.iter().find(|c| c.model == m).unwrap();
+        let uni = get(Model::Unified);
+        let part = get(Model::Partitioned);
+        let swap = get(Model::Swapped);
+        for i in 0..points.len() {
+            // Partitioned dominates unified (its requirement is <=).
+            assert!(
+                part.static_dist.percent[i] >= uni.static_dist.percent[i],
+                "static L{lat} at {}",
+                points[i]
+            );
+            assert!(
+                part.dynamic_dist.percent[i] >= uni.dynamic_dist.percent[i],
+                "dynamic L{lat} at {}",
+                points[i]
+            );
+            // Swapping only reduces requirements further (tolerance-free
+            // in aggregate; tiny pointwise regressions are possible with
+            // the exact allocator, so allow 2 percentage points).
+            assert!(
+                swap.static_dist.percent[i] + 2.0 >= part.static_dist.percent[i],
+                "swap static L{lat} at {}",
+                points[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_8_shape_with_64_registers() {
+    // With 64 registers the dual models run at (or very near) ideal
+    // performance; unified trails at high latency.
+    let c = corpus().take(70);
+    let outcomes = figures_8_9(&c, 6, 64, &PipelineOptions::default()).unwrap();
+    let perf = |m: Model| {
+        outcomes
+            .iter()
+            .find(|o| o.model == m)
+            .unwrap()
+            .relative_performance
+    };
+    assert_eq!(perf(Model::Ideal), 1.0);
+    assert!(perf(Model::Partitioned) >= perf(Model::Unified));
+    assert!(perf(Model::Swapped) >= perf(Model::Unified));
+    assert!(perf(Model::Partitioned) > 0.95, "dual ~ ideal at 64 regs");
+}
+
+#[test]
+fn figure_8_shape_with_32_registers() {
+    // With 32 registers at latency 6 the unified model loses noticeably;
+    // the dual models hold up better.
+    let c = corpus().take(70);
+    let outcomes = figures_8_9(&c, 6, 32, &PipelineOptions::default()).unwrap();
+    let get = |m: Model| outcomes.iter().find(|o| o.model == m).unwrap();
+    assert!(get(Model::Partitioned).relative_performance >= get(Model::Unified).relative_performance);
+    assert!(get(Model::Unified).loops_spilled >= get(Model::Partitioned).loops_spilled);
+}
+
+#[test]
+fn figure_9_dual_models_reduce_traffic_density() {
+    let c = corpus().take(70);
+    let outcomes = figures_8_9(&c, 3, 32, &PipelineOptions::default()).unwrap();
+    let density = |m: Model| {
+        outcomes
+            .iter()
+            .find(|o| o.model == m)
+            .unwrap()
+            .traffic_density
+    };
+    // Less spill code -> lower density of memory traffic (L3/R32 panel;
+    // the paper's exception is L6/R32 where all models converge).
+    assert!(density(Model::Partitioned) <= density(Model::Unified) + 1e-9);
+    assert!(density(Model::Swapped) <= density(Model::Unified) + 1e-9);
+    // And nobody goes below the no-spill floor of the ideal model.
+    assert!(density(Model::Partitioned) >= density(Model::Ideal) - 1e-9);
+}

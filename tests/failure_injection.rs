@@ -1,0 +1,183 @@
+//! Failure injection: every checker in the stack must actually *catch*
+//! corrupted artifacts — a verifier that never fires is worse than none.
+
+use ncdrf::corpus::kernels;
+use ncdrf::machine::{Machine, UnitRef};
+use ncdrf::regalloc::{
+    allocate_dual, allocate_unified, classify, lifetimes, verify_dual, verify_unified,
+};
+use ncdrf::sched::{modulo_schedule, verify, Schedule, VerifyError};
+use ncdrf::vliw::{check_equivalence, Binding, EquivError};
+
+fn setup() -> (ncdrf::ddg::Loop, Machine, Schedule) {
+    let l = kernels::livermore::hydro();
+    let machine = Machine::clustered(3, 1);
+    let sched = modulo_schedule(&l, &machine).unwrap();
+    (l, machine, sched)
+}
+
+/// Rebuilds a schedule with one op's start cycle shifted by `delta`.
+fn shift_start(
+    l: &ncdrf::ddg::Loop,
+    machine: &Machine,
+    sched: &Schedule,
+    op: usize,
+    delta: i64,
+) -> Schedule {
+    let n = l.ops().len();
+    let starts: Vec<u32> = (0..n)
+        .map(|i| {
+            let s = sched.start(ncdrf::ddg::OpId::from_index(i)) as i64;
+            if i == op {
+                (s + delta).max(0) as u32
+            } else {
+                s as u32
+            }
+        })
+        .collect();
+    let units: Vec<UnitRef> = (0..n)
+        .map(|i| sched.unit(ncdrf::ddg::OpId::from_index(i)))
+        .collect();
+    Schedule::from_parts(l, machine, sched.ii(), starts, units)
+}
+
+#[test]
+fn schedule_verifier_catches_dependence_violations() {
+    let (l, machine, sched) = setup();
+    // Pull every non-source op one cycle earlier; at least one dependence
+    // must break, and verify must say so.
+    let mut caught = 0;
+    for op in 0..l.ops().len() {
+        if sched.start(ncdrf::ddg::OpId::from_index(op)) == 0 {
+            continue;
+        }
+        let bad = shift_start(&l, &machine, &sched, op, -1);
+        if matches!(
+            verify(&l, &machine, &bad),
+            Err(VerifyError::Dependence { .. }) | Err(VerifyError::ResourceConflict { .. })
+        ) {
+            caught += 1;
+        }
+    }
+    assert!(caught > 0, "no corruption was detectable?");
+}
+
+#[test]
+fn schedule_verifier_catches_resource_conflicts() {
+    let (l, machine, sched) = setup();
+    // Force two same-group ops onto the same instance and slot.
+    let ids: Vec<_> = l
+        .iter_ops()
+        .map(|(id, _)| id)
+        .filter(|&id| {
+            l.op(id).kind() == ncdrf::ddg::OpKind::Load
+        })
+        .collect();
+    assert!(ids.len() >= 2);
+    let n = l.ops().len();
+    let mut starts: Vec<u32> = (0..n)
+        .map(|i| sched.start(ncdrf::ddg::OpId::from_index(i)))
+        .collect();
+    let mut units: Vec<UnitRef> = (0..n)
+        .map(|i| sched.unit(ncdrf::ddg::OpId::from_index(i)))
+        .collect();
+    // Same unit, same kernel slot for the two loads.
+    units[ids[1].index()] = units[ids[0].index()];
+    starts[ids[1].index()] = starts[ids[0].index()];
+    let bad = Schedule::from_parts(&l, &machine, sched.ii(), starts, units);
+    assert!(matches!(
+        verify(&l, &machine, &bad),
+        Err(VerifyError::ResourceConflict { .. })
+    ));
+}
+
+#[test]
+fn unified_verifier_catches_offset_corruption() {
+    let (l, machine, sched) = setup();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let mut alloc = allocate_unified(&lts, sched.ii());
+    if alloc.regs < 2 {
+        return;
+    }
+    // Collapse every offset onto 0: some pair must now clash.
+    for o in alloc.offsets.iter_mut() {
+        *o = 0;
+    }
+    assert!(verify_unified(&lts, sched.ii(), &alloc).is_err());
+}
+
+#[test]
+fn dual_verifier_catches_offset_corruption() {
+    let (l, machine, sched) = setup();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let classes = classify(&l, &machine, &sched, &lts);
+    let mut alloc = allocate_dual(&lts, &classes, sched.ii());
+    if alloc.regs < 2 {
+        return;
+    }
+    for o in alloc.offsets.iter_mut() {
+        *o = 0;
+    }
+    assert!(verify_dual(&lts, sched.ii(), &alloc).is_err());
+}
+
+#[test]
+fn executor_oracle_catches_wrong_class() {
+    // Misclassify a global value as local: one cluster reads a stale
+    // register, and the memory comparison must fail.
+    use ncdrf::machine::ClusterId;
+    use ncdrf::regalloc::ValueClass;
+    let l = kernels::blas::sqdist();
+    let machine = Machine::clustered(3, 1);
+    let sched = modulo_schedule(&l, &machine).unwrap();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let mut classes = classify(&l, &machine, &sched, &lts);
+    let Some(gi) = classes.iter().position(|c| *c == ValueClass::Global) else {
+        return; // schedule happened to localise everything: nothing to corrupt
+    };
+    classes[gi] = ValueClass::Only(ClusterId::LEFT);
+    let alloc = allocate_dual(&lts, &classes, sched.ii());
+    let r = check_equivalence(&l, &machine, &sched, &Binding::dual(&lts, &alloc), 20);
+    assert!(
+        matches!(r, Err(EquivError::Mismatch { .. })),
+        "misclassification must corrupt execution"
+    );
+}
+
+#[test]
+fn executor_oracle_catches_undersized_file() {
+    let (l, machine, sched) = setup();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let mut alloc = allocate_unified(&lts, sched.ii());
+    if alloc.regs < 3 {
+        return;
+    }
+    // Shrink the file without re-packing: rotation now wraps values onto
+    // each other.
+    alloc.regs -= 2;
+    for o in alloc.offsets.iter_mut() {
+        *o %= alloc.regs;
+    }
+    let r = check_equivalence(&l, &machine, &sched, &Binding::unified(&lts, &alloc), 30);
+    assert!(matches!(r, Err(EquivError::Mismatch { .. })));
+}
+
+#[test]
+fn multi_verifier_catches_corruption() {
+    use ncdrf::regalloc::{allocate_multi, classify_multi, verify_multi};
+    let l = kernels::spec::eos_heavy();
+    let machine = Machine::clustered_n(4, 3, 1);
+    let sched = modulo_schedule(&l, &machine).unwrap();
+    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let sets = classify_multi(&l, &machine, &sched, &lts);
+    let mut alloc = allocate_multi(&lts, &sets, sched.ii(), 4);
+    assert!(verify_multi(&lts, sched.ii(), &alloc).is_ok());
+    if alloc.regs < 2 {
+        return;
+    }
+    for o in alloc.offsets.iter_mut() {
+        *o = 0;
+    }
+    // All offsets collapsed: intersecting sets must clash somewhere.
+    assert!(verify_multi(&lts, sched.ii(), &alloc).is_err());
+}
