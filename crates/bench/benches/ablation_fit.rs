@@ -22,15 +22,24 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
 
-    for (name, fit) in [("first_fit", FitPolicy::FirstFit), ("best_fit", FitPolicy::BestFit)] {
+    for (name, fit) in [
+        ("first_fit", FitPolicy::FirstFit),
+        ("best_fit", FitPolicy::BestFit),
+    ] {
         let total: u64 = prepared
             .iter()
             .map(|(ii, lts)| allocate_unified_with(lts, *ii, fit).regs as u64)
             .sum();
-        println!("{name}: total registers over {} loops = {total}", prepared.len());
+        println!(
+            "{name}: total registers over {} loops = {total}",
+            prepared.len()
+        );
     }
 
-    for (name, fit) in [("first_fit", FitPolicy::FirstFit), ("best_fit", FitPolicy::BestFit)] {
+    for (name, fit) in [
+        ("first_fit", FitPolicy::FirstFit),
+        ("best_fit", FitPolicy::BestFit),
+    ] {
         c.bench_function(&format!("ablation_fit/{name}"), |b| {
             b.iter(|| {
                 for (ii, lts) in &prepared {

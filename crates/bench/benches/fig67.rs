@@ -2,28 +2,52 @@
 //! distributions) and benchmarks the sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{figures_6_7, render_distribution, PipelineOptions};
+use ncdrf::{DistributionPanel, Model, Render, ReportFormat, Sweep};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus(20);
-    let opts = PipelineOptions::default();
-    let points = [8, 16, 32, 64, 128];
+    let points = [8u32, 16, 32, 64, 128];
 
     for lat in [3u32, 6] {
-        let curves = figures_6_7(&corpus, lat, &points, &opts).unwrap();
+        let report = Sweep::new(&corpus)
+            .clustered_latencies([lat])
+            .models(Model::finite())
+            .points(points)
+            .run()
+            .unwrap();
         println!("\nFigure 6 (static), latency {lat}:");
-        println!("{}", render_distribution(&curves, false));
+        println!(
+            "{}",
+            DistributionPanel {
+                curves: &report.distributions,
+                dynamic: false
+            }
+            .render(ReportFormat::Text)
+        );
         println!("Figure 7 (dynamic), latency {lat}:");
-        println!("{}", render_distribution(&curves, true));
+        println!(
+            "{}",
+            DistributionPanel {
+                curves: &report.distributions,
+                dynamic: true
+            }
+            .render(ReportFormat::Text)
+        );
     }
 
-    c.bench_function("fig67/three_models_lat3", |b| {
-        b.iter(|| figures_6_7(&corpus, 3, &points, &opts).unwrap())
-    });
-    c.bench_function("fig67/three_models_lat6", |b| {
-        b.iter(|| figures_6_7(&corpus, 6, &points, &opts).unwrap())
-    });
+    for lat in [3u32, 6] {
+        c.bench_function(&format!("fig67/three_models_lat{lat}"), |b| {
+            b.iter(|| {
+                Sweep::new(&corpus)
+                    .clustered_latencies([lat])
+                    .models(Model::finite())
+                    .points(points)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
 }
 
 criterion_group! {

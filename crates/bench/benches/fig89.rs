@@ -2,28 +2,32 @@
 //! finite register files, spiller active) and benchmarks the sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{figures_8_9, render_budget_outcomes, BudgetMetric, PipelineOptions};
+use ncdrf::{Model, Render, ReportFormat, Sweep};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus(15);
-    let opts = PipelineOptions::default();
 
     for (lat, regs) in [(3u32, 32u32), (6, 32), (3, 64), (6, 64)] {
-        let outcomes = figures_8_9(&corpus, lat, regs, &opts).unwrap();
+        let report = Sweep::new(&corpus)
+            .clustered_latencies([lat])
+            .models(Model::all())
+            .budget(regs)
+            .run()
+            .unwrap();
         println!("\n--- L={lat} R={regs} ---");
-        println!(
-            "{}",
-            render_budget_outcomes(&outcomes, BudgetMetric::Performance)
-        );
-        println!(
-            "{}",
-            render_budget_outcomes(&outcomes, BudgetMetric::TrafficDensity)
-        );
+        println!("{}", report.outcomes.render(ReportFormat::Text));
     }
 
     c.bench_function("fig89/four_models_L6_R32", |b| {
-        b.iter(|| figures_8_9(&corpus, 6, 32, &opts).unwrap())
+        b.iter(|| {
+            Sweep::new(&corpus)
+                .clustered_latencies([6])
+                .models(Model::all())
+                .budget(32)
+                .run()
+                .unwrap()
+        })
     });
 }
 

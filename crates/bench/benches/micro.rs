@@ -51,7 +51,12 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("swap/greedy_pass_7_kernels", |b| {
         b.iter_batched(
-            || prepared.iter().map(|(l, s, _)| ((*l).clone(), s.clone())).collect::<Vec<_>>(),
+            || {
+                prepared
+                    .iter()
+                    .map(|(l, s, _)| ((*l).clone(), s.clone()))
+                    .collect::<Vec<_>>()
+            },
             |mut work| {
                 for (l, s) in &mut work {
                     swap_pass(l, &machine, s).unwrap();

@@ -3,20 +3,33 @@
 //! rows; Criterion tracks the cost of the full sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{render_table1, table1, PipelineOptions};
+use ncdrf::{Model, Render, ReportFormat, Sweep, TABLE1_POINTS};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus(20);
-    let opts = PipelineOptions::default();
 
     // Print the regenerated table once, so the bench run doubles as the
     // experiment.
-    let rows = table1(&corpus, &[(1, 3), (2, 3), (1, 6), (2, 6)], &opts).unwrap();
-    println!("\n{}", render_table1(&rows));
+    let rows = Sweep::new(&corpus)
+        .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
+        .models([Model::Unified])
+        .points(TABLE1_POINTS)
+        .run()
+        .unwrap()
+        .table1();
+    println!("\n{}", rows.render(ReportFormat::Text));
 
     c.bench_function("table1/sweep_4_configs", |b| {
-        b.iter(|| table1(&corpus, &[(1, 3), (2, 6)], &opts).unwrap())
+        b.iter(|| {
+            Sweep::new(&corpus)
+                .pxly_configs([(1, 3), (2, 6)])
+                .models([Model::Unified])
+                .points(TABLE1_POINTS)
+                .run()
+                .unwrap()
+                .table1()
+        })
     });
 }
 

@@ -35,11 +35,7 @@ impl Cumulative {
                 if total <= 0.0 {
                     return 0.0;
                 }
-                let within: f64 = obs
-                    .iter()
-                    .filter(|o| o.regs <= p)
-                    .map(|o| o.weight)
-                    .sum();
+                let within: f64 = obs.iter().filter(|o| o.regs <= p).map(|o| o.weight).sum();
                 100.0 * within / total
             })
             .collect();

@@ -1,8 +1,15 @@
-//! Corpus-level experiment drivers: one function per paper table/figure.
+//! Experiment result types shared by [`crate::Sweep`] reports, plus the
+//! deprecated free-function drivers they replace.
+//!
+//! The typed results ([`Table1Row`], [`DistributionCurve`],
+//! [`BudgetOutcome`]) are produced by [`crate::Sweep::run`] and rendered
+//! through [`crate::Render`]. The free functions at the bottom are shims
+//! kept for source compatibility; they re-run scheduling per call where a
+//! [`crate::Session`] or [`crate::Sweep`] would cache it.
 
-use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
 use crate::model::Model;
 use crate::pipeline::{analyze, evaluate, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
+use crate::sweep::Sweep;
 use ncdrf_corpus::Corpus;
 use ncdrf_machine::Machine;
 use parking_lot::Mutex;
@@ -47,11 +54,97 @@ where
         .collect()
 }
 
+/// Performance of a finite-register model relative to the ideal model:
+/// `ideal_cycles / cycles`, so `1.0` means "as fast as infinite
+/// registers" and smaller is worse.
+///
+/// Degenerate cases are explicit rather than masked:
+///
+/// * both totals zero (an empty corpus, or all-zero iteration weights):
+///   every model is vacuously ideal — `1.0`;
+/// * `cycles == 0` with `ideal_cycles > 0`: the finite model claims zero
+///   cost where the unconstrained ideal pays some — impossible for a
+///   correct spiller (spilling never removes work), so this surfaces as
+///   `f64::INFINITY` instead of silently reporting parity.
+pub fn relative_performance(ideal_cycles: u128, cycles: u128) -> f64 {
+    match (ideal_cycles, cycles) {
+        (0, 0) => 1.0,
+        (_, 0) => f64::INFINITY,
+        _ => ideal_cycles as f64 / cycles as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed experiment results
+// ---------------------------------------------------------------------
+
+/// One row of Table 1: for a `PxLy` unified machine, the share of loops
+/// (and of estimated execution cycles) allocatable without spilling within
+/// 16/32/64 registers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Machine preset name (`P1L3`, ...).
+    pub config: String,
+    /// Percent of loops allocatable with ≤16/32/64 registers.
+    pub loops_within: [f64; 3],
+    /// Percent of estimated cycles those loops represent.
+    pub cycles_within: [f64; 3],
+}
+
+/// One curve of Figure 6 (static) and Figure 7 (dynamic): a model's
+/// cumulative distribution of loops / cycles over register requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionCurve {
+    /// Machine preset name (`C2L3`, `P1L6`, ...).
+    pub config: String,
+    /// Evaluation model.
+    pub model: Model,
+    /// Functional-unit latency of the machine.
+    pub latency: u32,
+    /// Static (loop-count-weighted) cumulative distribution.
+    pub static_dist: crate::distribution::Cumulative,
+    /// Dynamic (cycle-weighted) cumulative distribution.
+    pub dynamic_dist: crate::distribution::Cumulative,
+}
+
+/// One bar of Figures 8–9: a model's corpus-wide performance and memory
+/// traffic density for one (machine, registers) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetOutcome {
+    /// Machine preset name (`C2L3`, ...).
+    pub config: String,
+    /// Evaluation model.
+    pub model: Model,
+    /// Functional-unit latency.
+    pub latency: u32,
+    /// Register budget (per file).
+    pub registers: u32,
+    /// Total estimated cycles over the corpus (Σ iterations × II).
+    pub cycles: u128,
+    /// Total memory accesses over the corpus (Σ iterations × memory ops).
+    pub accesses: u128,
+    /// Performance relative to the ideal model (see
+    /// [`relative_performance`]).
+    pub relative_performance: f64,
+    /// Corpus-wide density of memory traffic: accesses per bus slot.
+    pub traffic_density: f64,
+    /// Loops that needed spill code.
+    pub loops_spilled: usize,
+}
+
+/// The four (latency, registers) configurations of Figures 8–9.
+pub const FIG89_CONFIGS: [(u32, u32); 4] = [(3, 32), (6, 32), (3, 64), (6, 64)];
+
+// ---------------------------------------------------------------------
+// Deprecated free-function drivers (pre-Session API)
+// ---------------------------------------------------------------------
+
 /// Analyses every corpus loop under `model` with unlimited registers.
 ///
 /// # Errors
 ///
 /// Returns the first per-loop failure (the standard corpus never fails).
+#[deprecated(note = "use `Session::analyze_corpus`, which caches schedules across models")]
 pub fn sweep_analyze(
     corpus: &Corpus,
     machine: &Machine,
@@ -69,6 +162,7 @@ pub fn sweep_analyze(
 /// # Errors
 ///
 /// Returns the first per-loop failure.
+#[deprecated(note = "use `Session::evaluate_corpus`, which caches schedules across models")]
 pub fn sweep_evaluate(
     corpus: &Corpus,
     machine: &Machine,
@@ -76,26 +170,11 @@ pub fn sweep_evaluate(
     budget: u32,
     opts: &PipelineOptions,
 ) -> Result<Vec<LoopEval>, PipelineError> {
-    par_map(corpus.loops(), |l| evaluate(l, machine, model, budget, opts))
-        .into_iter()
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Table 1
-// ---------------------------------------------------------------------
-
-/// One row of Table 1: for a `PxLy` unified machine, the share of loops
-/// (and of estimated execution cycles) allocatable without spilling within
-/// 16/32/64 registers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Table1Row {
-    /// Machine preset name (`P1L3`, ...).
-    pub config: String,
-    /// Percent of loops allocatable with ≤16/32/64 registers.
-    pub loops_within: [f64; 3],
-    /// Percent of estimated cycles those loops represent.
-    pub cycles_within: [f64; 3],
+    par_map(corpus.loops(), |l| {
+        evaluate(l, machine, model, budget, opts)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Reproduces Table 1 over `(x, latency)` unified configurations.
@@ -103,57 +182,21 @@ pub struct Table1Row {
 /// # Errors
 ///
 /// Propagates per-loop pipeline failures.
+#[deprecated(
+    note = "use `Sweep::new(corpus).pxly_configs(..).models([Model::Unified]).points(TABLE1_POINTS)` and `SweepReport::table1`"
+)]
 pub fn table1(
     corpus: &Corpus,
     configs: &[(u32, u32)],
     opts: &PipelineOptions,
 ) -> Result<Vec<Table1Row>, PipelineError> {
-    configs
-        .iter()
-        .map(|&(x, lat)| {
-            let machine = Machine::pxly(x, lat);
-            let rows = sweep_analyze(corpus, &machine, Model::Unified, opts)?;
-            let static_obs: Vec<Observation> = rows
-                .iter()
-                .map(|r| Observation {
-                    regs: r.regs,
-                    weight: 1.0,
-                })
-                .collect();
-            let dyn_obs: Vec<Observation> = rows
-                .iter()
-                .map(|r| Observation {
-                    regs: r.regs,
-                    weight: r.cycles() as f64,
-                })
-                .collect();
-            let s = Cumulative::new(&TABLE1_POINTS, &static_obs);
-            let d = Cumulative::new(&TABLE1_POINTS, &dyn_obs);
-            Ok(Table1Row {
-                config: machine.name().to_owned(),
-                loops_within: [s.at(16), s.at(32), s.at(64)],
-                cycles_within: [d.at(16), d.at(32), d.at(64)],
-            })
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Figures 6 and 7
-// ---------------------------------------------------------------------
-
-/// One curve of Figure 6 (static) and Figure 7 (dynamic): a model's
-/// cumulative distribution of loops / cycles over register requirements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DistributionCurve {
-    /// Evaluation model.
-    pub model: Model,
-    /// Functional-unit latency of the clustered machine.
-    pub latency: u32,
-    /// Static (loop-count-weighted) cumulative distribution.
-    pub static_dist: Cumulative,
-    /// Dynamic (cycle-weighted) cumulative distribution.
-    pub dynamic_dist: Cumulative,
+    Ok(Sweep::new(corpus)
+        .pxly_configs(configs.iter().copied())
+        .models([Model::Unified])
+        .points(crate::distribution::TABLE1_POINTS)
+        .options(*opts)
+        .run()?
+        .table1())
 }
 
 /// Reproduces one panel of Figures 6–7: the three finite models'
@@ -162,65 +205,22 @@ pub struct DistributionCurve {
 /// # Errors
 ///
 /// Propagates per-loop pipeline failures.
+#[deprecated(
+    note = "use `Sweep::new(corpus).clustered_latencies([lat]).models(Model::finite()).points(points)`"
+)]
 pub fn figures_6_7(
     corpus: &Corpus,
     latency: u32,
     points: &[u32],
     opts: &PipelineOptions,
 ) -> Result<Vec<DistributionCurve>, PipelineError> {
-    let machine = Machine::clustered(latency, 1);
-    Model::finite()
-        .iter()
-        .map(|&model| {
-            let rows = sweep_analyze(corpus, &machine, model, opts)?;
-            let static_obs: Vec<Observation> = rows
-                .iter()
-                .map(|r| Observation {
-                    regs: r.regs,
-                    weight: 1.0,
-                })
-                .collect();
-            let dyn_obs: Vec<Observation> = rows
-                .iter()
-                .map(|r| Observation {
-                    regs: r.regs,
-                    weight: r.cycles() as f64,
-                })
-                .collect();
-            Ok(DistributionCurve {
-                model,
-                latency,
-                static_dist: Cumulative::new(points, &static_obs),
-                dynamic_dist: Cumulative::new(points, &dyn_obs),
-            })
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Figures 8 and 9
-// ---------------------------------------------------------------------
-
-/// One bar of Figures 8–9: a model's corpus-wide performance and memory
-/// traffic density for one (latency, registers) configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct BudgetOutcome {
-    /// Evaluation model.
-    pub model: Model,
-    /// Functional-unit latency.
-    pub latency: u32,
-    /// Register budget (per file).
-    pub registers: u32,
-    /// Total estimated cycles over the corpus (Σ iterations × II).
-    pub cycles: u128,
-    /// Total memory accesses over the corpus (Σ iterations × memory ops).
-    pub accesses: u128,
-    /// Performance relative to the ideal model (1.0 = ideal).
-    pub relative_performance: f64,
-    /// Corpus-wide density of memory traffic: accesses per bus slot.
-    pub traffic_density: f64,
-    /// Loops that needed spill code.
-    pub loops_spilled: usize,
+    Ok(Sweep::new(corpus)
+        .clustered_latencies([latency])
+        .models(Model::finite())
+        .points(points.iter().copied())
+        .options(*opts)
+        .run()?
+        .distributions)
 }
 
 /// Reproduces one configuration column of Figures 8–9: evaluates all four
@@ -230,55 +230,26 @@ pub struct BudgetOutcome {
 /// # Errors
 ///
 /// Propagates per-loop pipeline failures.
+#[deprecated(
+    note = "use `Sweep::new(corpus).clustered_latencies([lat]).models(Model::all()).budget(registers)`"
+)]
 pub fn figures_8_9(
     corpus: &Corpus,
     latency: u32,
     registers: u32,
     opts: &PipelineOptions,
 ) -> Result<Vec<BudgetOutcome>, PipelineError> {
-    let machine = Machine::clustered(latency, 1);
-    let ports = machine.memory_ports() as u128;
-
-    let ideal_rows = sweep_evaluate(corpus, &machine, Model::Ideal, registers, opts)?;
-    let ideal_cycles: u128 = ideal_rows.iter().map(LoopEval::cycles).sum();
-
-    Model::all()
-        .iter()
-        .map(|&model| {
-            let rows = if model == Model::Ideal {
-                ideal_rows.clone()
-            } else {
-                sweep_evaluate(corpus, &machine, model, registers, opts)?
-            };
-            let cycles: u128 = rows.iter().map(LoopEval::cycles).sum();
-            let accesses: u128 = rows.iter().map(LoopEval::accesses).sum();
-            let loops_spilled = rows.iter().filter(|r| r.spilled > 0).count();
-            Ok(BudgetOutcome {
-                model,
-                latency,
-                registers,
-                cycles,
-                accesses,
-                relative_performance: if cycles == 0 {
-                    1.0
-                } else {
-                    ideal_cycles as f64 / cycles as f64
-                },
-                traffic_density: if cycles == 0 {
-                    0.0
-                } else {
-                    accesses as f64 / (cycles * ports) as f64
-                },
-                loops_spilled,
-            })
-        })
-        .collect()
+    Ok(Sweep::new(corpus)
+        .clustered_latencies([latency])
+        .models(Model::all())
+        .budget(registers)
+        .options(*opts)
+        .run()?
+        .outcomes)
 }
 
-/// The four (latency, registers) configurations of Figures 8–9.
-pub const FIG89_CONFIGS: [(u32, u32); 4] = [(3, 32), (6, 32), (3, 64), (6, 64)];
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -317,8 +288,7 @@ mod tests {
     #[test]
     fn figures_6_7_partitioned_dominates_unified() {
         let c = Corpus::small().take(25);
-        let curves =
-            figures_6_7(&c, 3, &[8, 16, 32, 64], &PipelineOptions::default()).unwrap();
+        let curves = figures_6_7(&c, 3, &[8, 16, 32, 64], &PipelineOptions::default()).unwrap();
         let uni = curves.iter().find(|c| c.model == Model::Unified).unwrap();
         let part = curves
             .iter()
@@ -326,7 +296,12 @@ mod tests {
             .unwrap();
         // At every sampled point, at least as many loops fit under the
         // partitioned model (its requirement is never larger).
-        for (u, p) in uni.static_dist.percent.iter().zip(&part.static_dist.percent) {
+        for (u, p) in uni
+            .static_dist
+            .percent
+            .iter()
+            .zip(&part.static_dist.percent)
+        {
             assert!(p >= u, "partitioned curve must lie left of unified");
         }
     }
@@ -341,5 +316,18 @@ mod tests {
             assert!(o.relative_performance <= 1.0 + 1e-12);
             assert!(o.cycles >= ideal.cycles);
         }
+    }
+
+    #[test]
+    fn relative_performance_quadrants() {
+        // Normal case: ideal is faster or equal.
+        assert_eq!(relative_performance(500, 1000), 0.5);
+        assert_eq!(relative_performance(1000, 1000), 1.0);
+        // Empty corpus: all models vacuously ideal.
+        assert_eq!(relative_performance(0, 0), 1.0);
+        // Ideal work vanished but the model's didn't: honest ratio 0.
+        assert_eq!(relative_performance(0, 700), 0.0);
+        // The impossible quadrant is explicit, not masked as parity.
+        assert!(relative_performance(700, 0).is_infinite());
     }
 }

@@ -30,19 +30,43 @@
 //!
 //! # Quickstart
 //!
+//! Experiments are driven through a [`Session`] (one machine, one
+//! schedule cache — every model comparison schedules each loop once) or,
+//! corpus-wide, a [`Sweep`]:
+//!
 //! ```
-//! use ncdrf::{analyze, Model, PipelineOptions};
+//! use ncdrf::{Model, Session};
 //! use ncdrf::corpus::kernels;
 //! use ncdrf::machine::Machine;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), ncdrf::PipelineError> {
+//! let session = Session::new(Machine::clustered(3, 1));
 //! let loop_ = kernels::livermore::hydro();
-//! let machine = Machine::clustered(3, 1);
-//! let opts = PipelineOptions::default();
 //!
-//! let unified = analyze(&loop_, &machine, Model::Unified, &opts)?;
-//! let swapped = analyze(&loop_, &machine, Model::Swapped, &opts)?;
+//! let unified = session.analyze(&loop_, Model::Unified)?;
+//! let swapped = session.analyze(&loop_, Model::Swapped)?;
 //! assert!(swapped.regs <= unified.regs);
+//! // Both analyses shared one scheduling run.
+//! assert_eq!(session.cache_stats().misses, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Reproducing a paper figure is a [`Sweep`] plus a [`Render`] backend:
+//!
+//! ```no_run
+//! use ncdrf::{Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
+//! use ncdrf::corpus::Corpus;
+//!
+//! # fn main() -> Result<(), ncdrf::PipelineError> {
+//! let corpus = Corpus::standard();
+//! let report = Sweep::new(&corpus)
+//!     .clustered_latencies([3, 6])
+//!     .models(Model::all())
+//!     .budgets([32, 64])
+//!     .run()?;
+//! println!("{}", report.render(ReportFormat::Text));
+//! std::fs::write("fig8_9.csv", report.render(ReportFormat::Csv)).unwrap();
 //! # Ok(())
 //! # }
 //! ```
@@ -54,34 +78,42 @@ mod experiment;
 mod model;
 mod pipeline;
 mod report;
+mod session;
+mod sweep;
 
 pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
+#[allow(deprecated)]
+pub use experiment::{figures_6_7, figures_8_9, sweep_analyze, sweep_evaluate, table1};
 pub use experiment::{
-    figures_6_7, figures_8_9, par_map, sweep_analyze, sweep_evaluate, table1, BudgetOutcome,
-    DistributionCurve, Table1Row, FIG89_CONFIGS,
+    par_map, relative_performance, BudgetOutcome, DistributionCurve, Table1Row, FIG89_CONFIGS,
 };
 pub use model::Model;
 pub use pipeline::{
     analyze, evaluate, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
+    PipelineStage,
 };
+#[allow(deprecated)]
 pub use report::{
-    csv_budget_outcomes, csv_distribution, csv_table1, render_budget_outcomes,
-    render_distribution, render_table1, BudgetMetric,
+    csv_budget_outcomes, csv_distribution, csv_table1, render_budget_outcomes, render_distribution,
+    render_table1,
 };
+pub use report::{BudgetMetric, BudgetTable, DistributionPanel, Render, ReportFormat};
+pub use session::{BaseSchedule, CacheStats, Session};
+pub use sweep::{Sweep, SweepReport};
 
+/// Re-export of the corpus crate.
+pub use ncdrf_corpus as corpus;
 /// Re-export of the dependence-graph crate.
 pub use ncdrf_ddg as ddg;
 /// Re-export of the machine-model crate.
 pub use ncdrf_machine as machine;
-/// Re-export of the modulo-scheduling crate.
-pub use ncdrf_sched as sched;
 /// Re-export of the register-allocation crate.
 pub use ncdrf_regalloc as regalloc;
-/// Re-export of the swapping-pass crate.
-pub use ncdrf_swap as swap;
+/// Re-export of the modulo-scheduling crate.
+pub use ncdrf_sched as sched;
 /// Re-export of the spiller crate.
 pub use ncdrf_spill as spill;
-/// Re-export of the corpus crate.
-pub use ncdrf_corpus as corpus;
+/// Re-export of the swapping-pass crate.
+pub use ncdrf_swap as swap;
 /// Re-export of the VLIW-executor crate.
 pub use ncdrf_vliw as vliw;

@@ -1,5 +1,11 @@
 //! The per-loop evaluation pipeline:
 //! schedule → (swap) → classify → allocate → (spill until fits).
+//!
+//! The free functions [`analyze`] and [`evaluate`] run the pipeline from
+//! scratch for one `(loop, model)` pair. Experiment drivers that compare
+//! several models or budgets on the same loops should use
+//! [`crate::Session`], which schedules each loop once and derives every
+//! model's result from the cached base schedule.
 
 use crate::model::Model;
 use ncdrf_ddg::Loop;
@@ -7,7 +13,7 @@ use ncdrf_machine::{Machine, MachineError};
 use ncdrf_regalloc::{
     allocate_dual, allocate_unified, classify, lifetimes, max_live, DualPressure,
 };
-use ncdrf_sched::{modulo_schedule, Schedule, ScheduleError};
+use ncdrf_sched::{modulo_schedule_with, Schedule, ScheduleError};
 use ncdrf_spill::{spill_until_fits, SpillError, SpillOptions, SpillResult};
 use ncdrf_swap::{swap_pass_with, SwapOptions};
 use serde::{Deserialize, Serialize};
@@ -18,14 +24,27 @@ use std::fmt;
 pub struct PipelineOptions {
     /// Swapping-pass knobs (used by [`Model::Swapped`]).
     pub swap: SwapOptions,
-    /// Spiller knobs (used by budgeted evaluation).
+    /// Spiller knobs (used by budgeted evaluation). `spill.scheduler`
+    /// also drives base scheduling, so analysis and evaluation see the
+    /// same schedules.
     pub spill: SpillOptions,
 }
 
-/// A pipeline failure.
+/// A pipeline failure, carrying **which loop** failed alongside the
+/// failing stage — so a corpus sweep that dies names its culprit instead
+/// of reporting a bare scheduler error.
 #[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// Scheduling failed.
+pub struct PipelineError {
+    /// Name of the loop the pipeline was processing.
+    pub loop_name: String,
+    /// The stage that failed, with its cause.
+    pub stage: PipelineStage,
+}
+
+/// The pipeline stage that produced a [`PipelineError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineStage {
+    /// Modulo scheduling failed.
     Schedule(ScheduleError),
     /// The machine cannot serve the loop.
     Machine(MachineError),
@@ -33,33 +52,57 @@ pub enum PipelineError {
     Spill(SpillError),
 }
 
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Schedule(e) => write!(f, "scheduling failed: {e}"),
-            PipelineError::Machine(e) => write!(f, "machine mismatch: {e}"),
-            PipelineError::Spill(e) => write!(f, "spilling failed: {e}"),
+impl PipelineError {
+    /// Builds an error for the named loop from any stage cause.
+    pub fn new(loop_name: impl Into<String>, stage: impl Into<PipelineStage>) -> Self {
+        PipelineError {
+            loop_name: loop_name.into(),
+            stage: stage.into(),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop `{}`: {}", self.loop_name, self.stage)
+    }
+}
 
-impl From<ScheduleError> for PipelineError {
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.stage {
+            PipelineStage::Schedule(e) => Some(e),
+            PipelineStage::Machine(e) => Some(e),
+            PipelineStage::Spill(e) => Some(e),
+        }
+    }
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineStage::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            PipelineStage::Machine(e) => write!(f, "machine mismatch: {e}"),
+            PipelineStage::Spill(e) => write!(f, "spilling failed: {e}"),
+        }
+    }
+}
+
+impl From<ScheduleError> for PipelineStage {
     fn from(e: ScheduleError) -> Self {
-        PipelineError::Schedule(e)
+        PipelineStage::Schedule(e)
     }
 }
 
-impl From<MachineError> for PipelineError {
+impl From<MachineError> for PipelineStage {
     fn from(e: MachineError) -> Self {
-        PipelineError::Machine(e)
+        PipelineStage::Machine(e)
     }
 }
 
-impl From<SpillError> for PipelineError {
+impl From<SpillError> for PipelineStage {
     fn from(e: SpillError) -> Self {
-        PipelineError::Spill(e)
+        PipelineStage::Spill(e)
     }
 }
 
@@ -127,21 +170,29 @@ pub fn requirement(
 }
 
 /// Schedules `l` and computes the `model` register requirement with
-/// unlimited registers (no spilling).
+/// unlimited registers (no spilling), without any caching.
+///
+/// Prefer [`crate::Session::analyze`] when analysing the same loop under
+/// several models: it schedules once and derives each model's result.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError::Schedule`] if no schedule exists within the
-/// default II search.
+/// Returns a schedule-stage [`PipelineError`] if no schedule exists
+/// within the default II search.
 pub fn analyze(
     l: &Loop,
     machine: &Machine,
     model: Model,
     opts: &PipelineOptions,
 ) -> Result<LoopAnalysis, PipelineError> {
-    let mut sched = modulo_schedule(l, machine)?;
-    let regs = requirement(l, machine, &mut sched, model, opts)?;
-    let lts = lifetimes(l, machine, &sched)?;
+    let fail = |stage: PipelineStage| PipelineError {
+        loop_name: l.name().to_owned(),
+        stage,
+    };
+    let mut sched =
+        modulo_schedule_with(l, machine, opts.spill.scheduler).map_err(|e| fail(e.into()))?;
+    let regs = requirement(l, machine, &mut sched, model, opts).map_err(|e| fail(e.into()))?;
+    let lts = lifetimes(l, machine, &sched).map_err(|e| fail(e.into()))?;
     let pressure = if model.is_dual() {
         let classes = classify(l, machine, &sched, &lts);
         Some(DualPressure::new(&lts, &classes, sched.ii()))
@@ -208,14 +259,35 @@ impl LoopEval {
     }
 }
 
+/// Builds a [`LoopEval`] from a finished spill run (or, for
+/// [`Model::Ideal`], from the base schedule).
+pub(crate) fn eval_from_spill(l: &Loop, model: Model, budget: u32, r: SpillResult) -> LoopEval {
+    LoopEval {
+        name: l.name().to_owned(),
+        model,
+        budget,
+        ii: r.sched.ii(),
+        regs: r.regs,
+        fits: r.fits,
+        spilled: r.spilled.len(),
+        mem_ops: r.l.memory_ops(),
+        ports: 0, // caller fills in
+        iterations: l.weight().iterations(),
+    }
+}
+
 /// Evaluates `l` under `model` with `budget` registers, inserting spill
-/// code per the paper's §5.4 until the requirement fits.
+/// code per the paper's §5.4 until the requirement fits, without any
+/// caching.
+///
+/// Prefer [`crate::Session::evaluate`] when evaluating the same loop
+/// under several models or budgets.
 ///
 /// [`Model::Ideal`] ignores the budget (it reports the unconstrained II).
 ///
 /// # Errors
 ///
-/// Propagates scheduling and spilling failures.
+/// Propagates scheduling and spilling failures, naming the loop.
 pub fn evaluate(
     l: &Loop,
     machine: &Machine,
@@ -223,8 +295,13 @@ pub fn evaluate(
     budget: u32,
     opts: &PipelineOptions,
 ) -> Result<LoopEval, PipelineError> {
+    let fail = |stage: PipelineStage| PipelineError {
+        loop_name: l.name().to_owned(),
+        stage,
+    };
     if model == Model::Ideal {
-        let sched = modulo_schedule(l, machine)?;
+        let sched =
+            modulo_schedule_with(l, machine, opts.spill.scheduler).map_err(|e| fail(e.into()))?;
         return Ok(LoopEval {
             name: l.name().to_owned(),
             model,
@@ -243,27 +320,11 @@ pub fn evaluate(
     let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
         requirement(l, m, s, model, &opts_copy)
     };
-    let SpillResult {
-        l: final_loop,
-        sched,
-        regs,
-        fits,
-        spilled,
-        ..
-    } = spill_until_fits(l, machine, budget, &mut req, opts.spill)?;
-
-    Ok(LoopEval {
-        name: l.name().to_owned(),
-        model,
-        budget,
-        ii: sched.ii(),
-        regs,
-        fits,
-        spilled: spilled.len(),
-        mem_ops: final_loop.memory_ops(),
-        ports: machine.memory_ports() as u32,
-        iterations: l.weight().iterations(),
-    })
+    let r =
+        spill_until_fits(l, machine, budget, &mut req, opts.spill).map_err(|e| fail(e.into()))?;
+    let mut eval = eval_from_spill(l, model, budget, r);
+    eval.ports = machine.memory_ports() as u32;
+    Ok(eval)
 }
 
 #[cfg(test)]
@@ -382,5 +443,37 @@ mod tests {
             .unwrap()
             .pressure
             .is_some());
+    }
+
+    #[test]
+    fn pipeline_errors_name_the_failing_loop() {
+        use ncdrf_machine::{FuClass, FuGroup};
+        // A machine with no adder cannot serve daxpy; the error must
+        // carry the loop's name and the failing stage.
+        let no_adder = Machine::new(
+            "NOADD",
+            vec![
+                FuGroup::unified(FuClass::Multiplier, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let l = kernels::blas::daxpy();
+        let a_err =
+            analyze(&l, &no_adder, Model::Unified, &PipelineOptions::default()).unwrap_err();
+        assert_eq!(a_err.loop_name, "daxpy");
+        assert!(matches!(a_err.stage, PipelineStage::Schedule(_)));
+        let e_err = evaluate(
+            &l,
+            &no_adder,
+            Model::Unified,
+            32,
+            &PipelineOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(e_err.loop_name, "daxpy");
+        assert!(matches!(e_err.stage, PipelineStage::Spill(_)));
+        assert!(e_err.to_string().contains("daxpy"), "{e_err}");
     }
 }

@@ -1,127 +1,42 @@
-//! Plain-text and CSV rendering of experiment results, shaped like the
-//! paper's tables and figure series.
+//! Rendering of experiment results through one [`Render`] trait with
+//! text, CSV and JSON backends, shaped like the paper's tables and figure
+//! series.
+//!
+//! ```
+//! use ncdrf::{Render, ReportFormat, Table1Row};
+//!
+//! let rows = vec![Table1Row {
+//!     config: "P1L3".into(),
+//!     loops_within: [88.0, 97.8, 99.7],
+//!     cycles_within: [64.4, 94.9, 99.9],
+//! }];
+//! assert!(rows.as_slice().render(ReportFormat::Text).contains("P1L3"));
+//! assert!(rows.as_slice().render(ReportFormat::Csv).starts_with("config,"));
+//! assert!(rows.as_slice().render(ReportFormat::Json).starts_with("["));
+//! ```
 
 use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
+use crate::sweep::SweepReport;
 use std::fmt::Write as _;
 
-/// Renders Table 1 in the paper's layout: one row per configuration, one
-/// column pair (loops %, cycles %) per register budget.
-pub fn render_table1(rows: &[Table1Row]) -> String {
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "{:<6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "config", "loops<16", "loops<32", "loops<64", "cyc<16", "cyc<32", "cyc<64"
-    );
-    let _ = writeln!(s, "{}", "-".repeat(66));
-    for r in rows {
-        let _ = writeln!(
-            s,
-            "{:<6} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",
-            r.config,
-            r.loops_within[0],
-            r.loops_within[1],
-            r.loops_within[2],
-            r.cycles_within[0],
-            r.cycles_within[1],
-            r.cycles_within[2],
-        );
-    }
-    s
+/// Output backend of [`Render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Fixed-width tables for terminals, shaped like the paper.
+    Text,
+    /// One header line plus one record per row.
+    Csv,
+    /// An array of objects (or an object of arrays for composites).
+    Json,
 }
 
-/// Renders Table 1 as CSV.
-pub fn csv_table1(rows: &[Table1Row]) -> String {
-    let mut s = String::from("config,loops_16,loops_32,loops_64,cycles_16,cycles_32,cycles_64\n");
-    for r in rows {
-        let _ = writeln!(
-            s,
-            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
-            r.config,
-            r.loops_within[0],
-            r.loops_within[1],
-            r.loops_within[2],
-            r.cycles_within[0],
-            r.cycles_within[1],
-            r.cycles_within[2],
-        );
-    }
-    s
+/// A renderable experiment result.
+pub trait Render {
+    /// Renders into the requested format.
+    fn render(&self, format: ReportFormat) -> String;
 }
 
-/// Renders one Figure 6/7 panel: rows are sampled register counts, columns
-/// are models; `dynamic` selects the cycle-weighted panel (Figure 7).
-pub fn render_distribution(curves: &[DistributionCurve], dynamic: bool) -> String {
-    let mut s = String::new();
-    let what = if dynamic { "cycles" } else { "loops" };
-    let lat = curves.first().map(|c| c.latency).unwrap_or(0);
-    let _ = writeln!(s, "cumulative % of {what} vs registers (latency {lat})");
-    let _ = write!(s, "{:>6}", "regs");
-    for c in curves {
-        let _ = write!(s, " {:>12}", c.model.to_string());
-    }
-    let _ = writeln!(s);
-    if let Some(first) = curves.first() {
-        for (i, &p) in first.static_dist.points.iter().enumerate() {
-            let _ = write!(s, "{p:>6}");
-            for c in curves {
-                let v = if dynamic {
-                    c.dynamic_dist.percent[i]
-                } else {
-                    c.static_dist.percent[i]
-                };
-                let _ = write!(s, " {v:>11.1}%");
-            }
-            let _ = writeln!(s);
-        }
-    }
-    s
-}
-
-/// Renders Figure 6/7 curves as CSV (`regs,model,static,dynamic`).
-pub fn csv_distribution(curves: &[DistributionCurve]) -> String {
-    let mut s = String::from("latency,regs,model,static_percent,dynamic_percent\n");
-    for c in curves {
-        for (i, &p) in c.static_dist.points.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "{},{},{},{:.3},{:.3}",
-                c.latency, p, c.model, c.static_dist.percent[i], c.dynamic_dist.percent[i]
-            );
-        }
-    }
-    s
-}
-
-/// Renders Figure 8 (performance) or Figure 9 (traffic density) bars for a
-/// set of configurations.
-pub fn render_budget_outcomes(outcomes: &[BudgetOutcome], metric: BudgetMetric) -> String {
-    let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "{:<12} {:>10} {:>10} {:>12} {:>12}",
-        "model", "latency", "regs", metric.header(), "spilled"
-    );
-    let _ = writeln!(s, "{}", "-".repeat(60));
-    for o in outcomes {
-        let v = match metric {
-            BudgetMetric::Performance => o.relative_performance,
-            BudgetMetric::TrafficDensity => o.traffic_density,
-        };
-        let _ = writeln!(
-            s,
-            "{:<12} {:>10} {:>10} {:>12.4} {:>12}",
-            o.model.to_string(),
-            o.latency,
-            o.registers,
-            v,
-            o.loops_spilled
-        );
-    }
-    s
-}
-
-/// Which Figure 8/9 quantity to render.
+/// Which Figure 8/9 quantity a [`BudgetTable`] shows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BudgetMetric {
     /// Relative performance (Figure 8).
@@ -139,26 +54,480 @@ impl BudgetMetric {
     }
 }
 
-/// Renders Figure 8/9 outcomes as CSV.
-pub fn csv_budget_outcomes(outcomes: &[BudgetOutcome]) -> String {
-    let mut s = String::from(
-        "model,latency,registers,cycles,accesses,relative_performance,traffic_density,loops_spilled\n",
-    );
-    for o in outcomes {
-        let _ = writeln!(
-            s,
-            "{},{},{},{},{},{:.6},{:.6},{}",
-            o.model,
-            o.latency,
-            o.registers,
-            o.cycles,
-            o.accesses,
-            o.relative_performance,
-            o.traffic_density,
-            o.loops_spilled
+/// A single panel of distribution curves: static (Figure 6) or dynamic
+/// (Figure 7). Rendering a `[DistributionCurve]` slice directly emits
+/// both panels.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributionPanel<'a> {
+    /// The curves to render (one column per curve).
+    pub curves: &'a [DistributionCurve],
+    /// `true` for the cycle-weighted (Figure 7) panel.
+    pub dynamic: bool,
+}
+
+/// A single-metric view of budget outcomes: performance (Figure 8) or
+/// traffic density (Figure 9). Rendering a `[BudgetOutcome]` slice
+/// directly emits both metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetTable<'a> {
+    /// The outcomes to render, one row each.
+    pub outcomes: &'a [BudgetOutcome],
+    /// The quantity shown in the value column.
+    pub metric: BudgetMetric,
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+impl Render for [Table1Row] {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "{:<6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+                    "config", "loops<16", "loops<32", "loops<64", "cyc<16", "cyc<32", "cyc<64"
+                );
+                let _ = writeln!(s, "{}", "-".repeat(66));
+                for r in self {
+                    let _ = writeln!(
+                        s,
+                        "{:<6} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",
+                        r.config,
+                        r.loops_within[0],
+                        r.loops_within[1],
+                        r.loops_within[2],
+                        r.cycles_within[0],
+                        r.cycles_within[1],
+                        r.cycles_within[2],
+                    );
+                }
+                s
+            }
+            ReportFormat::Csv => {
+                let mut s = String::from(
+                    "config,loops_16,loops_32,loops_64,cycles_16,cycles_32,cycles_64\n",
+                );
+                for r in self {
+                    let _ = writeln!(
+                        s,
+                        "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                        r.config,
+                        r.loops_within[0],
+                        r.loops_within[1],
+                        r.loops_within[2],
+                        r.cycles_within[0],
+                        r.cycles_within[1],
+                        r.cycles_within[2],
+                    );
+                }
+                s
+            }
+            ReportFormat::Json => json_array(self.iter().map(|r| {
+                let mut o = JsonObject::new();
+                o.string("config", &r.config);
+                o.number_array("loops_within", &r.loops_within);
+                o.number_array("cycles_within", &r.cycles_within);
+                o.finish()
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 6/7 (distribution curves)
+// ---------------------------------------------------------------------
+
+impl Render for DistributionPanel<'_> {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let mut s = String::new();
+                let what = if self.dynamic { "cycles" } else { "loops" };
+                let config = self
+                    .curves
+                    .first()
+                    .map(|c| c.config.as_str())
+                    .unwrap_or("-");
+                let _ = writeln!(s, "cumulative % of {what} vs registers ({config})");
+                let _ = write!(s, "{:>6}", "regs");
+                for c in self.curves {
+                    let _ = write!(s, " {:>12}", c.model.to_string());
+                }
+                let _ = writeln!(s);
+                if let Some(first) = self.curves.first() {
+                    for (i, &p) in first.static_dist.points.iter().enumerate() {
+                        let _ = write!(s, "{p:>6}");
+                        for c in self.curves {
+                            let v = if self.dynamic {
+                                c.dynamic_dist.percent[i]
+                            } else {
+                                c.static_dist.percent[i]
+                            };
+                            let _ = write!(s, " {v:>11.1}%");
+                        }
+                        let _ = writeln!(s);
+                    }
+                }
+                s
+            }
+            // Data formats carry both panels regardless of the view.
+            ReportFormat::Csv | ReportFormat::Json => self.curves.render(format),
+        }
+    }
+}
+
+impl Render for [DistributionCurve] {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let static_panel = DistributionPanel {
+                    curves: self,
+                    dynamic: false,
+                }
+                .render(ReportFormat::Text);
+                let dynamic_panel = DistributionPanel {
+                    curves: self,
+                    dynamic: true,
+                }
+                .render(ReportFormat::Text);
+                format!("{static_panel}\n{dynamic_panel}")
+            }
+            ReportFormat::Csv => {
+                let mut s =
+                    String::from("config,latency,regs,model,static_percent,dynamic_percent\n");
+                for c in self {
+                    for (i, &p) in c.static_dist.points.iter().enumerate() {
+                        let _ = writeln!(
+                            s,
+                            "{},{},{},{},{:.3},{:.3}",
+                            c.config,
+                            c.latency,
+                            p,
+                            c.model,
+                            c.static_dist.percent[i],
+                            c.dynamic_dist.percent[i]
+                        );
+                    }
+                }
+                s
+            }
+            ReportFormat::Json => json_array(self.iter().map(|c| {
+                let mut o = JsonObject::new();
+                o.string("config", &c.config);
+                o.string("model", &c.model.to_string());
+                o.number("latency", c.latency as f64);
+                o.number_array("points", &c.static_dist.points);
+                o.number_array("static_percent", &c.static_dist.percent);
+                o.number_array("dynamic_percent", &c.dynamic_dist.percent);
+                o.finish()
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 8/9 (budget outcomes)
+// ---------------------------------------------------------------------
+
+impl Render for BudgetTable<'_> {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:>10} {:>10} {:>12} {:>12}",
+                    "model",
+                    "latency",
+                    "regs",
+                    self.metric.header(),
+                    "spilled"
+                );
+                let _ = writeln!(s, "{}", "-".repeat(60));
+                for o in self.outcomes {
+                    let v = match self.metric {
+                        BudgetMetric::Performance => o.relative_performance,
+                        BudgetMetric::TrafficDensity => o.traffic_density,
+                    };
+                    let _ = writeln!(
+                        s,
+                        "{:<12} {:>10} {:>10} {:>12.4} {:>12}",
+                        o.model.to_string(),
+                        o.latency,
+                        o.registers,
+                        v,
+                        o.loops_spilled
+                    );
+                }
+                s
+            }
+            ReportFormat::Csv | ReportFormat::Json => self.outcomes.render(format),
+        }
+    }
+}
+
+impl Render for [BudgetOutcome] {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let perf = BudgetTable {
+                    outcomes: self,
+                    metric: BudgetMetric::Performance,
+                }
+                .render(ReportFormat::Text);
+                let density = BudgetTable {
+                    outcomes: self,
+                    metric: BudgetMetric::TrafficDensity,
+                }
+                .render(ReportFormat::Text);
+                format!("{perf}\n{density}")
+            }
+            ReportFormat::Csv => {
+                let mut s = String::from(
+                    "config,model,latency,registers,cycles,accesses,relative_performance,traffic_density,loops_spilled\n",
+                );
+                for o in self {
+                    let _ = writeln!(
+                        s,
+                        "{},{},{},{},{},{},{:.6},{:.6},{}",
+                        o.config,
+                        o.model,
+                        o.latency,
+                        o.registers,
+                        o.cycles,
+                        o.accesses,
+                        o.relative_performance,
+                        o.traffic_density,
+                        o.loops_spilled
+                    );
+                }
+                s
+            }
+            ReportFormat::Json => json_array(self.iter().map(|o| {
+                let mut j = JsonObject::new();
+                j.string("config", &o.config);
+                j.string("model", &o.model.to_string());
+                j.number("latency", o.latency as f64);
+                j.number("registers", o.registers as f64);
+                j.number("cycles", o.cycles as f64);
+                j.number("accesses", o.accesses as f64);
+                j.number("relative_performance", o.relative_performance);
+                j.number("traffic_density", o.traffic_density);
+                j.number("loops_spilled", o.loops_spilled as f64);
+                j.finish()
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole sweep reports
+// ---------------------------------------------------------------------
+
+impl Render for SweepReport {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let mut s = String::new();
+                if !self.distributions.is_empty() {
+                    let mut seen: Vec<&str> = Vec::new();
+                    for c in &self.distributions {
+                        if !seen.contains(&c.config.as_str()) {
+                            seen.push(&c.config);
+                        }
+                    }
+                    for config in seen {
+                        let curves: Vec<DistributionCurve> = self
+                            .distributions
+                            .iter()
+                            .filter(|c| c.config == config)
+                            .cloned()
+                            .collect();
+                        let _ = writeln!(s, "{}", curves.as_slice().render(ReportFormat::Text));
+                    }
+                }
+                if !self.outcomes.is_empty() {
+                    let _ = writeln!(s, "{}", self.outcomes.as_slice().render(ReportFormat::Text));
+                }
+                let _ = writeln!(
+                    s,
+                    "[schedule cache: {} runs, {} hits]",
+                    self.scheduling.misses, self.scheduling.hits
+                );
+                s
+            }
+            ReportFormat::Csv => {
+                // Two independent record shapes: emit the non-empty one,
+                // or both separated by a blank line.
+                let mut parts = Vec::new();
+                if !self.distributions.is_empty() {
+                    parts.push(self.distributions.as_slice().render(ReportFormat::Csv));
+                }
+                if !self.outcomes.is_empty() {
+                    parts.push(self.outcomes.as_slice().render(ReportFormat::Csv));
+                }
+                parts.join("\n")
+            }
+            ReportFormat::Json => {
+                let mut o = JsonObject::new();
+                o.raw(
+                    "distributions",
+                    &self.distributions.as_slice().render(ReportFormat::Json),
+                );
+                o.raw(
+                    "outcomes",
+                    &self.outcomes.as_slice().render(ReportFormat::Json),
+                );
+                o.number("scheduling_runs", self.scheduling.misses as f64);
+                o.number("cache_hits", self.scheduling.hits as f64);
+                o.finish()
+            }
+        }
+    }
+}
+
+impl<T: Render + ?Sized> Render for &T {
+    fn render(&self, format: ReportFormat) -> String {
+        (**self).render(format)
+    }
+}
+
+impl<T> Render for Vec<T>
+where
+    [T]: Render,
+{
+    fn render(&self, format: ReportFormat) -> String {
+        self.as_slice().render(format)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON writer (the vendor serde stand-in has no serializer)
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Infinity/NaN literals.
+        "null".to_owned()
+    }
+}
+
+struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    fn new() -> Self {
+        JsonObject {
+            body: String::from("{"),
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.body.len() > 1 {
+            self.body.push(',');
+        }
+    }
+
+    fn string(&mut self, key: &str, value: &str) {
+        self.sep();
+        let _ = write!(
+            self.body,
+            "\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
         );
     }
-    s
+
+    fn number(&mut self, key: &str, value: f64) {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", json_escape(key), json_number(value));
+    }
+
+    fn number_array<T: Copy + Into<f64>>(&mut self, key: &str, values: &[T]) {
+        self.sep();
+        let items: Vec<String> = values.iter().map(|&v| json_number(v.into())).collect();
+        let _ = write!(self.body, "\"{}\":[{}]", json_escape(key), items.join(","));
+    }
+
+    fn raw(&mut self, key: &str, json: &str) {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", json_escape(key), json);
+    }
+
+    fn finish(mut self) -> String {
+        self.body.push('}');
+        self.body
+    }
+}
+
+fn json_array(items: impl Iterator<Item = String>) -> String {
+    let items: Vec<String> = items.collect();
+    format!("[{}]", items.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-Render shims
+// ---------------------------------------------------------------------
+
+/// Renders Table 1 in the paper's layout.
+#[deprecated(note = "use `Render::render(ReportFormat::Text)` on the rows")]
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    rows.render(ReportFormat::Text)
+}
+
+/// Renders Table 1 as CSV.
+#[deprecated(note = "use `Render::render(ReportFormat::Csv)` on the rows")]
+pub fn csv_table1(rows: &[Table1Row]) -> String {
+    rows.render(ReportFormat::Csv)
+}
+
+/// Renders one Figure 6/7 panel; `dynamic` selects the cycle-weighted
+/// panel (Figure 7).
+#[deprecated(note = "use `DistributionPanel { curves, dynamic }.render(ReportFormat::Text)`")]
+pub fn render_distribution(curves: &[DistributionCurve], dynamic: bool) -> String {
+    DistributionPanel { curves, dynamic }.render(ReportFormat::Text)
+}
+
+/// Renders Figure 6/7 curves as CSV.
+#[deprecated(note = "use `Render::render(ReportFormat::Csv)` on the curves")]
+pub fn csv_distribution(curves: &[DistributionCurve]) -> String {
+    curves.render(ReportFormat::Csv)
+}
+
+/// Renders Figure 8 (performance) or Figure 9 (traffic density) bars.
+#[deprecated(note = "use `BudgetTable { outcomes, metric }.render(ReportFormat::Text)`")]
+pub fn render_budget_outcomes(outcomes: &[BudgetOutcome], metric: BudgetMetric) -> String {
+    BudgetTable { outcomes, metric }.render(ReportFormat::Text)
+}
+
+/// Renders Figure 8/9 outcomes as CSV.
+#[deprecated(note = "use `Render::render(ReportFormat::Csv)` on the outcomes")]
+pub fn csv_budget_outcomes(outcomes: &[BudgetOutcome]) -> String {
+    outcomes.render(ReportFormat::Csv)
 }
 
 #[cfg(test)]
@@ -173,6 +542,7 @@ mod tests {
             percent: vec![50.0, 75.0],
         };
         vec![DistributionCurve {
+            config: "C2L3".into(),
             model: Model::Unified,
             latency: 3,
             static_dist: dist.clone(),
@@ -180,33 +550,9 @@ mod tests {
         }]
     }
 
-    #[test]
-    fn table1_renders_all_rows() {
-        let rows = vec![Table1Row {
-            config: "P1L3".into(),
-            loops_within: [88.0, 97.8, 99.7],
-            cycles_within: [64.4, 94.9, 99.9],
-        }];
-        let text = render_table1(&rows);
-        assert!(text.contains("P1L3"));
-        assert!(text.contains("97.8%"));
-        let csv = csv_table1(&rows);
-        assert!(csv.lines().count() == 2);
-        assert!(csv.contains("P1L3,88.00"));
-    }
-
-    #[test]
-    fn distribution_renders_points_and_models() {
-        let text = render_distribution(&sample_curves(), false);
-        assert!(text.contains("unified"));
-        assert!(text.contains("16"));
-        let csv = csv_distribution(&sample_curves());
-        assert!(csv.contains("3,16,unified,50.000,50.000"));
-    }
-
-    #[test]
-    fn budget_outcomes_render_both_metrics() {
-        let o = vec![BudgetOutcome {
+    fn sample_outcomes() -> Vec<BudgetOutcome> {
+        vec![BudgetOutcome {
+            config: "C2L6".into(),
             model: Model::Swapped,
             latency: 6,
             registers: 32,
@@ -215,12 +561,108 @@ mod tests {
             relative_performance: 0.87,
             traffic_density: 0.15,
             loops_spilled: 12,
+        }]
+    }
+
+    #[test]
+    fn table1_renders_all_formats() {
+        let rows = vec![Table1Row {
+            config: "P1L3".into(),
+            loops_within: [88.0, 97.8, 99.7],
+            cycles_within: [64.4, 94.9, 99.9],
         }];
-        let perf = render_budget_outcomes(&o, BudgetMetric::Performance);
+        let text = rows.render(ReportFormat::Text);
+        assert!(text.contains("P1L3"));
+        assert!(text.contains("97.8%"));
+        let csv = rows.render(ReportFormat::Csv);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("P1L3,88.00"));
+        let json = rows.render(ReportFormat::Json);
+        assert!(json.contains("\"config\":\"P1L3\""));
+        assert!(json.contains("\"loops_within\":[88,97.8,99.7]"));
+    }
+
+    #[test]
+    fn distribution_renders_points_and_models() {
+        let curves = sample_curves();
+        let text = DistributionPanel {
+            curves: &curves,
+            dynamic: false,
+        }
+        .render(ReportFormat::Text);
+        assert!(text.contains("unified"));
+        assert!(text.contains("16"));
+        // The slice renderer emits both panels.
+        let both = curves.render(ReportFormat::Text);
+        assert!(both.contains("% of loops"));
+        assert!(both.contains("% of cycles"));
+        let csv = curves.render(ReportFormat::Csv);
+        assert!(csv.contains("C2L3,3,16,unified,50.000,50.000"));
+        let json = curves.render(ReportFormat::Json);
+        assert!(json.contains("\"static_percent\":[50,75]"));
+    }
+
+    #[test]
+    fn budget_outcomes_render_both_metrics() {
+        let o = sample_outcomes();
+        let perf = BudgetTable {
+            outcomes: &o,
+            metric: BudgetMetric::Performance,
+        }
+        .render(ReportFormat::Text);
         assert!(perf.contains("0.8700"));
-        let dens = render_budget_outcomes(&o, BudgetMetric::TrafficDensity);
+        let dens = BudgetTable {
+            outcomes: &o,
+            metric: BudgetMetric::TrafficDensity,
+        }
+        .render(ReportFormat::Text);
         assert!(dens.contains("0.1500"));
-        let csv = csv_budget_outcomes(&o);
-        assert!(csv.contains("swapped,6,32,1000,300,0.870000,0.150000,12"));
+        let csv = o.render(ReportFormat::Csv);
+        assert!(csv.contains("C2L6,swapped,6,32,1000,300,0.870000,0.150000,12"));
+        let json = o.render(ReportFormat::Json);
+        assert!(json.contains("\"relative_performance\":0.87"));
+    }
+
+    #[test]
+    fn sweep_report_renders_every_format() {
+        let report = SweepReport {
+            distributions: sample_curves(),
+            outcomes: sample_outcomes(),
+            scheduling: crate::session::CacheStats { hits: 9, misses: 3 },
+        };
+        let text = report.render(ReportFormat::Text);
+        assert!(text.contains("% of loops"));
+        assert!(text.contains("rel. perf"));
+        assert!(text.contains("3 runs, 9 hits"));
+        let csv = report.render(ReportFormat::Csv);
+        assert!(csv.contains("static_percent"));
+        assert!(csv.contains("traffic_density"));
+        let json = report.render(ReportFormat::Json);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scheduling_runs\":3"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        let mut o = JsonObject::new();
+        o.string("k\"ey", "va\\l\nue\t");
+        let s = o.finish();
+        assert_eq!(s, "{\"k\\\"ey\":\"va\\\\l\\nue\\t\"}");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate() {
+        let curves = sample_curves();
+        assert_eq!(
+            render_distribution(&curves, true),
+            DistributionPanel {
+                curves: &curves,
+                dynamic: true
+            }
+            .render(ReportFormat::Text)
+        );
+        assert_eq!(csv_distribution(&curves), curves.render(ReportFormat::Csv));
     }
 }

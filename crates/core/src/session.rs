@@ -1,0 +1,444 @@
+//! The [`Session`] experiment driver: schedule each loop **once**, derive
+//! every model's result from the cached base schedule.
+//!
+//! The paper's experiments compare the same scheduled loop under four
+//! register-file models (Ideal / Unified / Partitioned / Swapped), across
+//! several register budgets. Modulo scheduling dominates the pipeline
+//! cost, yet it depends only on `(loop, machine)` — not on the model or
+//! the budget. A `Session` owns one machine and a per-loop cache of base
+//! schedules (plus their lifetimes), so a four-model comparison schedules
+//! once instead of four times:
+//!
+//! ```
+//! use ncdrf::{Model, Session};
+//! use ncdrf::corpus::kernels;
+//! use ncdrf::machine::Machine;
+//!
+//! # fn main() -> Result<(), ncdrf::PipelineError> {
+//! let session = Session::new(Machine::clustered(3, 1));
+//! let l = kernels::livermore::hydro();
+//! let unified = session.analyze(&l, Model::Unified)?;
+//! let swapped = session.analyze(&l, Model::Swapped)?; // cache hit: no rescheduling
+//! assert!(swapped.regs <= unified.regs);
+//! assert_eq!(session.cache_stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Sessions are `Sync`: corpus-level sweeps run loops in parallel against
+//! one shared cache (see [`Session::analyze_corpus`]).
+
+use crate::model::Model;
+use crate::pipeline::{
+    eval_from_spill, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
+    PipelineStage,
+};
+use ncdrf_corpus::Corpus;
+use ncdrf_ddg::Loop;
+use ncdrf_machine::{Machine, MachineError};
+use ncdrf_regalloc::{allocate_dual, allocate_unified, classify, lifetimes, max_live, Lifetime};
+use ncdrf_sched::{modulo_schedule_with, Schedule};
+use ncdrf_spill::spill_until_fits_seeded;
+use ncdrf_swap::swap_pass_with;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A loop's cached model-independent artifacts: the base modulo schedule
+/// and its lifetimes.
+#[derive(Debug, Clone)]
+pub struct BaseSchedule {
+    /// The base (pre-swap, pre-spill) modulo schedule.
+    pub sched: Schedule,
+    /// Value lifetimes of the base schedule.
+    pub lifetimes: Vec<Lifetime>,
+}
+
+/// Hit/miss counters of a session's schedule cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Base requests served from the cache.
+    pub hits: u64,
+    /// Base requests that ran the scheduler.
+    pub misses: u64,
+}
+
+/// An experiment session over one machine: a schedule cache plus the
+/// pipeline options shared by every analysis/evaluation it runs.
+///
+/// Loops are keyed by name; corpora keep names unique. Results are
+/// bit-identical to the uncached per-call pipeline ([`crate::analyze`] /
+/// [`crate::evaluate`]) because base scheduling is deterministic for a
+/// given `(loop, machine, options)`.
+#[derive(Debug)]
+pub struct Session {
+    machine: Machine,
+    opts: PipelineOptions,
+    cache: Mutex<HashMap<String, Arc<BaseSchedule>>>,
+    /// Post-swap variants of cached base schedules, filled lazily the
+    /// first time a loop is examined under [`Model::Swapped`].
+    swapped: Mutex<HashMap<String, Arc<BaseSchedule>>>,
+    /// Per-(loop, model) register requirements of the cached schedules.
+    /// Budget-independent, so a multi-budget sweep allocates once.
+    reqs: Mutex<HashMap<(String, Model), u32>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// Creates a session for `machine` with default [`PipelineOptions`].
+    pub fn new(machine: Machine) -> Self {
+        Session {
+            machine,
+            opts: PipelineOptions::default(),
+            cache: Mutex::new(HashMap::new()),
+            swapped: Mutex::new(HashMap::new()),
+            reqs: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the session's pipeline options (builder style).
+    pub fn options(mut self, opts: PipelineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The session's machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The session's pipeline options.
+    pub fn pipeline_options(&self) -> &PipelineOptions {
+        &self.opts
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached schedule (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+        self.swapped.lock().clear();
+        self.reqs.lock().clear();
+    }
+
+    fn fail(l: &Loop, stage: impl Into<PipelineStage>) -> PipelineError {
+        PipelineError::new(l.name(), stage)
+    }
+
+    /// The cached base schedule of `l`, scheduling it on a miss.
+    ///
+    /// Scheduling runs outside the cache lock, so parallel corpus sweeps
+    /// schedule distinct loops concurrently. If two threads race on the
+    /// same loop the first insert wins (both results are identical —
+    /// scheduling is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures, naming the loop.
+    pub fn base(&self, l: &Loop) -> Result<Arc<BaseSchedule>, PipelineError> {
+        if let Some(hit) = self.cache.lock().get(l.name()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sched = modulo_schedule_with(l, &self.machine, self.opts.spill.scheduler)
+            .map_err(|e| Self::fail(l, e))?;
+        let lts = lifetimes(l, &self.machine, &sched).map_err(|e| Self::fail(l, e))?;
+        let base = Arc::new(BaseSchedule {
+            sched,
+            lifetimes: lts,
+        });
+        Ok(self
+            .cache
+            .lock()
+            .entry(l.name().to_owned())
+            .or_insert(base)
+            .clone())
+    }
+
+    /// The cached post-swap schedule of `l`: the base schedule cloned and
+    /// run through the greedy swap pass once, with its lifetimes. Every
+    /// [`Model::Swapped`] analysis/evaluation shares this single run (the
+    /// pass is deterministic and idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and machine failures, naming the loop.
+    pub fn swapped_base(&self, l: &Loop) -> Result<Arc<BaseSchedule>, PipelineError> {
+        if let Some(hit) = self.swapped.lock().get(l.name()) {
+            return Ok(hit.clone());
+        }
+        let base = self.base(l)?;
+        let mut sched = base.sched.clone();
+        swap_pass_with(l, &self.machine, &mut sched, self.opts.swap)
+            .map_err(|e| Self::fail(l, e))?;
+        let lts = lifetimes(l, &self.machine, &sched).map_err(|e| Self::fail(l, e))?;
+        let entry = Arc::new(BaseSchedule {
+            sched,
+            lifetimes: lts,
+        });
+        Ok(self
+            .swapped
+            .lock()
+            .entry(l.name().to_owned())
+            .or_insert(entry)
+            .clone())
+    }
+
+    /// The model's schedule (base or post-swap) and its register
+    /// requirement, both cached. The requirement is budget-independent,
+    /// so multi-budget sweeps allocate once per `(loop, model)`.
+    fn cached_requirement(
+        &self,
+        l: &Loop,
+        model: Model,
+    ) -> Result<(Arc<BaseSchedule>, u32), PipelineError> {
+        let base = if model.swaps() {
+            self.swapped_base(l)?
+        } else {
+            self.base(l)?
+        };
+        if model == Model::Ideal {
+            return Ok((base, 0));
+        }
+        if let Some(&regs) = self.reqs.lock().get(&(l.name().to_owned(), model)) {
+            return Ok((base, regs));
+        }
+        let (sched, lts) = (&base.sched, &base.lifetimes);
+        let regs = match model {
+            Model::Ideal => unreachable!("handled above"),
+            Model::Unified => allocate_unified(lts, sched.ii()).regs,
+            Model::Partitioned | Model::Swapped => {
+                let classes = classify(l, &self.machine, sched, lts);
+                allocate_dual(lts, &classes, sched.ii()).regs
+            }
+        };
+        self.reqs.lock().insert((l.name().to_owned(), model), regs);
+        Ok((base, regs))
+    }
+
+    /// Analyses `l` under `model` with unlimited registers, reusing the
+    /// cached base (or post-swap) schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and machine failures, naming the loop.
+    pub fn analyze(&self, l: &Loop, model: Model) -> Result<LoopAnalysis, PipelineError> {
+        let base = if model.swaps() {
+            self.swapped_base(l)?
+        } else {
+            self.base(l)?
+        };
+        let (sched, lts) = (&base.sched, &base.lifetimes);
+        let (regs, pressure) = match model {
+            Model::Ideal => (0, None),
+            Model::Unified => (allocate_unified(lts, sched.ii()).regs, None),
+            Model::Partitioned | Model::Swapped => {
+                let classes = classify(l, &self.machine, sched, lts);
+                let alloc = allocate_dual(lts, &classes, sched.ii());
+                (alloc.regs, Some(alloc.pressure))
+            }
+        };
+        if model != Model::Ideal {
+            self.reqs.lock().insert((l.name().to_owned(), model), regs);
+        }
+        Ok(LoopAnalysis {
+            name: l.name().to_owned(),
+            model,
+            ii: sched.ii(),
+            regs,
+            max_live: max_live(lts, sched.ii()),
+            pressure,
+            iterations: l.weight().iterations(),
+        })
+    }
+
+    /// Evaluates `l` under `model` with a `budget`-register file.
+    ///
+    /// Loops whose cached-schedule requirement already fits the budget —
+    /// the common case — return directly without touching the spiller;
+    /// the rest run the §5.4 spill loop with the cached base schedule
+    /// seeding the first round. Results are bit-identical to the uncached
+    /// [`crate::evaluate`] either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and spilling failures, naming the loop.
+    pub fn evaluate(&self, l: &Loop, model: Model, budget: u32) -> Result<LoopEval, PipelineError> {
+        let no_spill_eval = |sched: &Schedule, regs: u32| LoopEval {
+            name: l.name().to_owned(),
+            model,
+            budget,
+            ii: sched.ii(),
+            regs,
+            fits: true,
+            spilled: 0,
+            mem_ops: l.memory_ops(),
+            ports: self.machine.memory_ports() as u32,
+            iterations: l.weight().iterations(),
+        };
+        // Fast path: the requirement of the cached schedule, computed
+        // without cloning the loop or entering the spiller. This equals
+        // the spiller's round-1 requirement (the swap pass is
+        // deterministic), so `regs <= budget` short-circuits exactly the
+        // evaluations the spiller would have returned unchanged.
+        if model == Model::Ideal {
+            let base = self.base(l)?;
+            return Ok(no_spill_eval(&base.sched, 0));
+        }
+        let (req_base, regs) = self.cached_requirement(l, model)?;
+        if regs <= budget {
+            return Ok(no_spill_eval(&req_base.sched, regs));
+        }
+        // Slow path: real spilling, seeded with the cached base schedule
+        // (the swapped model re-derives its swap from the base, exactly
+        // as the uncached pipeline does).
+        let spill_seed = self.base(l)?;
+        let opts = self.opts;
+        let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
+            requirement(l, m, s, model, &opts)
+        };
+        let r = spill_until_fits_seeded(
+            l,
+            &self.machine,
+            spill_seed.sched.clone(),
+            budget,
+            &mut req,
+            self.opts.spill,
+        )
+        .map_err(|e| Self::fail(l, e))?;
+        let mut eval = eval_from_spill(l, model, budget, r);
+        eval.ports = self.machine.memory_ports() as u32;
+        Ok(eval)
+    }
+
+    /// [`Session::analyze`] over every loop of `corpus`, in parallel,
+    /// preserving corpus order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-loop failure in corpus order.
+    pub fn analyze_corpus(
+        &self,
+        corpus: &Corpus,
+        model: Model,
+    ) -> Result<Vec<LoopAnalysis>, PipelineError> {
+        crate::par_map(corpus.loops(), |l| self.analyze(l, model))
+            .into_iter()
+            .collect()
+    }
+
+    /// [`Session::evaluate`] over every loop of `corpus`, in parallel,
+    /// preserving corpus order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-loop failure in corpus order.
+    pub fn evaluate_corpus(
+        &self,
+        corpus: &Corpus,
+        model: Model,
+        budget: u32,
+    ) -> Result<Vec<LoopEval>, PipelineError> {
+        crate::par_map(corpus.loops(), |l| self.evaluate(l, model, budget))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncdrf_corpus::{kernels, Corpus};
+
+    #[test]
+    fn four_model_analysis_schedules_once() {
+        let session = Session::new(Machine::clustered(3, 1));
+        let l = kernels::livermore::hydro();
+        for model in Model::all() {
+            session.analyze(&l, model).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1, "one scheduling run for four models");
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn evaluate_reuses_the_analysis_schedule() {
+        let session = Session::new(Machine::clustered(6, 1));
+        let l = kernels::blas::daxpy();
+        session.analyze(&l, Model::Unified).unwrap();
+        for model in Model::all() {
+            session.evaluate(&l, model, 32).unwrap();
+        }
+        assert_eq!(session.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn parallel_corpus_sweep_schedules_each_loop_once() {
+        let corpus = Corpus::small().take(12);
+        let session = Session::new(Machine::clustered(3, 1));
+        for model in Model::finite() {
+            session.analyze_corpus(&corpus, model).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, corpus.len() as u64);
+        assert_eq!(stats.hits, 2 * corpus.len() as u64);
+    }
+
+    #[test]
+    fn session_evaluate_matches_uncached_evaluate() {
+        let machine = Machine::clustered(6, 1);
+        let session = Session::new(machine.clone());
+        let opts = PipelineOptions::default();
+        for l in Corpus::small().take(10).iter() {
+            for model in Model::all() {
+                for budget in [12, 64] {
+                    let cached = session.evaluate(l, model, budget).unwrap();
+                    let fresh =
+                        crate::pipeline::evaluate(l, &machine, model, budget, &opts).unwrap();
+                    assert_eq!(cached, fresh, "{} {model:?} @{budget}", l.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_cache_forces_rescheduling() {
+        let session = Session::new(Machine::clustered(3, 1));
+        let l = kernels::blas::dot();
+        session.analyze(&l, Model::Unified).unwrap();
+        session.clear_cache();
+        session.analyze(&l, Model::Unified).unwrap();
+        assert_eq!(session.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn base_failure_names_the_loop() {
+        use ncdrf_machine::{FuClass, FuGroup};
+        let no_adder = Machine::new(
+            "NOADD",
+            vec![
+                FuGroup::unified(FuClass::Multiplier, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let session = Session::new(no_adder);
+        let l = kernels::blas::daxpy();
+        let err = session.analyze(&l, Model::Unified).unwrap_err();
+        assert_eq!(err.loop_name, "daxpy");
+        assert!(matches!(err.stage, PipelineStage::Schedule(_)));
+    }
+}

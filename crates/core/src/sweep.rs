@@ -1,0 +1,426 @@
+//! The [`Sweep`] builder: declarative corpus experiments over a
+//! machine grid × model set × budget set, backed by per-machine
+//! [`Session`] caches.
+//!
+//! One `Sweep` replaces the positional-argument drivers that used to
+//! reproduce the paper's tables and figures (`table1`, `figures_6_7`,
+//! `figures_8_9`): every `(machine, loop)` pair is scheduled exactly once
+//! no matter how many models or budgets are evaluated on it.
+//!
+//! ```
+//! use ncdrf::{Model, Sweep, Render, ReportFormat};
+//! use ncdrf::corpus::Corpus;
+//! use ncdrf::machine::Machine;
+//!
+//! # fn main() -> Result<(), ncdrf::PipelineError> {
+//! let corpus = Corpus::small().take(8);
+//! // Figures 8/9, one configuration: four models, 32 registers.
+//! let report = Sweep::new(&corpus)
+//!     .machine(Machine::clustered(3, 1))
+//!     .models(Model::all())
+//!     .budget(32)
+//!     .run()?;
+//! assert_eq!(report.outcomes.len(), 4);
+//! println!("{}", report.render(ReportFormat::Text));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
+use crate::experiment::{relative_performance, BudgetOutcome, DistributionCurve, Table1Row};
+use crate::model::Model;
+use crate::pipeline::{LoopEval, PipelineError, PipelineOptions};
+use crate::session::{CacheStats, Session};
+use ncdrf_corpus::Corpus;
+use ncdrf_machine::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Builder for a corpus experiment over machines × models × budgets.
+///
+/// * adding [`points`](Sweep::points) produces register-requirement
+///   [`DistributionCurve`]s (the Figure 6/7 and Table 1 pipeline:
+///   unlimited registers, no spilling);
+/// * adding [`budgets`](Sweep::budgets) produces [`BudgetOutcome`]s (the
+///   Figure 8/9 pipeline: finite file, spiller active).
+///
+/// Both can be requested in one sweep; they share the schedule cache.
+#[derive(Debug, Clone)]
+pub struct Sweep<'c> {
+    corpus: &'c Corpus,
+    machines: Vec<Machine>,
+    models: Vec<Model>,
+    points: Vec<u32>,
+    budgets: Vec<u32>,
+    opts: PipelineOptions,
+}
+
+impl<'c> Sweep<'c> {
+    /// Starts a sweep over `corpus` with no machines, all four models,
+    /// and no points/budgets.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        Sweep {
+            corpus,
+            machines: Vec::new(),
+            models: Model::all().to_vec(),
+            points: Vec::new(),
+            budgets: Vec::new(),
+            opts: PipelineOptions::default(),
+        }
+    }
+
+    /// Adds one machine to the grid.
+    pub fn machine(mut self, machine: Machine) -> Self {
+        self.machines.push(machine);
+        self
+    }
+
+    /// Adds machines to the grid.
+    pub fn machines<I: IntoIterator<Item = Machine>>(mut self, machines: I) -> Self {
+        self.machines.extend(machines);
+        self
+    }
+
+    /// Adds the paper's two-cluster evaluation machines for the given
+    /// latencies ([`Machine::clustered`] with one load/store unit per
+    /// cluster).
+    pub fn clustered_latencies<I: IntoIterator<Item = u32>>(mut self, latencies: I) -> Self {
+        self.machines
+            .extend(latencies.into_iter().map(|lat| Machine::clustered(lat, 1)));
+        self
+    }
+
+    /// Adds the unified `PxLy` machines of Table 1 for `(x, latency)`
+    /// pairs.
+    pub fn pxly_configs<I: IntoIterator<Item = (u32, u32)>>(mut self, configs: I) -> Self {
+        self.machines
+            .extend(configs.into_iter().map(|(x, lat)| Machine::pxly(x, lat)));
+        self
+    }
+
+    /// Replaces the model set (default: all four, in presentation order).
+    pub fn models<I: IntoIterator<Item = Model>>(mut self, models: I) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Sets the register-count sample points for distribution curves.
+    pub fn points<I: IntoIterator<Item = u32>>(mut self, points: I) -> Self {
+        self.points = points.into_iter().collect();
+        self
+    }
+
+    /// Adds one register budget for spill evaluation.
+    pub fn budget(mut self, budget: u32) -> Self {
+        self.budgets.push(budget);
+        self
+    }
+
+    /// Adds register budgets for spill evaluation.
+    pub fn budgets<I: IntoIterator<Item = u32>>(mut self, budgets: I) -> Self {
+        self.budgets.extend(budgets);
+        self
+    }
+
+    /// Replaces the pipeline options.
+    pub fn options(mut self, opts: PipelineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs the sweep: one [`Session`] per machine, loops in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-loop failure; the error names the loop (see
+    /// [`PipelineError::loop_name`]).
+    pub fn run(&self) -> Result<SweepReport, PipelineError> {
+        let mut report = SweepReport::default();
+        for machine in &self.machines {
+            let session = Session::new(machine.clone()).options(self.opts);
+            if !self.points.is_empty() {
+                for &model in &self.models {
+                    report.distributions.push(distribution_curve(
+                        &session,
+                        self.corpus,
+                        model,
+                        &self.points,
+                    )?);
+                }
+            }
+            for &budget in &self.budgets {
+                report.outcomes.extend(budget_outcomes(
+                    &session,
+                    self.corpus,
+                    &self.models,
+                    budget,
+                )?);
+            }
+            let stats = session.cache_stats();
+            report.scheduling.hits += stats.hits;
+            report.scheduling.misses += stats.misses;
+        }
+        Ok(report)
+    }
+}
+
+/// Typed result of [`Sweep::run`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// One curve per `(machine, model)` when sample points were set, in
+    /// machine-major order.
+    pub distributions: Vec<DistributionCurve>,
+    /// One outcome per `(machine, budget, model)` when budgets were set,
+    /// in machine-major, budget-middle order.
+    pub outcomes: Vec<BudgetOutcome>,
+    /// Aggregated schedule-cache counters over all sessions: `misses` is
+    /// the number of scheduling runs, `hits` the number the cache saved.
+    pub scheduling: CacheStats,
+}
+
+impl SweepReport {
+    /// Derives Table 1 rows (allocatable percentages at 16/32/64
+    /// registers) from every distribution curve that sampled all three
+    /// Table 1 points.
+    pub fn table1(&self) -> Vec<Table1Row> {
+        self.distributions
+            .iter()
+            .filter(|c| {
+                TABLE1_POINTS
+                    .iter()
+                    .all(|p| c.static_dist.points.contains(p))
+            })
+            .map(|c| Table1Row {
+                config: c.config.clone(),
+                loops_within: [
+                    c.static_dist.at(16),
+                    c.static_dist.at(32),
+                    c.static_dist.at(64),
+                ],
+                cycles_within: [
+                    c.dynamic_dist.at(16),
+                    c.dynamic_dist.at(32),
+                    c.dynamic_dist.at(64),
+                ],
+            })
+            .collect()
+    }
+
+    /// The distribution curves of one machine configuration.
+    pub fn curves_for(&self, config: &str) -> Vec<&DistributionCurve> {
+        self.distributions
+            .iter()
+            .filter(|c| c.config == config)
+            .collect()
+    }
+
+    /// The budget outcomes of one machine configuration and budget.
+    pub fn outcomes_for(&self, config: &str, budget: u32) -> Vec<&BudgetOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.config == config && o.registers == budget)
+            .collect()
+    }
+}
+
+/// The floating-point-unit latency of a machine (its slowest group; the
+/// memory ports have latency 1 in every preset).
+pub(crate) fn fp_latency(machine: &Machine) -> u32 {
+    machine
+        .groups()
+        .iter()
+        .map(|g| g.latency)
+        .max()
+        .unwrap_or(0)
+}
+
+fn distribution_curve(
+    session: &Session,
+    corpus: &Corpus,
+    model: Model,
+    points: &[u32],
+) -> Result<DistributionCurve, PipelineError> {
+    let rows = session.analyze_corpus(corpus, model)?;
+    let static_obs: Vec<Observation> = rows
+        .iter()
+        .map(|r| Observation {
+            regs: r.regs,
+            weight: 1.0,
+        })
+        .collect();
+    let dyn_obs: Vec<Observation> = rows
+        .iter()
+        .map(|r| Observation {
+            regs: r.regs,
+            weight: r.cycles() as f64,
+        })
+        .collect();
+    Ok(DistributionCurve {
+        config: session.machine().name().to_owned(),
+        model,
+        latency: fp_latency(session.machine()),
+        static_dist: Cumulative::new(points, &static_obs),
+        dynamic_dist: Cumulative::new(points, &dyn_obs),
+    })
+}
+
+fn budget_outcomes(
+    session: &Session,
+    corpus: &Corpus,
+    models: &[Model],
+    budget: u32,
+) -> Result<Vec<BudgetOutcome>, PipelineError> {
+    let machine = session.machine();
+    let ports = machine.memory_ports() as u128;
+    // The ideal rows anchor relative performance even when the caller's
+    // model set omits Model::Ideal; with the shared schedule cache they
+    // cost one lookup per loop.
+    let ideal_rows = session.evaluate_corpus(corpus, Model::Ideal, budget)?;
+    let ideal_cycles: u128 = ideal_rows.iter().map(LoopEval::cycles).sum();
+
+    models
+        .iter()
+        .map(|&model| {
+            let rows = if model == Model::Ideal {
+                ideal_rows.clone()
+            } else {
+                session.evaluate_corpus(corpus, model, budget)?
+            };
+            let cycles: u128 = rows.iter().map(LoopEval::cycles).sum();
+            let accesses: u128 = rows.iter().map(LoopEval::accesses).sum();
+            let loops_spilled = rows.iter().filter(|r| r.spilled > 0).count();
+            Ok(BudgetOutcome {
+                config: machine.name().to_owned(),
+                model,
+                latency: fp_latency(machine),
+                registers: budget,
+                cycles,
+                accesses,
+                relative_performance: relative_performance(ideal_cycles, cycles),
+                traffic_density: if cycles == 0 {
+                    0.0
+                } else {
+                    accesses as f64 / (cycles * ports) as f64
+                },
+                loops_spilled,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Corpus {
+        Corpus::small().take(10)
+    }
+
+    #[test]
+    fn grid_sweep_produces_machine_major_results() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .clustered_latencies([3, 6])
+            .models(Model::finite())
+            .points([16, 32])
+            .run()
+            .unwrap();
+        assert_eq!(report.distributions.len(), 6);
+        assert_eq!(report.distributions[0].config, "C2L3");
+        assert_eq!(report.distributions[3].config, "C2L6");
+        assert_eq!(report.distributions[0].latency, 3);
+        assert_eq!(report.distributions[3].latency, 6);
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn sweep_schedules_once_per_loop_machine_pair() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .machine(Machine::clustered(3, 1))
+            .models(Model::all())
+            .points([16, 32, 64])
+            .budgets([32, 64])
+            .run()
+            .unwrap();
+        // 4 models analysed + ideal anchor + (4 models × 2 budgets)
+        // evaluated, all on ONE scheduling run per loop.
+        assert_eq!(report.scheduling.misses, corpus.len() as u64);
+        assert!(report.scheduling.hits > 0);
+        assert_eq!(report.outcomes.len(), 8);
+    }
+
+    #[test]
+    fn table1_rows_derive_from_curves() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .pxly_configs([(1, 3), (2, 6)])
+            .models([Model::Unified])
+            .points(TABLE1_POINTS)
+            .run()
+            .unwrap();
+        let rows = report.table1();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].config, "P1L3");
+        assert_eq!(rows[1].config, "P2L6");
+        for r in &rows {
+            assert!(r.loops_within[0] <= r.loops_within[1]);
+            assert!(r.loops_within[1] <= r.loops_within[2]);
+        }
+    }
+
+    #[test]
+    fn budget_outcomes_keep_model_order_and_anchor_ideal() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .machine(Machine::clustered(6, 1))
+            .models([Model::Swapped, Model::Ideal])
+            .budget(16)
+            .run()
+            .unwrap();
+        assert_eq!(report.outcomes[0].model, Model::Swapped);
+        assert_eq!(report.outcomes[1].model, Model::Ideal);
+        assert_eq!(report.outcomes[1].relative_performance, 1.0);
+        assert!(report.outcomes[0].relative_performance <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn relative_performance_anchored_without_ideal_in_model_set() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .machine(Machine::clustered(6, 1))
+            .models([Model::Unified])
+            .budget(12)
+            .run()
+            .unwrap();
+        let o = &report.outcomes[0];
+        assert!(o.relative_performance > 0.0 && o.relative_performance <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn errors_from_sweeps_name_the_loop() {
+        use ncdrf_machine::{FuClass, FuGroup};
+        // A machine with no adder cannot serve most corpus loops; the
+        // sweep must surface the first failing loop by name.
+        let no_adder = Machine::new(
+            "NOADD",
+            vec![
+                FuGroup::unified(FuClass::Multiplier, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let corpus = tiny();
+        let err = Sweep::new(&corpus)
+            .machine(no_adder)
+            .models([Model::Unified])
+            .points([16])
+            .run()
+            .unwrap_err();
+        assert!(
+            corpus.iter().any(|l| l.name() == err.loop_name),
+            "error names a corpus loop: {err}"
+        );
+        assert!(err.to_string().contains(&err.loop_name));
+    }
+}

@@ -67,7 +67,7 @@ impl Corpus {
         let mut loops = named;
         // Split generated loops across the four structural profiles.
         let quarters = [
-            (GenConfig::default(), (remaining + 3) / 4),
+            (GenConfig::default(), remaining.div_ceil(4)),
             (GenConfig::deep(), (remaining + 2) / 4),
             (GenConfig::wide(), (remaining + 1) / 4),
             (GenConfig::recurrent(), remaining / 4),

@@ -270,12 +270,7 @@ fn pick_kind(rng: &mut StdRng, weights: &[f64; 5]) -> usize {
     0
 }
 
-fn pick_operand(
-    rng: &mut StdRng,
-    pool: &mut Pool,
-    invs: &[ValueRef],
-    chain_bias: f64,
-) -> ValueRef {
+fn pick_operand(rng: &mut StdRng, pool: &mut Pool, invs: &[ValueRef], chain_bias: f64) -> ValueRef {
     if pool.len() > 0 && rng.gen_bool(chain_bias) {
         pool.take_last()
     } else if pool.len() > 0 && rng.gen_bool(0.85) {

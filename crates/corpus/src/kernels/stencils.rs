@@ -141,8 +141,8 @@ pub fn cmul() -> Loop {
 /// `ar = xr + (wr*yr - wi*yi)`, `ai = xi + (wr*yi + wi*yr)`.
 pub fn butterfly() -> Loop {
     let mut b = LoopBuilder::new("butterfly");
-    let wr = b.invariant("wr", 0.7071);
-    let wi = b.invariant("wi", -0.7071);
+    let wr = b.invariant("wr", std::f64::consts::FRAC_1_SQRT_2);
+    let wi = b.invariant("wi", -std::f64::consts::FRAC_1_SQRT_2);
     let xr = b.array_in("xr");
     let xi = b.array_in("xi");
     let yr = b.array_in("yr");

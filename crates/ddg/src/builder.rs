@@ -163,7 +163,12 @@ impl LoopBuilder {
 
     /// Appends a load of `array[i + offset]`.
     pub fn load(&mut self, name: impl Into<String>, array: ArrayId, offset: i64) -> OpId {
-        self.push_op(OpKind::Load, name, Vec::new(), Some(MemRef { array, offset }))
+        self.push_op(
+            OpKind::Load,
+            name,
+            Vec::new(),
+            Some(MemRef { array, offset }),
+        )
     }
 
     /// Appends a store of `value` into `array[i + offset]`.

@@ -27,7 +27,11 @@ impl Loop {
         let _ = writeln!(s, "digraph \"{}\" {{", self.name);
         let _ = writeln!(s, "  rankdir=TB;");
         for (id, op) in self.iter_ops() {
-            let shape = if op.kind().is_memory() { "box" } else { "ellipse" };
+            let shape = if op.kind().is_memory() {
+                "box"
+            } else {
+                "ellipse"
+            };
             let _ = writeln!(
                 s,
                 "  n{} [label=\"{}\\n{}\" shape={}];",

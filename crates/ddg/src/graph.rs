@@ -267,9 +267,7 @@ impl fmt::Display for Loop {
                     ValueRef::Op { id, dist } => {
                         write!(f, " {}@-{}", self.ops[id.index()].name, dist)?
                     }
-                    ValueRef::Inv(inv) => {
-                        write!(f, " ${}", self.invariants[inv.index()].name)?
-                    }
+                    ValueRef::Inv(inv) => write!(f, " ${}", self.invariants[inv.index()].name)?,
                     ValueRef::Const(c) => write!(f, " #{c}")?,
                 }
             }

@@ -9,8 +9,8 @@
 //! same total datapath.
 
 use ncdrf::machine::Machine;
-use ncdrf::regalloc::{allocate_multi, allocate_unified, classify_multi, lifetimes};
-use ncdrf::sched::modulo_schedule;
+use ncdrf::regalloc::{allocate_multi, allocate_unified, classify_multi};
+use ncdrf::Session;
 use ncdrf_experiments::{banner, Cli};
 use std::fmt::Write as _;
 
@@ -30,14 +30,15 @@ fn main() {
             let mut multi_sum = 0u64;
             let mut ii_sum = 0u64;
             let mut count = 0u64;
+            let session = Session::new(machine.clone());
             for l in cli.corpus.iter() {
-                let Ok(sched) = modulo_schedule(l, &machine) else {
+                let Ok(base) = session.base(l) else {
                     continue;
                 };
-                let lts = lifetimes(l, &machine, &sched).expect("servable");
-                uni_sum += allocate_unified(&lts, sched.ii()).regs as u64;
-                let sets = classify_multi(l, &machine, &sched, &lts);
-                multi_sum += allocate_multi(&lts, &sets, sched.ii(), k).regs as u64;
+                let (sched, lts) = (&base.sched, &base.lifetimes);
+                uni_sum += allocate_unified(lts, sched.ii()).regs as u64;
+                let sets = classify_multi(l, &machine, sched, lts);
+                multi_sum += allocate_multi(lts, &sets, sched.ii(), k).regs as u64;
                 ii_sum += sched.ii() as u64;
                 count += 1;
             }

@@ -3,9 +3,11 @@
 
 use ncdrf::ddg::{LoopBuilder, Weight};
 use ncdrf::machine::Machine;
-use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes, DualPressure, ValueClass};
-use ncdrf::sched::modulo_schedule;
+use ncdrf::regalloc::{
+    allocate_dual, allocate_unified, classify, lifetimes, DualPressure, ValueClass,
+};
 use ncdrf::swap::swap_pass;
+use ncdrf::Session;
 use ncdrf_experiments::Cli;
 use std::fmt::Write as _;
 
@@ -29,8 +31,10 @@ fn main() {
     let l = b.finish(Weight::new(100, 1)).unwrap();
 
     let machine = Machine::clustered(3, 2);
-    let mut sched = modulo_schedule(&l, &machine).unwrap();
-    let lts = lifetimes(&l, &machine, &sched).unwrap();
+    let session = Session::new(machine.clone());
+    let base = session.base(&l).unwrap();
+    let mut sched = base.sched.clone();
+    let lts = base.lifetimes.clone();
 
     let mut csv = String::from("table,op,start,end,lifetime,class\n");
 
@@ -55,7 +59,10 @@ fn main() {
         );
     }
     let total: u32 = lts.iter().map(|lt| lt.len()).sum();
-    println!("  sum {total}; unified allocation {}", allocate_unified(&lts, sched.ii()).regs);
+    println!(
+        "  sum {total}; unified allocation {}",
+        allocate_unified(&lts, sched.ii()).regs
+    );
 
     let p = DualPressure::new(&lts, &classes, sched.ii());
     println!(

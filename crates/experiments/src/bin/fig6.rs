@@ -2,22 +2,41 @@
 //! requirements, for the Unified / Partitioned / Swapped models at
 //! latencies 3 and 6.
 
-use ncdrf::{csv_distribution, default_points, figures_6_7, render_distribution, PipelineOptions};
+use ncdrf::{default_points, DistributionPanel, Model, Render, ReportFormat, Sweep};
 use ncdrf_experiments::{banner, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 6: static cumulative distribution of loops", &cli);
 
-    let points = default_points();
-    let mut all = Vec::new();
+    let report = Sweep::new(&cli.corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::finite())
+        .points(default_points())
+        .run()
+        .expect("corpus loops always schedule");
+
     for lat in [3, 6] {
-        let curves = figures_6_7(&cli.corpus, lat, &points, &PipelineOptions::default())
-            .expect("corpus loops always schedule");
-        println!("{}", render_distribution(&curves, false));
-        all.extend(curves);
+        let curves: Vec<_> = report
+            .distributions
+            .iter()
+            .filter(|c| c.latency == lat)
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            DistributionPanel {
+                curves: &curves,
+                dynamic: false
+            }
+            .render(ReportFormat::Text)
+        );
     }
-    cli.write("fig6.csv", &csv_distribution(&all));
+    cli.write("fig6.csv", &report.distributions.render(ReportFormat::Csv));
+    println!(
+        "[schedule cache: {} runs, {} hits]\n",
+        report.scheduling.misses, report.scheduling.hits
+    );
     println!(
         "paper shape: Partitioned lies left of (above) Unified, Swapped \
          slightly left of Partitioned; the gap grows with latency."

@@ -2,28 +2,43 @@
 //! latencies 3 and 6, with the §5.4 spiller inserting spill code whenever
 //! a loop exceeds the file.
 
-use ncdrf::{
-    csv_budget_outcomes, figures_8_9, render_budget_outcomes, BudgetMetric, PipelineOptions,
-    FIG89_CONFIGS,
-};
+use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
 use ncdrf_experiments::{banner, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 8: performance under finite register files", &cli);
 
-    let mut all = Vec::new();
+    // One sweep covers the whole latency × register grid; each loop is
+    // scheduled once per machine no matter how many models/budgets run.
+    let report = Sweep::new(&cli.corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::all())
+        .budgets([32, 64])
+        .run()
+        .expect("corpus loops always schedule");
+
     for (lat, regs) in FIG89_CONFIGS {
-        let outcomes = figures_8_9(&cli.corpus, lat, regs, &PipelineOptions::default())
-            .expect("corpus loops always schedule");
+        let outcomes: Vec<_> = report
+            .outcomes_for(&format!("C2L{lat}"), regs)
+            .into_iter()
+            .cloned()
+            .collect();
         println!("--- L={lat}, R={regs} ---");
         println!(
             "{}",
-            render_budget_outcomes(&outcomes, BudgetMetric::Performance)
+            BudgetTable {
+                outcomes: &outcomes,
+                metric: BudgetMetric::Performance
+            }
+            .render(ReportFormat::Text)
         );
-        all.extend(outcomes);
     }
-    cli.write("fig8.csv", &csv_budget_outcomes(&all));
+    cli.write("fig8.csv", &report.outcomes.render(ReportFormat::Csv));
+    println!(
+        "[schedule cache: {} runs, {} hits]\n",
+        report.scheduling.misses, report.scheduling.hits
+    );
     println!(
         "paper shape: with 64 registers Partitioned/Swapped ~ Ideal while \
          Unified loses at latency 6; with 32 registers Unified degrades \

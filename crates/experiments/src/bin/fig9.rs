@@ -1,28 +1,41 @@
 //! Figure 9: density of memory traffic (average bus occupancy per cycle)
 //! for the same model/latency/register grid as Figure 8.
 
-use ncdrf::{
-    csv_budget_outcomes, figures_8_9, render_budget_outcomes, BudgetMetric, PipelineOptions,
-    FIG89_CONFIGS,
-};
+use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
 use ncdrf_experiments::{banner, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 9: density of memory traffic", &cli);
 
-    let mut all = Vec::new();
+    let report = Sweep::new(&cli.corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::all())
+        .budgets([32, 64])
+        .run()
+        .expect("corpus loops always schedule");
+
     for (lat, regs) in FIG89_CONFIGS {
-        let outcomes = figures_8_9(&cli.corpus, lat, regs, &PipelineOptions::default())
-            .expect("corpus loops always schedule");
+        let outcomes: Vec<_> = report
+            .outcomes_for(&format!("C2L{lat}"), regs)
+            .into_iter()
+            .cloned()
+            .collect();
         println!("--- L={lat}, R={regs} ---");
         println!(
             "{}",
-            render_budget_outcomes(&outcomes, BudgetMetric::TrafficDensity)
+            BudgetTable {
+                outcomes: &outcomes,
+                metric: BudgetMetric::TrafficDensity
+            }
+            .render(ReportFormat::Text)
         );
-        all.extend(outcomes);
     }
-    cli.write("fig9.csv", &csv_budget_outcomes(&all));
+    cli.write("fig9.csv", &report.outcomes.render(ReportFormat::Csv));
+    println!(
+        "[schedule cache: {} runs, {} hits]\n",
+        report.scheduling.misses, report.scheduling.hits
+    );
     println!(
         "paper shape: Partitioned/Swapped carry less traffic than Unified \
          (less spill code) except at L=6/R=32 where heavy spilling makes \

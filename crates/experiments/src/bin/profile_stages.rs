@@ -1,0 +1,85 @@
+//! Per-stage cost profile of the pipeline (schedule / lifetimes /
+//! unified allocation / dual allocation / swap / schedule clone) over a
+//! corpus slice: `profile_stages [skip] [count]`. This is the tool that
+//! exposed First-Fit allocation as the original hot path.
+
+use ncdrf::corpus::Corpus;
+use ncdrf::machine::Machine;
+use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes};
+use ncdrf::sched::modulo_schedule;
+use ncdrf::swap::swap_pass;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let skip: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(0);
+    let n: usize = args.get(2).map(|a| a.parse().unwrap()).unwrap_or(20);
+    let corpus = Corpus::small().filter({
+        let mut i = 0;
+        move |_| {
+            i += 1;
+            i > skip && i <= skip + n
+        }
+    });
+    let machine = Machine::clustered(6, 1);
+    let reps = 20;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for l in corpus.iter() {
+            std::hint::black_box(modulo_schedule(l, &machine).unwrap());
+        }
+    }
+    println!("schedule:  {:?}", t.elapsed() / reps);
+
+    let scheds: Vec<_> = corpus
+        .iter()
+        .map(|l| modulo_schedule(l, &machine).unwrap())
+        .collect();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (l, s) in corpus.iter().zip(&scheds) {
+            std::hint::black_box(lifetimes(l, &machine, s).unwrap());
+        }
+    }
+    println!("lifetimes: {:?}", t.elapsed() / reps);
+
+    let lts: Vec<_> = corpus
+        .iter()
+        .zip(&scheds)
+        .map(|(l, s)| lifetimes(l, &machine, s).unwrap())
+        .collect();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (s, lt) in scheds.iter().zip(&lts) {
+            std::hint::black_box(allocate_unified(lt, s.ii()));
+        }
+    }
+    println!("alloc_uni: {:?}", t.elapsed() / reps);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for ((l, s), lt) in corpus.iter().zip(&scheds).zip(&lts) {
+            let classes = classify(l, &machine, s, lt);
+            std::hint::black_box(allocate_dual(lt, &classes, s.ii()));
+        }
+    }
+    println!("dual:      {:?}", t.elapsed() / reps);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for (l, s) in corpus.iter().zip(&scheds) {
+            let mut s2 = s.clone();
+            std::hint::black_box(swap_pass(l, &machine, &mut s2).unwrap());
+        }
+    }
+    println!("swap:      {:?}", t.elapsed() / reps);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for s in &scheds {
+            std::hint::black_box(s.clone());
+        }
+    }
+    println!("clone:     {:?}", t.elapsed() / reps);
+}

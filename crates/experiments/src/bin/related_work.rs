@@ -5,10 +5,9 @@
 
 use ncdrf::machine::Machine;
 use ncdrf::regalloc::{
-    allocate_dual, allocate_unified, assign_sacks, classify, lifetimes, single_use_fraction,
-    SackConfig,
+    allocate_dual, allocate_unified, assign_sacks, classify, single_use_fraction, SackConfig,
 };
-use ncdrf::sched::modulo_schedule;
+use ncdrf::Session;
 use ncdrf_experiments::{banner, Cli};
 use std::fmt::Write as _;
 
@@ -26,17 +25,18 @@ fn main() {
         let mut central = 0u64;
         let mut sack_total = 0u64;
         let mut count = 0u64;
+        let session = Session::new(machine.clone());
         for l in cli.corpus.iter() {
-            let Ok(sched) = modulo_schedule(l, &machine) else {
+            let Ok(base) = session.base(l) else {
                 continue;
             };
-            let lts = lifetimes(l, &machine, &sched).expect("servable");
-            su += single_use_fraction(l, &lts);
-            uni += allocate_unified(&lts, sched.ii()).regs as u64;
-            let classes = classify(l, &machine, &sched, &lts);
-            dual += allocate_dual(&lts, &classes, sched.ii()).regs as u64;
-            let sacks = assign_sacks(l, &machine, &sched, &lts, SackConfig { sacks: 4 })
-                .expect("servable");
+            let (sched, lts) = (&base.sched, &base.lifetimes);
+            su += single_use_fraction(l, lts);
+            uni += allocate_unified(lts, sched.ii()).regs as u64;
+            let classes = classify(l, &machine, sched, lts);
+            dual += allocate_dual(lts, &classes, sched.ii()).regs as u64;
+            let sacks =
+                assign_sacks(l, &machine, sched, lts, SackConfig { sacks: 4 }).expect("servable");
             central += sacks.central_regs() as u64;
             sack_total += (sacks.central_regs() + sacks.sack_regs()) as u64;
             count += 1;
@@ -47,7 +47,10 @@ fn main() {
             100.0 * su / c
         );
         println!("  avg unified requirement          {:>6.1}", uni as f64 / c);
-        println!("  avg NCDRF requirement (max file) {:>6.1}", dual as f64 / c);
+        println!(
+            "  avg NCDRF requirement (max file) {:>6.1}",
+            dual as f64 / c
+        );
         println!(
             "  avg sack organisation: central {:>6.1} (+ {:.1} cheap sack regs)\n",
             central as f64 / c,

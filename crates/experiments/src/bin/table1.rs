@@ -2,19 +2,23 @@
 //! 16/32/64 registers — and the percentage of execution cycles those loops
 //! represent — on the unified `PxLy` machines.
 
-use ncdrf::{csv_table1, render_table1, table1, PipelineOptions};
+use ncdrf::{Model, Render, ReportFormat, Sweep, TABLE1_POINTS};
 use ncdrf_experiments::{banner, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Table 1: allocatable loops under PxLy configurations", &cli);
 
-    let configs = [(1, 3), (2, 3), (1, 6), (2, 6)];
-    let rows = table1(&cli.corpus, &configs, &PipelineOptions::default())
+    let report = Sweep::new(&cli.corpus)
+        .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
+        .models([Model::Unified])
+        .points(TABLE1_POINTS)
+        .run()
         .expect("corpus loops always schedule");
+    let rows = report.table1();
 
-    println!("{}", render_table1(&rows));
-    cli.write("table1.csv", &csv_table1(&rows));
+    println!("{}", rows.render(ReportFormat::Text));
+    cli.write("table1.csv", &rows.render(ReportFormat::Csv));
 
     println!(
         "paper shape: pressure grows down the table; P2L6 leaves a \

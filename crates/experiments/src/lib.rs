@@ -59,4 +59,3 @@ pub fn banner(what: &str, cli: &Cli) {
         cli.corpus.len()
     );
 }
-

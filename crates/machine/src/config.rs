@@ -395,8 +395,20 @@ mod tests {
         assert_eq!(m.memory_ports(), 4);
         // Adder instance 0 is left, 1 is right.
         let g = m.group_for(OpKind::FpAdd).unwrap();
-        assert_eq!(m.cluster_of(UnitRef { group: g, instance: 0 }), ClusterId::LEFT);
-        assert_eq!(m.cluster_of(UnitRef { group: g, instance: 1 }), ClusterId::RIGHT);
+        assert_eq!(
+            m.cluster_of(UnitRef {
+                group: g,
+                instance: 0
+            }),
+            ClusterId::LEFT
+        );
+        assert_eq!(
+            m.cluster_of(UnitRef {
+                group: g,
+                instance: 1
+            }),
+            ClusterId::RIGHT
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::lifetime::{max_live, Lifetime};
 use crate::offsets_conflict;
+use crate::packer::OffsetPacker;
 use serde::{Deserialize, Serialize};
 
 /// The result of allocating a loop's values on a unified rotating register
@@ -57,6 +58,7 @@ pub fn allocate_unified_with(lifetimes: &[Lifetime], ii: u32, fit: FitPolicy) ->
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (lifetimes[i].start, i));
 
+    let mut packer = OffsetPacker::new();
     let mut r = max_live(lifetimes, ii).max(1);
     'grow: loop {
         let mut offsets: Vec<Option<u32>> = vec![None; n];
@@ -65,34 +67,29 @@ pub fn allocate_unified_with(lifetimes: &[Lifetime], ii: u32, fit: FitPolicy) ->
                 offsets[v] = Some(0);
                 continue;
             }
-            let conflict_free = |cand: u32, offsets: &[Option<u32>]| -> bool {
-                for (u, off_u) in offsets.iter().enumerate() {
-                    let Some(off_u) = off_u else { continue };
-                    if lifetimes[u].is_empty() {
-                        continue;
-                    }
-                    if offsets_conflict(
-                        &lifetimes[v],
-                        &lifetimes[u],
-                        ii,
-                        cand as i64,
-                        *off_u as i64,
-                        r as i64,
-                    ) {
-                        return false;
-                    }
+            packer.begin(r);
+            let mut saturated = false;
+            for (u, off_u) in offsets.iter().enumerate() {
+                let Some(off_u) = off_u else { continue };
+                if !packer.forbid(&lifetimes[v], &lifetimes[u], ii, *off_u) {
+                    saturated = true;
+                    break;
                 }
-                true
-            };
-            let free: Vec<u32> = (0..r).filter(|&c| conflict_free(c, &offsets)).collect();
-            let chosen = match fit {
-                FitPolicy::FirstFit => free.first().copied(),
-                FitPolicy::BestFit => {
-                    let snug = free.iter().copied().find(|&c| {
-                        let below = (c as i64 - 1).rem_euclid(r as i64) as u32;
-                        !conflict_free(below, &offsets)
-                    });
-                    snug.or_else(|| free.first().copied())
+            }
+            let chosen = if saturated {
+                None
+            } else {
+                match fit {
+                    FitPolicy::FirstFit => packer.first_free(),
+                    FitPolicy::BestFit => {
+                        let forbidden = packer.forbidden_flags();
+                        let free = || (0..r).filter(|&c| !forbidden[c as usize]);
+                        let snug = free().find(|&c| {
+                            let below = (c as i64 - 1).rem_euclid(r as i64) as usize;
+                            forbidden[below]
+                        });
+                        snug.or_else(|| free().next())
+                    }
                 }
             };
             match chosen {

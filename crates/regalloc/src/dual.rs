@@ -99,9 +99,7 @@ impl DualPressure {
                 .map(|(lt, _)| *lt)
                 .collect()
         };
-        let ml = |keep: &dyn Fn(ValueClass) -> bool| {
-            max_live_subset(&subset(keep), ii, |_| true)
-        };
+        let ml = |keep: &dyn Fn(ValueClass) -> bool| max_live_subset(&subset(keep), ii, |_| true);
         DualPressure {
             global: ml(&|c| c == ValueClass::Global),
             left: ml(&|c| c == ValueClass::Only(ClusterId::LEFT)),
@@ -157,6 +155,7 @@ pub fn allocate_dual(lifetimes: &[Lifetime], classes: &[ValueClass], ii: u32) ->
     order.sort_by_key(|&i| (lifetimes[i].start, i));
 
     let files = [ClusterId::LEFT, ClusterId::RIGHT];
+    let mut packer = crate::packer::OffsetPacker::new();
     let mut r = pressure.requirement_bound().max(1);
     'grow: loop {
         let mut offsets: Vec<Option<u32>> = vec![None; n];
@@ -165,38 +164,29 @@ pub fn allocate_dual(lifetimes: &[Lifetime], classes: &[ValueClass], ii: u32) ->
                 offsets[v] = Some(0);
                 continue;
             }
-            let mut placed = false;
-            'offsets: for cand in 0..r {
-                for (u, off_u) in offsets.iter().enumerate() {
-                    let Some(off_u) = off_u else { continue };
-                    if lifetimes[u].is_empty() {
-                        continue;
-                    }
-                    // u and v interfere only if they share some subfile.
-                    let share = files
-                        .iter()
-                        .any(|&f| classes[u].occupies(f) && classes[v].occupies(f));
-                    if !share {
-                        continue;
-                    }
-                    if offsets_conflict(
-                        &lifetimes[v],
-                        &lifetimes[u],
-                        ii,
-                        cand as i64,
-                        *off_u as i64,
-                        r as i64,
-                    ) {
-                        continue 'offsets;
-                    }
+            packer.begin(r);
+            let mut saturated = false;
+            for (u, off_u) in offsets.iter().enumerate() {
+                let Some(off_u) = off_u else { continue };
+                // u and v interfere only if they share some subfile.
+                let share = files
+                    .iter()
+                    .any(|&f| classes[u].occupies(f) && classes[v].occupies(f));
+                if !share {
+                    continue;
                 }
-                offsets[v] = Some(cand);
-                placed = true;
-                break;
+                if !packer.forbid(&lifetimes[v], &lifetimes[u], ii, *off_u) {
+                    saturated = true;
+                    break;
+                }
             }
-            if !placed {
-                r += 1;
-                continue 'grow;
+            let placed = if saturated { None } else { packer.first_free() };
+            match placed {
+                Some(cand) => offsets[v] = Some(cand),
+                None => {
+                    r += 1;
+                    continue 'grow;
+                }
             }
         }
         return DualAlloc {
@@ -298,12 +288,12 @@ mod tests {
         // The §4.1 example at II=1 (classes from Table 3): GL 13, LO 13,
         // RO 16 -> max cluster 29.
         let lts = [
-            lt(0, 0, 13), // L1  GL
-            lt(1, 0, 7),  // L2  LO
-            lt(2, 1, 7),  // M3  LO
-            lt(3, 4, 10), // A4  RO
-            lt(4, 7, 13), // M5  RO
-            lt(5, 10, 14),// A6  RO
+            lt(0, 0, 13),  // L1  GL
+            lt(1, 0, 7),   // L2  LO
+            lt(2, 1, 7),   // M3  LO
+            lt(3, 4, 10),  // A4  RO
+            lt(4, 7, 13),  // M5  RO
+            lt(5, 10, 14), // A6  RO
         ];
         let classes = [
             ValueClass::Global,

@@ -48,6 +48,7 @@ mod alloc;
 mod dual;
 mod lifetime;
 mod multi;
+mod packer;
 mod sacks;
 
 pub use alloc::{allocate_unified, allocate_unified_with, verify_unified, FitPolicy, UnifiedAlloc};
@@ -56,9 +57,7 @@ pub use lifetime::{lifetimes, max_live, max_live_subset, Lifetime};
 pub use multi::{
     allocate_multi, classify_multi, multi_pressure, verify_multi, ClusterSet, MultiAlloc,
 };
-pub use sacks::{
-    assign_sacks, single_use_fraction, sole_consumer, SackAssignment, SackConfig,
-};
+pub use sacks::{assign_sacks, single_use_fraction, sole_consumer, SackAssignment, SackConfig};
 
 pub(crate) fn div_floor(a: i64, b: i64) -> i64 {
     debug_assert!(b > 0);
@@ -199,10 +198,14 @@ mod conflict_tests {
                             if phys_u != phys_v {
                                 continue;
                             }
-                            let (us, ue) =
-                                (u.start as i64 + ku * ii as i64, u.end as i64 + ku * ii as i64);
-                            let (vs, ve) =
-                                (v.start as i64 + kv * ii as i64, v.end as i64 + kv * ii as i64);
+                            let (us, ue) = (
+                                u.start as i64 + ku * ii as i64,
+                                u.end as i64 + ku * ii as i64,
+                            );
+                            let (vs, ve) = (
+                                v.start as i64 + kv * ii as i64,
+                                v.end as i64 + kv * ii as i64,
+                            );
                             if us < ve && vs < ue {
                                 slow = true;
                             }

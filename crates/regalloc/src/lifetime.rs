@@ -79,11 +79,7 @@ pub fn max_live(lifetimes: &[Lifetime], ii: u32) -> u32 {
 
 /// MaxLive restricted to the lifetimes selected by `keep` (used for the
 /// per-class pressures of the dual organisation and by the swapping pass).
-pub fn max_live_subset<F: Fn(&Lifetime) -> bool>(
-    lifetimes: &[Lifetime],
-    ii: u32,
-    keep: F,
-) -> u32 {
+pub fn max_live_subset<F: Fn(&Lifetime) -> bool>(lifetimes: &[Lifetime], ii: u32, keep: F) -> u32 {
     assert!(ii > 0, "II must be positive");
     let ii_i = ii as i64;
     let mut best = 0u32;

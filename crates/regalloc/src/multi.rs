@@ -249,7 +249,10 @@ mod tests {
         assert!(s.contains(ClusterId(0)));
         assert!(!s.contains(ClusterId(1)));
         assert_eq!(s.count(), 2);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![ClusterId(0), ClusterId(3)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![ClusterId(0), ClusterId(3)]
+        );
         assert!(s.intersects(ClusterSet::only(ClusterId(3))));
         assert!(!s.intersects(ClusterSet::only(ClusterId(1))));
     }

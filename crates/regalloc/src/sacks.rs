@@ -229,10 +229,7 @@ mod tests {
         let sched = modulo_schedule(&l, &machine).unwrap();
         let lts = lifetimes(&l, &machine, &sched).unwrap();
         let a = assign_sacks(&l, &machine, &sched, &lts, SackConfig::default()).unwrap();
-        let li = lts
-            .iter()
-            .position(|lt| l.op(lt.op).name() == "L")
-            .unwrap();
+        let li = lts.iter().position(|lt| l.op(lt.op).name() == "L").unwrap();
         assert_eq!(a.sack_of[li], None, "fanned-out value must be central");
         assert!(a.central_regs() > 0);
     }

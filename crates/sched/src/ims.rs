@@ -177,15 +177,12 @@ fn schedule_at_ii_opts(
     let mut prev_time: Vec<Option<u32>> = vec![None; n];
     let mut budget: u64 = (opts.budget_ratio as u64).saturating_mul(n as u64).max(64);
 
-    loop {
-        // Highest-priority unscheduled op; ties broken by index for
-        // determinism.
-        let Some(op) = (0..n)
-            .filter(|&v| start[v].is_none())
-            .max_by(|&a, &b| height[a].cmp(&height[b]).then(b.cmp(&a)))
-        else {
-            break;
-        };
+    // Highest-priority unscheduled op; ties broken by index for
+    // determinism.
+    while let Some(op) = (0..n)
+        .filter(|&v| start[v].is_none())
+        .max_by(|&a, &b| height[a].cmp(&height[b]).then(b.cmp(&a)))
+    {
         if budget == 0 {
             return Ok(None);
         }
@@ -341,7 +338,7 @@ mod tests {
         assert_eq!(sched.ii(), 6);
         assert!(verify(&l, &m, &sched).is_ok());
         // The self-recurrence really is tight: S -> S distance 1.
-        assert!(sched.start(s) + 6 <= sched.start(s) + sched.ii() * 1);
+        assert!(sched.start(s) + 6 <= sched.start(s) + sched.ii());
     }
 
     #[test]

@@ -96,9 +96,7 @@ impl fmt::Display for KernelView {
                         write!(f, " | ")?;
                     }
                     match slot.op {
-                        Some((op, stage)) => {
-                            write!(f, "[{stage}] {}", self.names[op.index()])?
-                        }
+                        Some((op, stage)) => write!(f, "[{stage}] {}", self.names[op.index()])?,
                         None => write!(f, "nop")?,
                     }
                 }

@@ -51,7 +51,10 @@ mod mrt;
 mod schedule;
 mod table;
 
-pub use ims::{modulo_schedule, modulo_schedule_with, schedule_at_ii, Priority, ScheduleError, SchedulerOptions};
+pub use ims::{
+    modulo_schedule, modulo_schedule_with, schedule_at_ii, Priority, ScheduleError,
+    SchedulerOptions,
+};
 pub use kernel::{KernelSlotEntry, KernelView};
 pub use mii::{mii, rec_mii, res_mii, MiiInfo};
 pub use schedule::{verify, Schedule, VerifyError};

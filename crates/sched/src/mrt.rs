@@ -57,7 +57,6 @@ impl ModuloReservationTable {
             .filter_map(|(i, cell)| cell.map(|op| (i, op)))
             .collect()
     }
-
 }
 
 #[cfg(test)]

@@ -45,9 +45,7 @@ impl Schedule {
         assert_eq!(unit.len(), l.ops().len());
         let span = l
             .iter_ops()
-            .map(|(id, op)| {
-                start[id.index()] + machine.latency(op.kind()).expect("servable loop")
-            })
+            .map(|(id, op)| start[id.index()] + machine.latency(op.kind()).expect("servable loop"))
             .max()
             .unwrap_or(ii);
         let stages = span.div_ceil(ii).max(1);
@@ -258,7 +256,10 @@ mod tests {
         let l = b.load("L", x, 0);
         let m = b.mul("M", l.now(), l.now());
         b.store("S", z, 0, m.now());
-        (b.finish(Weight::default()).unwrap(), Machine::clustered(3, 1))
+        (
+            b.finish(Weight::default()).unwrap(),
+            Machine::clustered(3, 1),
+        )
     }
 
     fn unit(machine: &Machine, l: &Loop, op: OpId, instance: usize) -> UnitRef {
@@ -281,7 +282,11 @@ mod tests {
             &m,
             2,
             vec![0, 1, 4],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 1)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 1),
+            ],
         );
         assert_eq!(sched.kernel_slot(mu), 1);
         assert_eq!(sched.stage(mu), 0);
@@ -305,7 +310,11 @@ mod tests {
             &m,
             2,
             vec![0, 0, 4],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 1)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 1),
+            ],
         );
         assert!(matches!(
             verify(&l, &m, &sched),
@@ -328,7 +337,11 @@ mod tests {
             &m,
             2,
             vec![0, 1, 4],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 0)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 0),
+            ],
         );
         assert!(matches!(
             verify(&l, &m, &sched),
@@ -349,7 +362,11 @@ mod tests {
             &m,
             2,
             vec![0, 1, 4],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 1)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 1),
+            ],
         );
         // L (slot 0) and S (slot 4 % 2 == 0) are both mem ops: swappable.
         sched.swap_units(lo, st);
@@ -372,7 +389,11 @@ mod tests {
             &m,
             2,
             vec![0, 1, 5],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 1)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 1),
+            ],
         );
         sched.swap_units(lo, st);
     }
@@ -390,7 +411,11 @@ mod tests {
             &m,
             2,
             vec![0, 1, 4],
-            vec![unit(&m, &l, lo, 0), unit(&m, &l, mu, 0), unit(&m, &l, st, 1)],
+            vec![
+                unit(&m, &l, lo, 0),
+                unit(&m, &l, mu, 0),
+                unit(&m, &l, st, 1),
+            ],
         );
         assert_eq!(sched.occupant(unit(&m, &l, lo, 0), 0), Some(lo));
         assert_eq!(sched.occupant(unit(&m, &l, lo, 0), 1), None);

@@ -33,9 +33,7 @@ impl ScheduleTable {
 
         let span = l
             .iter_ops()
-            .map(|(id, op)| {
-                sched.start(id) + machine.latency(op.kind()).expect("servable loop")
-            })
+            .map(|(id, op)| sched.start(id) + machine.latency(op.kind()).expect("servable loop"))
             .max()
             .unwrap_or(1);
         let mut cells = vec![vec![None; columns.len()]; span as usize];
@@ -72,13 +70,7 @@ impl ScheduleTable {
 
 impl fmt::Display for ScheduleTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self
-            .names
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(3)
-            .max(3);
+        let width = self.names.iter().map(String::len).max().unwrap_or(3).max(3);
         for (t, row) in self.cells.iter().enumerate() {
             write!(f, "{t:>3} |")?;
             let mut prev_cluster = None;
@@ -143,11 +135,7 @@ mod tests {
         let (l, machine, sched) = sample();
         let table = ScheduleTable::new(&l, &machine, &sched);
         // Span >= last issue + 1 and <= stages * II.
-        let last_issue = l
-            .iter_ops()
-            .map(|(id, _)| sched.start(id))
-            .max()
-            .unwrap() as usize;
+        let last_issue = l.iter_ops().map(|(id, _)| sched.start(id)).max().unwrap() as usize;
         assert!(table.span() > last_issue);
         assert!(table.span() <= (sched.stages() * sched.ii()) as usize);
     }

@@ -60,6 +60,6 @@ mod spiller;
 
 pub use rewrite::{spill_value, RewriteStats};
 pub use spiller::{
-    requirement_unified, spill_until_fits, RequirementFn, SpillError, SpillOptions, SpillPolicy,
-    SpillResult,
+    requirement_unified, spill_until_fits, spill_until_fits_seeded, RequirementFn, SpillError,
+    SpillOptions, SpillPolicy, SpillResult,
 };

@@ -172,6 +172,42 @@ pub fn spill_until_fits(
     requirement: &mut RequirementFn<'_>,
     opts: SpillOptions,
 ) -> Result<SpillResult, SpillError> {
+    run_spill_loop(l, machine, None, budget, requirement, opts)
+}
+
+/// [`spill_until_fits`] seeded with an already-computed base schedule for
+/// the *unmodified* loop: the first round reuses `base` instead of
+/// re-running modulo scheduling, so callers that schedule once and
+/// evaluate many models/budgets (the `ncdrf` facade's `Session`) skip the
+/// dominant cost when no spilling is needed. Later rounds — which operate
+/// on spill-rewritten loops — schedule normally.
+///
+/// `base` must be a schedule of `l` on `machine` produced with
+/// `opts.scheduler`; results are then bit-identical to the unseeded
+/// driver.
+///
+/// # Errors
+///
+/// Identical to [`spill_until_fits`].
+pub fn spill_until_fits_seeded(
+    l: &Loop,
+    machine: &Machine,
+    base: Schedule,
+    budget: u32,
+    requirement: &mut RequirementFn<'_>,
+    opts: SpillOptions,
+) -> Result<SpillResult, SpillError> {
+    run_spill_loop(l, machine, Some(base), budget, requirement, opts)
+}
+
+fn run_spill_loop(
+    l: &Loop,
+    machine: &Machine,
+    mut seeded: Option<Schedule>,
+    budget: u32,
+    requirement: &mut RequirementFn<'_>,
+    opts: SpillOptions,
+) -> Result<SpillResult, SpillError> {
     let mut current = l.clone();
     let mut excluded: HashSet<String> = HashSet::new();
     let mut spilled = Vec::new();
@@ -185,7 +221,10 @@ pub fn spill_until_fits(
 
     loop {
         rounds += 1;
-        let mut sched = modulo_schedule_with(&current, machine, opts.scheduler)?;
+        let mut sched = match seeded.take() {
+            Some(base) => base,
+            None => modulo_schedule_with(&current, machine, opts.scheduler)?,
+        };
         let regs = requirement(&current, machine, &mut sched)?;
         if regs <= budget {
             return Ok(SpillResult {
@@ -201,14 +240,7 @@ pub fn spill_until_fits(
         }
 
         let victim = if spilled.len() < opts.max_spills {
-            select_victim(
-                &current,
-                machine,
-                &sched,
-                &excluded,
-                opts.policy,
-                &mut rng,
-            )?
+            select_victim(&current, machine, &sched, &excluded, opts.policy, &mut rng)?
         } else {
             None
         };
@@ -216,12 +248,19 @@ pub fn spill_until_fits(
         let Some(victim) = victim else {
             // Nothing left to spill. Optionally trade II for pressure.
             if opts.escalate_ii {
-                return escalate_ii(current, machine, budget, requirement, opts, SpillTally {
-                    spilled,
-                    spill_stores,
-                    spill_loads,
-                    rounds,
-                });
+                return escalate_ii(
+                    current,
+                    machine,
+                    budget,
+                    requirement,
+                    opts,
+                    SpillTally {
+                        spilled,
+                        spill_stores,
+                        spill_loads,
+                        rounds,
+                    },
+                );
             }
             return Ok(SpillResult {
                 l: current,
@@ -236,8 +275,8 @@ pub fn spill_until_fits(
         };
 
         let victim_name = current.op(victim).name().to_owned();
-        let (next, reload_names, stats) = spill_value(&current, victim)
-            .map_err(|e| SpillError::Rewrite(e.to_string()))?;
+        let (next, reload_names, stats) =
+            spill_value(&current, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
         excluded.insert(victim_name.clone());
         excluded.extend(reload_names);
         spilled.push(victim_name);
@@ -332,7 +371,7 @@ fn select_victim(
         .iter()
         .filter(|lt| {
             let op = l.op(lt.op);
-            !excluded.contains(op.name()) && lt.len() > 0 && spillable(l, lt.op)
+            !excluded.contains(op.name()) && !lt.is_empty() && spillable(l, lt.op)
         })
         .collect();
     if candidates.is_empty() {
@@ -473,7 +512,10 @@ mod tests {
         let machine = Machine::clustered(6, 1);
         let sched = ncdrf_sched::modulo_schedule(&l, &machine).unwrap();
         let lts = lifetimes(&l, &machine, &sched).unwrap();
-        let longest = lts.iter().max_by_key(|lt| (lt.len(), std::cmp::Reverse(lt.op))).unwrap();
+        let longest = lts
+            .iter()
+            .max_by_key(|lt| (lt.len(), std::cmp::Reverse(lt.op)))
+            .unwrap();
         let longest_name = l.op(longest.op).name().to_owned();
 
         let budget = ncdrf_regalloc::allocate_unified(&lts, sched.ii())

@@ -168,18 +168,40 @@ pub fn swap_pass_with(
     let lts = lifetimes(l, machine, sched)?;
     let consumers = l.consumers();
     let mut clusters = cluster_vec(l, machine, sched);
-    let mut current = score_from(&lts, &consumers, &clusters, sched.ii(), opts.scoring);
+    let mut scorer = match opts.scoring {
+        Scoring::MaxLiveBound => Some(BoundScorer::new(l, &lts, &consumers, &clusters, sched.ii())),
+        Scoring::ExactAlloc => None,
+    };
+    let mut current = match &scorer {
+        Some(s) => s.score(),
+        None => score_from(&lts, &consumers, &clusters, sched.ii(), opts.scoring),
+    };
     let before = current;
     let mut actions = Vec::new();
 
     if machine.clusters() >= 2 {
         while actions.len() < opts.max_steps {
-            let Some((best, action)) =
-                best_candidate(l, machine, sched, &lts, &consumers, &clusters, current, opts)
-            else {
+            let Some((best, action)) = best_candidate(
+                l,
+                machine,
+                sched,
+                &lts,
+                &consumers,
+                &clusters,
+                current,
+                opts,
+                scorer.as_mut(),
+            ) else {
                 break;
             };
             apply(machine, sched, &mut clusters, action);
+            if let Some(s) = scorer.as_mut() {
+                let changed = match action {
+                    SwapAction::Pair(a, b) => vec![a.index(), b.index()],
+                    SwapAction::Move(a, _) => vec![a.index()],
+                };
+                s.commit(&lts, &consumers, &clusters, &changed);
+            }
             debug_assert_eq!(
                 score_from(&lts, &consumers, &clusters, sched.ii(), opts.scoring),
                 best
@@ -208,18 +230,160 @@ pub fn classify_with_clusters(
 ) -> Vec<ValueClass> {
     lifetimes
         .iter()
-        .map(|lt| {
-            let mut seen = [false, false];
-            for &(c, _) in &consumers[lt.op.index()] {
-                seen[clusters[c.index()].index().min(1)] = true;
-            }
-            match seen {
-                [true, true] => ValueClass::Global,
-                [false, true] => ValueClass::Only(ClusterId::RIGHT),
-                _ => ValueClass::Only(ClusterId::LEFT),
-            }
-        })
+        .map(|lt| class_of(&consumers[lt.op.index()], clusters))
         .collect()
+}
+
+/// Class of one value from its consumer list and a cluster assignment.
+fn class_of(consumers_of_v: &[(OpId, u32)], clusters: &[ClusterId]) -> ValueClass {
+    let mut seen = [false, false];
+    for &(c, _) in consumers_of_v {
+        seen[clusters[c.index()].index().min(1)] = true;
+    }
+    match seen {
+        [true, true] => ValueClass::Global,
+        [false, true] => ValueClass::Only(ClusterId::RIGHT),
+        _ => ValueClass::Only(ClusterId::LEFT),
+    }
+}
+
+/// Incremental [`Scoring::MaxLiveBound`] scorer.
+///
+/// The bound is `max` over the two subfiles of the per-cycle live count,
+/// where a value occupies its class's subfiles (globals occupy both).
+/// Swapping operations `a` and `b` can only change the classes of values
+/// *consumed by* `a` or `b`, so instead of reclassifying every value and
+/// re-sweeping all lifetimes per candidate (`O(n · II)` plus
+/// allocations), the scorer keeps per-cycle live histograms for both
+/// subfiles and patches just the affected values' contributions —
+/// `O(deg · II)` per candidate, with scores identical to
+/// [`requirement_bound`].
+struct BoundScorer {
+    ii: i64,
+    classes: Vec<ValueClass>,
+    /// Per-cycle live counts, indexed by `ClusterId::index().min(1)`.
+    live: [Vec<i64>; 2],
+    /// Lifetime indices consumed by each operation.
+    consumed_by: Vec<Vec<usize>>,
+}
+
+impl BoundScorer {
+    fn new(
+        l: &Loop,
+        lts: &[Lifetime],
+        consumers: &[Vec<(OpId, u32)>],
+        clusters: &[ClusterId],
+        ii: u32,
+    ) -> Self {
+        let classes = classify_with_clusters(lts, consumers, clusters);
+        let mut consumed_by: Vec<Vec<usize>> = vec![Vec::new(); l.ops().len()];
+        for (vi, lt) in lts.iter().enumerate() {
+            for &(c, _) in &consumers[lt.op.index()] {
+                consumed_by[c.index()].push(vi);
+            }
+        }
+        let mut scorer = BoundScorer {
+            ii: ii as i64,
+            classes: classes.clone(),
+            live: [vec![0; ii as usize], vec![0; ii as usize]],
+            consumed_by,
+        };
+        for (lt, &class) in lts.iter().zip(&classes) {
+            scorer.contribute(lt, class, 1);
+        }
+        scorer
+    }
+
+    /// Adds (`sign = 1`) or removes (`sign = -1`) a value's live-count
+    /// contribution under `class`.
+    fn contribute(&mut self, lt: &Lifetime, class: ValueClass, sign: i64) {
+        if lt.is_empty() {
+            return;
+        }
+        let (start, end) = (lt.start as i64, lt.end as i64);
+        for t in 0..self.ii {
+            // Instances k with start + k*ii <= t < end + k*ii.
+            let inst = (t - start).div_euclid(self.ii) - (t - end).div_euclid(self.ii);
+            let delta = sign * inst;
+            match class {
+                ValueClass::Global => {
+                    self.live[0][t as usize] += delta;
+                    self.live[1][t as usize] += delta;
+                }
+                ValueClass::Only(c) => self.live[c.index().min(1)][t as usize] += delta,
+            }
+        }
+    }
+
+    /// The current bound (matches [`requirement_bound`]).
+    fn score(&self) -> u32 {
+        let peak = |live: &[i64]| live.iter().copied().max().unwrap_or(0).max(0);
+        peak(&self.live[0]).max(peak(&self.live[1])) as u32
+    }
+
+    /// Class changes caused by re-clustering `changed_ops` under
+    /// `clusters`, deduplicated (a value consumed by both swapped ops
+    /// appears once).
+    fn class_changes(
+        &self,
+        lts: &[Lifetime],
+        consumers: &[Vec<(OpId, u32)>],
+        clusters: &[ClusterId],
+        changed_ops: &[usize],
+    ) -> Vec<(usize, ValueClass, ValueClass)> {
+        let mut changes: Vec<(usize, ValueClass, ValueClass)> = Vec::new();
+        for &op in changed_ops {
+            for &v in &self.consumed_by[op] {
+                if changes.iter().any(|&(seen, _, _)| seen == v) {
+                    continue;
+                }
+                let old = self.classes[v];
+                let new = class_of(&consumers[lts[v].op.index()], clusters);
+                if new != old {
+                    changes.push((v, old, new));
+                }
+            }
+        }
+        changes
+    }
+
+    /// The bound under the hypothetical assignment `clusters` (state is
+    /// restored before returning).
+    fn score_candidate(
+        &mut self,
+        lts: &[Lifetime],
+        consumers: &[Vec<(OpId, u32)>],
+        clusters: &[ClusterId],
+        changed_ops: &[usize],
+    ) -> u32 {
+        let changes = self.class_changes(lts, consumers, clusters, changed_ops);
+        for &(v, old, new) in &changes {
+            self.contribute(&lts[v], old, -1);
+            self.contribute(&lts[v], new, 1);
+        }
+        let s = self.score();
+        for &(v, old, new) in &changes {
+            self.contribute(&lts[v], new, -1);
+            self.contribute(&lts[v], old, 1);
+        }
+        s
+    }
+
+    /// Makes an applied action's class changes permanent. `clusters` is
+    /// the post-action assignment.
+    fn commit(
+        &mut self,
+        lts: &[Lifetime],
+        consumers: &[Vec<(OpId, u32)>],
+        clusters: &[ClusterId],
+        changed_ops: &[usize],
+    ) {
+        for (v, old, new) in self.class_changes(lts, consumers, clusters, changed_ops) {
+            self.contribute(&lts[v], old, -1);
+            self.contribute(&lts[v], new, 1);
+            self.classes[v] = new;
+        }
+    }
 }
 
 /// The per-subfile requirement estimate used by the greedy pass with
@@ -251,12 +415,7 @@ fn score_from(
     }
 }
 
-fn max_live_paired(
-    lts: &[Lifetime],
-    classes: &[ValueClass],
-    ii: u32,
-    cluster: ClusterId,
-) -> u32 {
+fn max_live_paired(lts: &[Lifetime], classes: &[ValueClass], ii: u32, cluster: ClusterId) -> u32 {
     let kept: Vec<Lifetime> = lts
         .iter()
         .zip(classes)
@@ -278,16 +437,24 @@ fn best_candidate(
     clusters: &[ClusterId],
     current: u32,
     opts: SwapOptions,
+    mut scorer: Option<&mut BoundScorer>,
 ) -> Option<(u32, SwapAction)> {
     let n = l.ops().len();
     let mut best: Option<(u32, SwapAction)> = None;
     let consider = |score: u32, action: SwapAction, best: &mut Option<(u32, SwapAction)>| {
-        if score < current && best.map_or(true, |(b, _)| score < b) {
+        if score < current && best.is_none_or(|(b, _)| score < b) {
             *best = Some((score, action));
         }
     };
 
     let mut scratch = clusters.to_vec();
+    let score_scratch =
+        |scratch: &[ClusterId], changed: &[usize], scorer: &mut Option<&mut BoundScorer>| -> u32 {
+            match scorer {
+                Some(s) => s.score_candidate(lts, consumers, scratch, changed),
+                None => score_from(lts, consumers, scratch, sched.ii(), opts.scoring),
+            }
+        };
 
     // Pair swaps: same group, same kernel slot, different clusters.
     for a in 0..n {
@@ -301,7 +468,7 @@ fn best_candidate(
                 continue;
             }
             scratch.swap(a, b);
-            let s = score_from(lts, consumers, &scratch, sched.ii(), opts.scoring);
+            let s = score_scratch(&scratch, &[a, b], &mut scorer);
             scratch.swap(a, b);
             consider(s, SwapAction::Pair(ida, idb), &mut best);
         }
@@ -315,7 +482,7 @@ fn best_candidate(
                 let target = machine.cluster_of(dest);
                 let saved = scratch[a];
                 scratch[a] = target;
-                let s = score_from(lts, consumers, &scratch, sched.ii(), opts.scoring);
+                let s = score_scratch(&scratch, &[a], &mut scorer);
                 scratch[a] = saved;
                 consider(s, SwapAction::Move(ida, target), &mut best);
             }

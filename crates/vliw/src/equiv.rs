@@ -98,9 +98,7 @@ pub fn check_equivalence(
 mod tests {
     use super::*;
     use ncdrf_ddg::{LoopBuilder, Weight};
-    use ncdrf_regalloc::{
-        allocate_dual, allocate_unified, classify, lifetimes, UnifiedAlloc,
-    };
+    use ncdrf_regalloc::{allocate_dual, allocate_unified, classify, lifetimes, UnifiedAlloc};
     use ncdrf_sched::modulo_schedule;
 
     /// The paper's §4 example loop (Figure 2).
@@ -286,8 +284,8 @@ mod multi_tests {
 
     #[test]
     fn corrupted_multi_classification_is_caught() {
-        use ncdrf_regalloc::ClusterSet;
         use ncdrf_machine::ClusterId;
+        use ncdrf_regalloc::ClusterSet;
         let l = wide();
         let machine = Machine::clustered_n(4, 3, 1);
         let sched = modulo_schedule(&l, &machine).unwrap();

@@ -268,7 +268,11 @@ pub fn execute(
 
     let latency: Vec<u32> = l
         .iter_ops()
-        .map(|(_, op)| machine.latency(op.kind()).expect("scheduled loop is servable"))
+        .map(|(_, op)| {
+            machine
+                .latency(op.kind())
+                .expect("scheduled loop is servable")
+        })
         .collect();
 
     let mut pending: BTreeMap<u64, Vec<Write>> = BTreeMap::new();
@@ -447,8 +451,7 @@ mod tests {
         let n = 64;
         let run = execute(&l, &machine, &sched, &binding, n).unwrap();
         // Steady state: one iteration per II cycles (plus ramp).
-        let expected =
-            (n - 1) * sched.ii() as u64 + u64::from(sched.stages() * sched.ii());
+        let expected = (n - 1) * sched.ii() as u64 + u64::from(sched.stages() * sched.ii());
         assert!(run.cycles <= expected + sched.ii() as u64);
         assert!(run.cycles >= n * sched.ii() as u64);
     }

@@ -5,7 +5,7 @@
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::{sweep_analyze, Cumulative, Model, Observation, PipelineOptions};
+use ncdrf::{Cumulative, Model, Observation, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let standard = std::env::args().any(|a| a == "--standard");
@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.max_ops, stats.total_iterations
     );
 
-    let machine = Machine::clustered(3, 1);
-    let opts = PipelineOptions::default();
-    let rows = sweep_analyze(&corpus, &machine, Model::Unified, &opts)?;
+    let session = Session::new(Machine::clustered(3, 1));
+    let rows = session.analyze_corpus(&corpus, Model::Unified)?;
 
     // Static distribution of register requirements.
     let obs: Vec<Observation> = rows

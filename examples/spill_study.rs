@@ -6,14 +6,13 @@
 
 use ncdrf::corpus::kernels;
 use ncdrf::machine::Machine;
-use ncdrf::{analyze, evaluate, Model, PipelineOptions};
+use ncdrf::{Model, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l = kernels::livermore::state(); // a wide 16-op loop
-    let machine = Machine::clustered(6, 1);
-    let opts = PipelineOptions::default();
+    let session = Session::new(Machine::clustered(6, 1));
 
-    let free = analyze(&l, &machine, Model::Unified, &opts)?;
+    let free = session.analyze(&l, Model::Unified)?;
     println!(
         "loop `{}`: II {} with unlimited registers, unified requirement {}\n",
         l.name(),
@@ -25,9 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>6} {:>4} {:>7} {:>8} {:>9}",
         "model", "budget", "II", "spills", "mem ops", "density"
     );
-    for model in [Model::Unified, Model::Partitioned, Model::Swapped] {
+    for model in Model::finite() {
         for budget in [64, 32, 24, 16, 12] {
-            let e = evaluate(&l, &machine, model, budget, &opts)?;
+            let e = session.evaluate(&l, model, budget)?;
             println!(
                 "{:<12} {:>6} {:>4} {:>7} {:>8} {:>9.3}",
                 model.to_string(),
@@ -40,5 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+    let stats = session.cache_stats();
+    println!(
+        "all {} evaluations shared {} scheduling run(s) of the base loop",
+        stats.hits + stats.misses,
+        stats.misses
+    );
     Ok(())
 }

@@ -9,7 +9,7 @@ use ncdrf::machine::Machine;
 use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes, DualPressure};
 use ncdrf::sched::{KernelView, ScheduleTable};
 use ncdrf::swap::swap_pass;
-use ncdrf::{analyze, Model, PipelineOptions};
+use ncdrf::{Model, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 2: L1=x[i]; L2=y[i]; M3=L1*r; A4=M3+L2; M5=A4*t; A6=M5+L1;
@@ -86,11 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {a}");
     }
 
-    // The facade runs the whole comparison in one call per model.
+    // The facade runs the whole comparison through one session (the
+    // schedule is computed once and shared by all four models).
     println!("\nmodel comparison on this loop:");
-    let opts = PipelineOptions::default();
+    let session = Session::new(machine);
     for model in Model::all() {
-        let a = analyze(&l, &machine, model, &opts)?;
+        let a = session.analyze(&l, model)?;
         println!("  {:<12} II {} regs {}", model.to_string(), a.ii, a.regs);
     }
     Ok(())

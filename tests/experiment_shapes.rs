@@ -1,8 +1,9 @@
 //! The paper's qualitative result shapes, checked on a reduced corpus:
-//! who wins, in which direction, and where the models converge.
+//! who wins, in which direction, and where the models converge. Driven
+//! through the `Sweep` API.
 
 use ncdrf::corpus::Corpus;
-use ncdrf::{figures_6_7, figures_8_9, table1, Model, PipelineOptions};
+use ncdrf::{Model, Sweep, TABLE1_POINTS};
 
 fn corpus() -> Corpus {
     Corpus::small()
@@ -10,19 +11,16 @@ fn corpus() -> Corpus {
 
 #[test]
 fn table1_pressure_grows_with_latency_and_width() {
-    let rows = table1(
-        &corpus().take(70),
-        &[(1, 3), (2, 3), (1, 6), (2, 6)],
-        &PipelineOptions::default(),
-    )
-    .unwrap();
+    let c = corpus().take(70);
+    let rows = Sweep::new(&c)
+        .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
+        .models([Model::Unified])
+        .points(TABLE1_POINTS)
+        .run()
+        .unwrap()
+        .table1();
     assert_eq!(rows.len(), 4);
-    let at32 = |name: &str| {
-        rows.iter()
-            .find(|r| r.config == name)
-            .unwrap()
-            .loops_within[1]
-    };
+    let at32 = |name: &str| rows.iter().find(|r| r.config == name).unwrap().loops_within[1];
     // More latency -> fewer loops fit in 32 registers. (Width alone may
     // not hurt on a small corpus, but latency reliably does — the paper's
     // Table 1 diagonal.)
@@ -33,32 +31,41 @@ fn table1_pressure_grows_with_latency_and_width() {
 
 #[test]
 fn figures_6_7_model_ordering_holds_pointwise() {
-    let points = [8, 16, 24, 32, 48, 64, 96, 128];
+    let points = [8u32, 16, 24, 32, 48, 64, 96, 128];
+    let c = corpus();
+    let report = Sweep::new(&c)
+        .clustered_latencies([3, 6])
+        .models(Model::finite())
+        .points(points)
+        .run()
+        .unwrap();
     for lat in [3, 6] {
-        let curves = figures_6_7(&corpus(), lat, &points, &PipelineOptions::default()).unwrap();
-        let get = |m: Model| curves.iter().find(|c| c.model == m).unwrap();
+        let get = |m: Model| {
+            report
+                .distributions
+                .iter()
+                .find(|c| c.model == m && c.latency == lat)
+                .unwrap()
+        };
         let uni = get(Model::Unified);
         let part = get(Model::Partitioned);
         let swap = get(Model::Swapped);
-        for i in 0..points.len() {
+        for (i, &point) in points.iter().enumerate() {
             // Partitioned dominates unified (its requirement is <=).
             assert!(
                 part.static_dist.percent[i] >= uni.static_dist.percent[i],
-                "static L{lat} at {}",
-                points[i]
+                "static L{lat} at {point}"
             );
             assert!(
                 part.dynamic_dist.percent[i] >= uni.dynamic_dist.percent[i],
-                "dynamic L{lat} at {}",
-                points[i]
+                "dynamic L{lat} at {point}"
             );
             // Swapping only reduces requirements further (tolerance-free
             // in aggregate; tiny pointwise regressions are possible with
             // the exact allocator, so allow 2 percentage points).
             assert!(
                 swap.static_dist.percent[i] + 2.0 >= part.static_dist.percent[i],
-                "swap static L{lat} at {}",
-                points[i]
+                "swap static L{lat} at {point}"
             );
         }
     }
@@ -69,9 +76,15 @@ fn figure_8_shape_with_64_registers() {
     // With 64 registers the dual models run at (or very near) ideal
     // performance; unified trails at high latency.
     let c = corpus().take(70);
-    let outcomes = figures_8_9(&c, 6, 64, &PipelineOptions::default()).unwrap();
+    let report = Sweep::new(&c)
+        .clustered_latencies([6])
+        .models(Model::all())
+        .budget(64)
+        .run()
+        .unwrap();
     let perf = |m: Model| {
-        outcomes
+        report
+            .outcomes
             .iter()
             .find(|o| o.model == m)
             .unwrap()
@@ -88,18 +101,31 @@ fn figure_8_shape_with_32_registers() {
     // With 32 registers at latency 6 the unified model loses noticeably;
     // the dual models hold up better.
     let c = corpus().take(70);
-    let outcomes = figures_8_9(&c, 6, 32, &PipelineOptions::default()).unwrap();
-    let get = |m: Model| outcomes.iter().find(|o| o.model == m).unwrap();
-    assert!(get(Model::Partitioned).relative_performance >= get(Model::Unified).relative_performance);
+    let report = Sweep::new(&c)
+        .clustered_latencies([6])
+        .models(Model::all())
+        .budget(32)
+        .run()
+        .unwrap();
+    let get = |m: Model| report.outcomes.iter().find(|o| o.model == m).unwrap();
+    assert!(
+        get(Model::Partitioned).relative_performance >= get(Model::Unified).relative_performance
+    );
     assert!(get(Model::Unified).loops_spilled >= get(Model::Partitioned).loops_spilled);
 }
 
 #[test]
 fn figure_9_dual_models_reduce_traffic_density() {
     let c = corpus().take(70);
-    let outcomes = figures_8_9(&c, 3, 32, &PipelineOptions::default()).unwrap();
+    let report = Sweep::new(&c)
+        .clustered_latencies([3])
+        .models(Model::all())
+        .budget(32)
+        .run()
+        .unwrap();
     let density = |m: Model| {
-        outcomes
+        report
+            .outcomes
             .iter()
             .find(|o| o.model == m)
             .unwrap()
@@ -111,4 +137,19 @@ fn figure_9_dual_models_reduce_traffic_density() {
     assert!(density(Model::Swapped) <= density(Model::Unified) + 1e-9);
     // And nobody goes below the no-spill floor of the ideal model.
     assert!(density(Model::Partitioned) >= density(Model::Ideal) - 1e-9);
+}
+
+#[test]
+fn grid_sweep_amortizes_scheduling() {
+    // The whole Figure 8/9 grid in one sweep: scheduling runs exactly
+    // once per (loop, machine), regardless of 4 models x 2 budgets.
+    let c = corpus().take(30);
+    let report = Sweep::new(&c)
+        .clustered_latencies([3, 6])
+        .models(Model::all())
+        .budgets([32, 64])
+        .run()
+        .unwrap();
+    assert_eq!(report.outcomes.len(), 16);
+    assert_eq!(report.scheduling.misses, 2 * c.len() as u64);
 }

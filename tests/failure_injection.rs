@@ -69,9 +69,7 @@ fn schedule_verifier_catches_resource_conflicts() {
     let ids: Vec<_> = l
         .iter_ops()
         .map(|(id, _)| id)
-        .filter(|&id| {
-            l.op(id).kind() == ncdrf::ddg::OpKind::Load
-        })
+        .filter(|&id| l.op(id).kind() == ncdrf::ddg::OpKind::Load)
         .collect();
     assert!(ids.len() >= 2);
     let n = l.ops().len();

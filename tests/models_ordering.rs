@@ -1,19 +1,19 @@
 //! Corpus-wide ordering invariants between the four models: the central
 //! claim of the paper is Partitioned <= Unified (requirement-wise), with
-//! Swapped improving on Partitioned in the aggregate.
+//! Swapped improving on Partitioned in the aggregate. Driven through
+//! `Session` so each loop schedules once per machine.
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::{analyze, Model, PipelineOptions};
+use ncdrf::{Model, Session};
 
 #[test]
 fn partitioned_never_needs_more_than_unified() {
-    let opts = PipelineOptions::default();
     for lat in [3, 6] {
-        let machine = Machine::clustered(lat, 1);
+        let session = Session::new(Machine::clustered(lat, 1));
         for l in Corpus::small().take(80).iter() {
-            let uni = analyze(l, &machine, Model::Unified, &opts).unwrap();
-            let part = analyze(l, &machine, Model::Partitioned, &opts).unwrap();
+            let uni = session.analyze(l, Model::Unified).unwrap();
+            let part = session.analyze(l, Model::Partitioned).unwrap();
             assert!(
                 part.regs <= uni.regs,
                 "{} (L{lat}): partitioned {} > unified {}",
@@ -29,14 +29,13 @@ fn partitioned_never_needs_more_than_unified() {
 fn partitioning_improves_a_substantial_fraction() {
     // Figure 6's gap: partitioning strictly reduces the requirement for
     // many loops (those with cluster-local traffic).
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     let corpus = Corpus::small();
     let mut improved = 0;
     let mut total = 0;
     for l in corpus.iter() {
-        let uni = analyze(l, &machine, Model::Unified, &opts).unwrap();
-        let part = analyze(l, &machine, Model::Partitioned, &opts).unwrap();
+        let uni = session.analyze(l, Model::Unified).unwrap();
+        let part = session.analyze(l, Model::Partitioned).unwrap();
         total += 1;
         improved += usize::from(part.regs < uni.regs);
     }
@@ -48,14 +47,13 @@ fn partitioning_improves_a_substantial_fraction() {
 
 #[test]
 fn swapping_helps_in_aggregate() {
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     let corpus = Corpus::small();
     let mut part_sum = 0u64;
     let mut swap_sum = 0u64;
     for l in corpus.iter() {
-        part_sum += analyze(l, &machine, Model::Partitioned, &opts).unwrap().regs as u64;
-        swap_sum += analyze(l, &machine, Model::Swapped, &opts).unwrap().regs as u64;
+        part_sum += session.analyze(l, Model::Partitioned).unwrap().regs as u64;
+        swap_sum += session.analyze(l, Model::Swapped).unwrap().regs as u64;
     }
     assert!(
         swap_sum <= part_sum,
@@ -65,30 +63,29 @@ fn swapping_helps_in_aggregate() {
         swap_sum < part_sum,
         "swapping should strictly help somewhere ({swap_sum} vs {part_sum})"
     );
+    // Both models shared one scheduling run per loop.
+    assert_eq!(session.cache_stats().misses, corpus.len() as u64);
 }
 
 #[test]
 fn latency_increases_register_pressure() {
     // §3.1/Figure 6: higher-latency units need more registers.
-    let opts = PipelineOptions::default();
-    let m3 = Machine::clustered(3, 1);
-    let m6 = Machine::clustered(6, 1);
     let corpus = Corpus::small().take(60);
-    let sum = |machine: &Machine| -> u64 {
+    let sum = |machine: Machine| -> u64 {
+        let session = Session::new(machine);
         corpus
             .iter()
-            .map(|l| analyze(l, machine, Model::Unified, &opts).unwrap().regs as u64)
+            .map(|l| session.analyze(l, Model::Unified).unwrap().regs as u64)
             .sum()
     };
-    assert!(sum(&m6) > sum(&m3));
+    assert!(sum(Machine::clustered(6, 1)) > sum(Machine::clustered(3, 1)));
 }
 
 #[test]
 fn dual_pressure_bounds_are_consistent() {
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(3, 1);
+    let session = Session::new(Machine::clustered(3, 1));
     for l in Corpus::small().take(60).iter() {
-        let a = analyze(l, &machine, Model::Partitioned, &opts).unwrap();
+        let a = session.analyze(l, Model::Partitioned).unwrap();
         let p = a.pressure.unwrap();
         // Subfile totals dominate their parts and bound the allocation.
         assert!(p.left_total >= p.global.max(p.left));

@@ -5,7 +5,9 @@
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes, verify_dual, verify_unified};
+use ncdrf::regalloc::{
+    allocate_dual, allocate_unified, classify, lifetimes, verify_dual, verify_unified,
+};
 use ncdrf::sched::{modulo_schedule, verify};
 use ncdrf::spill::{requirement_unified, spill_until_fits, SpillOptions};
 use ncdrf::swap::swap_pass;
@@ -28,8 +30,14 @@ fn unified_pipeline_is_semantically_correct() {
             let alloc = allocate_unified(&lts, sched.ii());
             verify_unified(&lts, sched.ii(), &alloc)
                 .unwrap_or_else(|(a, b)| panic!("{}: offsets {a} and {b} clash", l.name()));
-            check_equivalence(&l, &machine, &sched, &Binding::unified(&lts, &alloc), ITERATIONS)
-                .unwrap_or_else(|e| panic!("{} (unified): {e}", l.name()));
+            check_equivalence(
+                &l,
+                &machine,
+                &sched,
+                &Binding::unified(&lts, &alloc),
+                ITERATIONS,
+            )
+            .unwrap_or_else(|e| panic!("{} (unified): {e}", l.name()));
         }
     }
 }
@@ -44,8 +52,14 @@ fn partitioned_pipeline_is_semantically_correct() {
         let alloc = allocate_dual(&lts, &classes, sched.ii());
         verify_dual(&lts, sched.ii(), &alloc)
             .unwrap_or_else(|(a, b)| panic!("{}: offsets {a} and {b} clash", l.name()));
-        check_equivalence(&l, &machine, &sched, &Binding::dual(&lts, &alloc), ITERATIONS)
-            .unwrap_or_else(|e| panic!("{} (partitioned): {e}", l.name()));
+        check_equivalence(
+            &l,
+            &machine,
+            &sched,
+            &Binding::dual(&lts, &alloc),
+            ITERATIONS,
+        )
+        .unwrap_or_else(|e| panic!("{} (partitioned): {e}", l.name()));
     }
 }
 
@@ -60,8 +74,14 @@ fn swapped_pipeline_is_semantically_correct() {
         let lts = lifetimes(&l, &machine, &sched).unwrap();
         let classes = classify(&l, &machine, &sched, &lts);
         let alloc = allocate_dual(&lts, &classes, sched.ii());
-        check_equivalence(&l, &machine, &sched, &Binding::dual(&lts, &alloc), ITERATIONS)
-            .unwrap_or_else(|e| panic!("{} (swapped): {e}", l.name()));
+        check_equivalence(
+            &l,
+            &machine,
+            &sched,
+            &Binding::dual(&lts, &alloc),
+            ITERATIONS,
+        )
+        .unwrap_or_else(|e| panic!("{} (swapped): {e}", l.name()));
     }
 }
 
@@ -83,7 +103,13 @@ fn spilled_loops_are_semantically_correct() {
         let lts = lifetimes(&r.l, &machine, &r.sched).unwrap();
         let alloc = allocate_unified(&lts, r.sched.ii());
         assert!(alloc.regs <= 6 || !r.fits, "{}: alloc disagrees", l.name());
-        check_equivalence(&r.l, &machine, &r.sched, &Binding::unified(&lts, &alloc), ITERATIONS)
-            .unwrap_or_else(|e| panic!("{} (spilled): {e}", l.name()));
+        check_equivalence(
+            &r.l,
+            &machine,
+            &r.sched,
+            &Binding::unified(&lts, &alloc),
+            ITERATIONS,
+        )
+        .unwrap_or_else(|e| panic!("{} (spilled): {e}", l.name()));
     }
 }

@@ -14,14 +14,8 @@ use ncdrf::vliw::{check_equivalence, Binding};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GenConfig> {
-    (
-        2usize..10,
-        1usize..4,
-        0.0f64..0.4,
-        0.0f64..0.9,
-        1u32..3,
-    )
-        .prop_map(|(arith, loads, rec, chain, dist)| GenConfig {
+    (2usize..10, 1usize..4, 0.0f64..0.4, 0.0f64..0.9, 1u32..3).prop_map(
+        |(arith, loads, rec, chain, dist)| GenConfig {
             min_arith: arith,
             max_arith: arith + 6,
             min_loads: loads,
@@ -30,7 +24,8 @@ fn arb_config() -> impl Strategy<Value = GenConfig> {
             chain_bias: chain,
             max_recurrence_dist: dist,
             ..GenConfig::default()
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,108 @@
+//! `Session` cache correctness: results derived from the cached base
+//! schedule must be bit-identical to the uncached pipeline (fresh
+//! `modulo_schedule` per call) across every hand-written kernel, and the
+//! cache must actually hit.
+
+use ncdrf::corpus::kernels;
+use ncdrf::machine::Machine;
+use ncdrf::sched::modulo_schedule;
+use ncdrf::{analyze, evaluate, Model, PipelineOptions, Session};
+
+#[test]
+fn cached_analysis_is_bit_identical_across_all_kernels() {
+    let opts = PipelineOptions::default();
+    for lat in [3, 6] {
+        let machine = Machine::clustered(lat, 1);
+        let session = Session::new(machine.clone()).options(opts);
+        for l in kernels::all() {
+            for model in Model::all() {
+                let cached = session.analyze(&l, model).unwrap();
+                let fresh = analyze(&l, &machine, model, &opts).unwrap();
+                assert_eq!(cached, fresh, "{} under {model:?} at L{lat}", l.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_evaluation_is_bit_identical_across_all_kernels() {
+    let opts = PipelineOptions::default();
+    let machine = Machine::clustered(6, 1);
+    let session = Session::new(machine.clone()).options(opts);
+    for l in kernels::all() {
+        for model in Model::all() {
+            for budget in [16, 64] {
+                let cached = session.evaluate(&l, model, budget).unwrap();
+                let fresh = evaluate(&l, &machine, model, budget, &opts).unwrap();
+                assert_eq!(cached, fresh, "{} under {model:?} @{budget}", l.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_identity_holds_with_non_default_scheduler_options() {
+    use ncdrf::sched::{Priority, SchedulerOptions};
+    let mut opts = PipelineOptions::default();
+    opts.spill.scheduler = SchedulerOptions {
+        priority: Priority::InputOrder,
+        ..SchedulerOptions::default()
+    };
+    let machine = Machine::clustered(6, 1);
+    let session = Session::new(machine.clone()).options(opts);
+    for l in kernels::all().into_iter().take(15) {
+        for model in Model::all() {
+            let cached = session.analyze(&l, model).unwrap();
+            let fresh = analyze(&l, &machine, model, &opts).unwrap();
+            assert_eq!(cached, fresh, "{} under {model:?}", l.name());
+            let cached = session.evaluate(&l, model, 24).unwrap();
+            let fresh = evaluate(&l, &machine, model, 24, &opts).unwrap();
+            assert_eq!(cached, fresh, "{} under {model:?} @24", l.name());
+        }
+    }
+}
+
+#[test]
+fn cached_base_schedule_matches_fresh_modulo_schedule() {
+    let machine = Machine::clustered(3, 1);
+    let session = Session::new(machine.clone());
+    for l in kernels::all() {
+        let base = session.base(&l).unwrap();
+        let fresh = modulo_schedule(&l, &machine).unwrap();
+        assert_eq!(base.sched, fresh, "{}", l.name());
+    }
+}
+
+#[test]
+fn schedule_cache_hits_across_models_and_budgets() {
+    let machine = Machine::clustered(6, 1);
+    let session = Session::new(machine);
+    let loops = kernels::all();
+    for l in &loops {
+        for model in Model::all() {
+            session.analyze(l, model).unwrap();
+        }
+    }
+    let after_analysis = session.cache_stats();
+    assert_eq!(
+        after_analysis.misses,
+        loops.len() as u64,
+        "four-model analysis schedules each loop exactly once"
+    );
+    assert!(after_analysis.hits >= 2 * loops.len() as u64);
+
+    for l in &loops {
+        for model in Model::all() {
+            for budget in [32, 64] {
+                session.evaluate(l, model, budget).unwrap();
+            }
+        }
+    }
+    let after_eval = session.cache_stats();
+    assert_eq!(
+        after_eval.misses,
+        loops.len() as u64,
+        "eight budgeted evaluations add no scheduling runs"
+    );
+    assert!(after_eval.hits > after_analysis.hits);
+}

@@ -1,17 +1,17 @@
 //! The §5.4 spiller: convergence, accounting and monotonicity across
-//! budgets and models.
+//! budgets and models, driven through a `Session` so every budget reuses
+//! one base schedule.
 
 use ncdrf::corpus::{kernels, Corpus};
 use ncdrf::machine::Machine;
-use ncdrf::{evaluate, Model, PipelineOptions};
+use ncdrf::{Model, Session};
 
 #[test]
 fn spiller_fits_all_small_budgets() {
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     for l in Corpus::small().take(40).iter() {
         for budget in [16, 24, 32] {
-            let e = evaluate(l, &machine, Model::Unified, budget, &opts).unwrap();
+            let e = session.evaluate(l, Model::Unified, budget).unwrap();
             // 16 registers sits above every loop's post-spill floor on
             // this corpus (the worst fully-spilled loop still keeps ~14
             // values in flight at latency 6); the paper's own budgets are
@@ -25,8 +25,7 @@ fn spiller_fits_all_small_budgets() {
 #[test]
 fn spilling_monotone_in_budget() {
     // Looser budgets never cost more spills or cycles.
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     for l in [
         kernels::recurrences::chain8(),
         kernels::recurrences::wide8(),
@@ -35,7 +34,7 @@ fn spilling_monotone_in_budget() {
     ] {
         let mut last_spills = usize::MAX;
         for budget in [6, 12, 24, 48] {
-            let e = evaluate(&l, &machine, Model::Unified, budget, &opts).unwrap();
+            let e = session.evaluate(&l, Model::Unified, budget).unwrap();
             assert!(
                 e.spilled <= last_spills,
                 "{}: budget {budget} spilled {} > previous {}",
@@ -50,11 +49,10 @@ fn spilling_monotone_in_budget() {
 
 #[test]
 fn spill_traffic_shows_up_in_memory_ops() {
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     let l = kernels::livermore::state();
-    let free = evaluate(&l, &machine, Model::Unified, 256, &opts).unwrap();
-    let tight = evaluate(&l, &machine, Model::Unified, 8, &opts).unwrap();
+    let free = session.evaluate(&l, Model::Unified, 256).unwrap();
+    let tight = session.evaluate(&l, Model::Unified, 8).unwrap();
     assert_eq!(free.spilled, 0);
     if tight.spilled > 0 {
         assert!(tight.mem_ops > free.mem_ops);
@@ -68,13 +66,14 @@ fn spill_traffic_shows_up_in_memory_ops() {
 fn dual_models_spill_less_than_unified() {
     // The headline claim: with a finite file, the dual organisation needs
     // less spill code across the corpus.
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     let corpus = Corpus::small().take(60);
     let spills = |model: Model| -> usize {
-        corpus
+        session
+            .evaluate_corpus(&corpus, model, 16)
+            .unwrap()
             .iter()
-            .map(|l| evaluate(l, &machine, model, 16, &opts).unwrap().spilled)
+            .map(|e| e.spilled)
             .sum()
     };
     let uni = spills(Model::Unified);
@@ -83,14 +82,15 @@ fn dual_models_spill_less_than_unified() {
         part <= uni,
         "partitioned should spill no more than unified ({part} vs {uni})"
     );
+    // Both sweeps shared one scheduling run per loop.
+    assert_eq!(session.cache_stats().misses, corpus.len() as u64);
 }
 
 #[test]
 fn ideal_never_spills() {
-    let opts = PipelineOptions::default();
-    let machine = Machine::clustered(6, 1);
+    let session = Session::new(Machine::clustered(6, 1));
     for l in Corpus::small().take(20).iter() {
-        let e = evaluate(l, &machine, Model::Ideal, 1, &opts).unwrap();
+        let e = session.evaluate(l, Model::Ideal, 1).unwrap();
         assert!(e.fits);
         assert_eq!(e.spilled, 0);
     }

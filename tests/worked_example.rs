@@ -8,7 +8,7 @@ use ncdrf::regalloc::{
     allocate_dual, allocate_unified, classify, lifetimes, max_live, DualPressure, ValueClass,
 };
 use ncdrf::sched::{mii, verify, Schedule};
-use ncdrf::swap::{swap_pass, requirement_bound};
+use ncdrf::swap::{requirement_bound, swap_pass};
 
 /// The Figure 2 dependence graph:
 /// `L1 = x[i]; L2 = y[i]; M3 = L1*r; A4 = M3+L2; M5 = A4*t; A6 = M5+L1;
@@ -48,7 +48,10 @@ fn paper_schedule(l: &Loop, m: &Machine) -> Schedule {
     let g_add = m.group_for(ncdrf::ddg::OpKind::FpAdd).unwrap();
     let g_mul = m.group_for(ncdrf::ddg::OpKind::FpMul).unwrap();
     let g_mem = m.group_for(ncdrf::ddg::OpKind::Load).unwrap();
-    let unit = |g: usize, i: usize| UnitRef { group: g, instance: i };
+    let unit = |g: usize, i: usize| UnitRef {
+        group: g,
+        instance: i,
+    };
     // Op order: L1, L2, M3, A4, M5, A6, S7.
     let starts = vec![0, 0, 1, 4, 7, 10, 13];
     let units = vec![

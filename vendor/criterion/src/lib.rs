@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`: measures wall time, prints
+//! `name  time: [min median max]`, and writes
+//! `target/criterion/<id>/new/estimates.json` so tooling that scrapes
+//! criterion's output layout keeps working.
+//!
+//! Methodology: one warm-up call calibrates an iteration count that puts
+//! each sample near [`TARGET_SAMPLE`]; every sample then times that many
+//! calls and reports the per-call average. No outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Hard cap on a single benchmark's total measuring time.
+const MAX_TOTAL: Duration = Duration::from_secs(10);
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call one
+    /// of its `iter*` methods.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_call_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.per_call_ns);
+        self
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    per_call_ns: Vec<f64>,
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batching is always per-sample here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: one call, untimed in the report.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            ((TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)) as usize).clamp(1, 1_000_000);
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.per_call_ns
+                .push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+            if budget.elapsed() > MAX_TOTAL {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.per_call_ns.push(t.elapsed().as_nanos() as f64);
+            if budget.elapsed() > MAX_TOTAL {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, per_call_ns: &[f64]) {
+    if per_call_ns.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mut sorted = per_call_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{:<40} time:   [{} {} {}]",
+        id,
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    write_estimates(id, mean, median);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Mirrors criterion's on-disk layout: `target/criterion/<id>/new/estimates.json`
+/// with `mean`/`median` point estimates in nanoseconds.
+fn write_estimates(id: &str, mean_ns: f64, median_ns: f64) {
+    let safe: String = id.chars().map(|c| if c == ' ' { '_' } else { c }).collect();
+    let dir = std::path::Path::new("target/criterion")
+        .join(safe)
+        .join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean_ns}}},\"median\":{{\"point_estimate\":{median_ns}}}}}"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("stub/iter", |b| b.iter(|| black_box(2u64 + 2)));
+        c.bench_function("stub/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

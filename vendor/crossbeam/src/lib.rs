@@ -1,0 +1,37 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API the workspace
+//! uses (`crossbeam::thread::scope` + `Scope::spawn`), implemented over
+//! `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a thread scope; all spawned threads are joined before
+    /// returning. `std::thread::scope` propagates panics from spawned
+    /// threads directly, so — unlike real crossbeam — the `Err` arm is
+    /// never produced; the `Result` exists for signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
