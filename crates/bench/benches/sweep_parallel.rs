@@ -1,0 +1,126 @@
+//! Benchmark guard for the execution subsystem: the multi-machine
+//! Figure 8/9 grid run three ways —
+//!
+//! 1. `seq` — [`Sweep::run_sequential`], strictly one task at a time;
+//! 2. `pr1` — the pre-executor strategy: machines sequential, each
+//!    corpus call fanned out and joined on its own (the barrier-per-call
+//!    shape of the old `par_map`-based `Sweep::run`), reconstructed here
+//!    from the `Session` corpus methods;
+//! 3. `pool` — [`Sweep::run`] on the work-stealing `(machine, loop)`
+//!    grid, machine- and loop-level parallelism composed.
+//!
+//! The correctness assert is the headline: the pooled grid must be
+//! **bit-identical** (order-stable, field-for-field) to the sequential
+//! reference. The printed speedups are hardware-dependent: on a
+//! multi-core host the pooled grid should comfortably exceed 2x over the
+//! machine-sequential paths; on a single hardware thread (as in some CI
+//! sandboxes) all three columns converge — by design, since worker count
+//! must never change results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::corpus::Corpus;
+use ncdrf::machine::Machine;
+use ncdrf::{LoopEval, Model, Session, Sweep, SweepReport};
+use ncdrf_bench::bench_corpus;
+use std::time::Instant;
+
+/// The full multi-machine Figure 8/9 grid: 2 latencies × 2 budgets × 4
+/// models.
+const LATENCIES: [u32; 2] = [3, 6];
+const BUDGETS: [u32; 2] = [32, 64];
+
+fn grid<'c>(corpus: &'c Corpus) -> Sweep<'c> {
+    Sweep::new(corpus)
+        .clustered_latencies(LATENCIES)
+        .models(Model::all())
+        .budgets(BUDGETS)
+}
+
+/// PR 1's execution strategy: machines strictly sequential, one
+/// fan-out/join per corpus call.
+fn pr1_style(corpus: &Corpus) -> u128 {
+    let mut total = 0u128;
+    for lat in LATENCIES {
+        let session = Session::new(Machine::clustered(lat, 1));
+        for budget in BUDGETS {
+            for model in Model::all() {
+                total += session
+                    .evaluate_corpus(corpus, model, budget)
+                    .unwrap()
+                    .iter()
+                    .map(LoopEval::cycles)
+                    .sum::<u128>();
+            }
+        }
+    }
+    total
+}
+
+fn checksum(r: &SweepReport) -> u128 {
+    r.outcomes.iter().map(|o| o.cycles).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(24);
+    let sweep = grid(&corpus);
+
+    // Correctness guard (the acceptance criterion): the work-stealing
+    // grid is bit-identical to the sequential reference — same curves,
+    // same outcomes, same order, same cache counters.
+    let pooled = sweep.run().expect("bench corpus always schedules");
+    let sequential = sweep
+        .run_sequential()
+        .expect("bench corpus always schedules");
+    assert_eq!(
+        pooled, sequential,
+        "pooled sweep must be bit-identical to the sequential reference"
+    );
+    assert_eq!(checksum(&pooled), pr1_style(&corpus), "strategies disagree");
+
+    // Headline wall-clock comparison, printed so a bench run doubles as
+    // the demonstration.
+    let reps = 5u32;
+    let t = Instant::now();
+    for _ in 0..reps {
+        sweep.run_sequential().unwrap();
+    }
+    let seq = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..reps {
+        pr1_style(&corpus);
+    }
+    let pr1 = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..reps {
+        sweep.run().unwrap();
+    }
+    let pool = t.elapsed();
+    println!(
+        "\nsweep_parallel: fig8/9 grid ({} loops x {} machines) \
+         seq {:.1?} | pr1-style {:.1?} | pool {:.1?} -> {:.2}x vs seq, {:.2}x vs pr1 \
+         ({} workers)\n",
+        corpus.len(),
+        LATENCIES.len(),
+        seq / reps,
+        pr1 / reps,
+        pool / reps,
+        seq.as_secs_f64() / pool.as_secs_f64().max(1e-12),
+        pr1.as_secs_f64() / pool.as_secs_f64().max(1e-12),
+        ncdrf::exec::Pool::new().workers(),
+    );
+
+    c.bench_function("sweep_parallel/sequential", |b| {
+        b.iter(|| sweep.run_sequential().unwrap())
+    });
+    c.bench_function("sweep_parallel/pr1_style", |b| {
+        b.iter(|| pr1_style(&corpus))
+    });
+    c.bench_function("sweep_parallel/pool", |b| b.iter(|| sweep.run().unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -11,46 +11,56 @@ use crate::model::Model;
 use crate::pipeline::{analyze, evaluate, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
 use crate::sweep::Sweep;
 use ncdrf_corpus::Corpus;
+use ncdrf_ddg::Loop;
+use ncdrf_exec::Pool;
 use ncdrf_machine::Machine;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-/// Maps `f` over `items` with scoped threads, preserving order.
+/// Maps `f` over `items` on a work-stealing [`Pool`], preserving order.
 ///
-/// Falls back to sequential execution when parallelism is unavailable.
+/// Kept as a source-compatible shim over the execution subsystem. Unlike
+/// the original implementation, a panicking worker no longer takes the
+/// whole process down: every other item still completes, and the first
+/// panic is then re-raised on the **calling** thread (so callers can
+/// contain it with `std::panic::catch_unwind`). Callers that want panics
+/// as values should use [`ncdrf_exec::Pool::run`] directly.
+#[deprecated(
+    note = "use `ncdrf_exec::Pool::run` (panics become values) or the `Session` corpus methods"
+)]
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
-    })
-    .expect("worker threads do not panic");
+    let results = Pool::new().run(items.len(), |i| f(&items[i]));
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every index was processed"))
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(Box::new(p.message)),
+        })
+        .collect()
+}
+
+/// Runs the fallible per-loop closure over a corpus on a fresh pool,
+/// preserving corpus order and returning the first failure (a contained
+/// worker panic surfaces as [`crate::PipelineStage::Panic`], naming the
+/// loop).
+pub(crate) fn try_map_loops<R, F>(corpus: &Corpus, f: F) -> Result<Vec<R>, PipelineError>
+where
+    R: Send,
+    F: Fn(&Loop) -> Result<R, PipelineError> + Sync,
+{
+    let loops = corpus.loops();
+    Pool::new()
+        .run(loops.len(), |i| f(&loops[i]))
+        .into_iter()
+        .zip(loops)
+        .map(|(r, l)| match r {
+            Ok(per_loop) => per_loop,
+            Err(p) => Err(PipelineError::panic(l.name(), p.message)),
+        })
         .collect()
 }
 
@@ -151,9 +161,7 @@ pub fn sweep_analyze(
     model: Model,
     opts: &PipelineOptions,
 ) -> Result<Vec<LoopAnalysis>, PipelineError> {
-    par_map(corpus.loops(), |l| analyze(l, machine, model, opts))
-        .into_iter()
-        .collect()
+    try_map_loops(corpus, |l| analyze(l, machine, model, opts))
 }
 
 /// Evaluates every corpus loop under `model` with a `budget`-register
@@ -170,11 +178,7 @@ pub fn sweep_evaluate(
     budget: u32,
     opts: &PipelineOptions,
 ) -> Result<Vec<LoopEval>, PipelineError> {
-    par_map(corpus.loops(), |l| {
-        evaluate(l, machine, model, budget, opts)
-    })
-    .into_iter()
-    .collect()
+    try_map_loops(corpus, |l| evaluate(l, machine, model, budget, opts))
 }
 
 /// Reproduces Table 1 over `(x, latency)` unified configurations.
@@ -262,6 +266,28 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = par_map(&items, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_panic_is_catchable_and_other_items_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        // The panic must reach the caller as an unwind (containable with
+        // catch_unwind), not abort the process as the old
+        // `expect("worker threads do not panic")` did — and the
+        // non-panicking items must all have run.
+        let outcome = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                if x == 7 {
+                    panic!("item seven failed");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        });
+        assert!(outcome.is_err(), "the panic propagates to the caller");
+        assert_eq!(completed.load(Ordering::SeqCst), 15);
     }
 
     #[test]

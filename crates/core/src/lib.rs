@@ -27,6 +27,7 @@
 //! | [`ncdrf_spill`] | the §5.4 naive spiller |
 //! | [`ncdrf_corpus`] | the benchmark loop population |
 //! | [`ncdrf_vliw`] | cycle-accurate executor + equivalence oracle |
+//! | [`ncdrf_exec`] | work-stealing sweep executor with panic isolation |
 //!
 //! # Quickstart
 //!
@@ -83,14 +84,16 @@ mod sweep;
 
 pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
 #[allow(deprecated)]
+pub use experiment::par_map;
+#[allow(deprecated)]
 pub use experiment::{figures_6_7, figures_8_9, sweep_analyze, sweep_evaluate, table1};
 pub use experiment::{
-    par_map, relative_performance, BudgetOutcome, DistributionCurve, Table1Row, FIG89_CONFIGS,
+    relative_performance, BudgetOutcome, DistributionCurve, Table1Row, FIG89_CONFIGS,
 };
 pub use model::Model;
 pub use pipeline::{
-    analyze, evaluate, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
-    PipelineStage,
+    analyze, evaluate, requirement, ConfigError, LoopAnalysis, LoopEval, PipelineError,
+    PipelineOptions, PipelineStage,
 };
 #[allow(deprecated)]
 pub use report::{
@@ -99,12 +102,14 @@ pub use report::{
 };
 pub use report::{BudgetMetric, BudgetTable, DistributionPanel, Render, ReportFormat};
 pub use session::{BaseSchedule, CacheStats, Session};
-pub use sweep::{Sweep, SweepReport};
+pub use sweep::{PartialSweep, Sweep, SweepReport};
 
 /// Re-export of the corpus crate.
 pub use ncdrf_corpus as corpus;
 /// Re-export of the dependence-graph crate.
 pub use ncdrf_ddg as ddg;
+/// Re-export of the execution-pool crate.
+pub use ncdrf_exec as exec;
 /// Re-export of the machine-model crate.
 pub use ncdrf_machine as machine;
 /// Re-export of the register-allocation crate.

@@ -33,9 +33,14 @@ pub struct PipelineOptions {
 /// A pipeline failure, carrying **which loop** failed alongside the
 /// failing stage — so a corpus sweep that dies names its culprit instead
 /// of reporting a bare scheduler error.
+///
+/// Configuration failures (an empty sweep grid, say) happen before any
+/// loop is touched; they leave `loop_name` empty and render without the
+/// `loop` prefix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineError {
-    /// Name of the loop the pipeline was processing.
+    /// Name of the loop the pipeline was processing (empty for
+    /// [`PipelineStage::Config`] errors, which precede any loop).
     pub loop_name: String,
     /// The stage that failed, with its cause.
     pub stage: PipelineStage,
@@ -50,7 +55,50 @@ pub enum PipelineStage {
     Machine(MachineError),
     /// The spiller failed.
     Spill(SpillError),
+    /// The experiment configuration is invalid (no loop involved).
+    Config(ConfigError),
+    /// A worker panicked while processing the loop; the payload is the
+    /// stringified panic message. The panic was contained by the
+    /// execution pool — other loops in the same run still completed.
+    Panic(String),
 }
+
+/// An invalid experiment configuration, detected before any loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The sweep's machine grid is empty — nothing would be evaluated.
+    EmptyMachineGrid,
+    /// The sweep's model set is empty — every result series would be
+    /// silently empty.
+    EmptyModelSet,
+    /// The sweep requests neither distribution points nor spill budgets,
+    /// so there is nothing to compute.
+    EmptyWorkload,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyMachineGrid => write!(
+                f,
+                "the sweep has no machines; add one via `machine`, `machines`, \
+                 `clustered_latencies` or `pxly_configs`"
+            ),
+            ConfigError::EmptyModelSet => write!(
+                f,
+                "the sweep has no models; pass a non-empty set to `models` \
+                 (the default is `Model::all()`)"
+            ),
+            ConfigError::EmptyWorkload => write!(
+                f,
+                "the sweep has no workload; request distribution points \
+                 via `points` and/or spill budgets via `budget`/`budgets`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl PipelineError {
     /// Builds an error for the named loop from any stage cause.
@@ -60,11 +108,36 @@ impl PipelineError {
             stage: stage.into(),
         }
     }
+
+    /// Builds a configuration error (no loop involved).
+    pub fn config(err: ConfigError) -> Self {
+        PipelineError {
+            loop_name: String::new(),
+            stage: PipelineStage::Config(err),
+        }
+    }
+
+    /// Builds a contained-panic error for the named loop.
+    pub fn panic(loop_name: impl Into<String>, message: impl Into<String>) -> Self {
+        PipelineError {
+            loop_name: loop_name.into(),
+            stage: PipelineStage::Panic(message.into()),
+        }
+    }
+
+    /// Whether this is a configuration error (and thus names no loop).
+    pub fn is_config(&self) -> bool {
+        matches!(self.stage, PipelineStage::Config(_))
+    }
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "loop `{}`: {}", self.loop_name, self.stage)
+        if self.loop_name.is_empty() {
+            write!(f, "{}", self.stage)
+        } else {
+            write!(f, "loop `{}`: {}", self.loop_name, self.stage)
+        }
     }
 }
 
@@ -74,6 +147,8 @@ impl std::error::Error for PipelineError {
             PipelineStage::Schedule(e) => Some(e),
             PipelineStage::Machine(e) => Some(e),
             PipelineStage::Spill(e) => Some(e),
+            PipelineStage::Config(e) => Some(e),
+            PipelineStage::Panic(_) => None,
         }
     }
 }
@@ -84,7 +159,15 @@ impl fmt::Display for PipelineStage {
             PipelineStage::Schedule(e) => write!(f, "scheduling failed: {e}"),
             PipelineStage::Machine(e) => write!(f, "machine mismatch: {e}"),
             PipelineStage::Spill(e) => write!(f, "spilling failed: {e}"),
+            PipelineStage::Config(e) => write!(f, "invalid configuration: {e}"),
+            PipelineStage::Panic(msg) => write!(f, "worker panicked: {msg}"),
         }
+    }
+}
+
+impl From<ConfigError> for PipelineStage {
+    fn from(e: ConfigError) -> Self {
+        PipelineStage::Config(e)
     }
 }
 

@@ -16,7 +16,7 @@
 //! ```
 
 use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
-use crate::sweep::SweepReport;
+use crate::sweep::{PartialSweep, SweepReport};
 use std::fmt::Write as _;
 
 /// Output backend of [`Render`].
@@ -389,6 +389,42 @@ impl Render for SweepReport {
     }
 }
 
+impl Render for PartialSweep {
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let mut s = self.report.render(ReportFormat::Text);
+                if self.errors.is_empty() {
+                    let _ = writeln!(s, "[no failures]");
+                } else {
+                    let _ = writeln!(s, "[{} failed (machine, loop) pair(s)]", self.errors.len());
+                    for e in &self.errors {
+                        let _ = writeln!(s, "  - {e}");
+                    }
+                }
+                s
+            }
+            // CSV stays a clean record stream; failures are not rows.
+            // Callers needing them machine-readable should use JSON.
+            ReportFormat::Csv => self.report.render(ReportFormat::Csv),
+            ReportFormat::Json => {
+                let mut o = JsonObject::new();
+                o.raw("report", &self.report.render(ReportFormat::Json));
+                o.raw(
+                    "errors",
+                    &json_array(self.errors.iter().map(|e| {
+                        let mut j = JsonObject::new();
+                        j.string("loop", &e.loop_name);
+                        j.string("error", &e.stage.to_string());
+                        j.finish()
+                    })),
+                );
+                o.finish()
+            }
+        }
+    }
+}
+
 impl<T: Render + ?Sized> Render for &T {
     fn render(&self, format: ReportFormat) -> String {
         (**self).render(format)
@@ -640,6 +676,36 @@ mod tests {
         let json = report.render(ReportFormat::Json);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"scheduling_runs\":3"));
+    }
+
+    #[test]
+    fn partial_sweep_renders_failures_by_name() {
+        let partial = PartialSweep {
+            report: SweepReport {
+                distributions: sample_curves(),
+                outcomes: sample_outcomes(),
+                scheduling: crate::session::CacheStats { hits: 4, misses: 2 },
+            },
+            errors: vec![crate::PipelineError::panic("hydro", "boom")],
+        };
+        let text = partial.render(ReportFormat::Text);
+        assert!(text.contains("1 failed (machine, loop) pair(s)"));
+        assert!(text.contains("loop `hydro`: worker panicked: boom"));
+        let json = partial.render(ReportFormat::Json);
+        assert!(json.contains("\"loop\":\"hydro\""));
+        assert!(json.contains("\"report\":{"));
+        // CSV keeps the record stream parseable.
+        assert_eq!(
+            partial.render(ReportFormat::Csv),
+            partial.report.render(ReportFormat::Csv)
+        );
+        let complete = PartialSweep {
+            report: SweepReport::default(),
+            errors: Vec::new(),
+        };
+        assert!(complete
+            .render(ReportFormat::Text)
+            .contains("[no failures]"));
     }
 
     #[test]

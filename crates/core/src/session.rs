@@ -58,7 +58,8 @@ pub struct BaseSchedule {
 /// Hit/miss counters of a session's schedule cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Base requests served from the cache.
+    /// Schedule requests served from the cache — base-schedule lookups
+    /// plus post-swap lookups that skipped a rerun of the swap pass.
     pub hits: u64,
     /// Base requests that ran the scheduler.
     pub misses: u64,
@@ -176,6 +177,10 @@ impl Session {
     /// Propagates scheduling and machine failures, naming the loop.
     pub fn swapped_base(&self, l: &Loop) -> Result<Arc<BaseSchedule>, PipelineError> {
         if let Some(hit) = self.swapped.lock().get(l.name()) {
+            // A swapped-cache hit is saved work (scheduling *and* the swap
+            // pass), so it counts toward `CacheStats::hits` like a base
+            // hit; omitting it under-reported reuse for `Model::Swapped`.
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
         let base = self.base(l)?;
@@ -333,9 +338,7 @@ impl Session {
         corpus: &Corpus,
         model: Model,
     ) -> Result<Vec<LoopAnalysis>, PipelineError> {
-        crate::par_map(corpus.loops(), |l| self.analyze(l, model))
-            .into_iter()
-            .collect()
+        crate::experiment::try_map_loops(corpus, |l| self.analyze(l, model))
     }
 
     /// [`Session::evaluate`] over every loop of `corpus`, in parallel,
@@ -350,9 +353,7 @@ impl Session {
         model: Model,
         budget: u32,
     ) -> Result<Vec<LoopEval>, PipelineError> {
-        crate::par_map(corpus.loops(), |l| self.evaluate(l, model, budget))
-            .into_iter()
-            .collect()
+        crate::experiment::try_map_loops(corpus, |l| self.evaluate(l, model, budget))
     }
 }
 
@@ -411,6 +412,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn repeated_swapped_analyses_count_as_hits() {
+        let session = Session::new(Machine::clustered(6, 1));
+        let l = kernels::livermore::hydro();
+        session.analyze(&l, Model::Swapped).unwrap();
+        // First request: one scheduling run, swap pass filled lazily.
+        assert_eq!(session.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        session.analyze(&l, Model::Swapped).unwrap();
+        session.analyze(&l, Model::Swapped).unwrap();
+        // Each repeat is served entirely from the swapped cache and must
+        // be visible as reuse, not invisible work.
+        assert_eq!(session.cache_stats(), CacheStats { hits: 2, misses: 1 });
     }
 
     #[test]

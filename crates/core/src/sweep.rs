@@ -7,6 +7,13 @@
 //! `figures_8_9`): every `(machine, loop)` pair is scheduled exactly once
 //! no matter how many models or budgets are evaluated on it.
 //!
+//! Execution is handled by the [`ncdrf_exec`] subsystem: [`Sweep::run`]
+//! flattens the whole grid into `(machine, loop)` cells and serves them
+//! from one work-stealing [`Pool`], so machine-level and loop-level
+//! parallelism compose instead of machines queueing behind each other.
+//! [`Sweep::run_partial`] additionally makes the grid fault-tolerant —
+//! one failing pair is reported by name instead of discarding the rest.
+//!
 //! ```
 //! use ncdrf::{Model, Sweep, Render, ReportFormat};
 //! use ncdrf::corpus::Corpus;
@@ -29,11 +36,14 @@
 use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
 use crate::experiment::{relative_performance, BudgetOutcome, DistributionCurve, Table1Row};
 use crate::model::Model;
-use crate::pipeline::{LoopEval, PipelineError, PipelineOptions};
+use crate::pipeline::{ConfigError, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
 use crate::session::{CacheStats, Session};
 use ncdrf_corpus::Corpus;
+use ncdrf_ddg::Loop;
+use ncdrf_exec::Pool;
 use ncdrf_machine::Machine;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Builder for a corpus experiment over machines × models × budgets.
 ///
@@ -52,6 +62,7 @@ pub struct Sweep<'c> {
     points: Vec<u32>,
     budgets: Vec<u32>,
     opts: PipelineOptions,
+    workers: Option<usize>,
 }
 
 impl<'c> Sweep<'c> {
@@ -65,6 +76,7 @@ impl<'c> Sweep<'c> {
             points: Vec::new(),
             budgets: Vec::new(),
             opts: PipelineOptions::default(),
+            workers: None,
         }
     }
 
@@ -127,39 +139,351 @@ impl<'c> Sweep<'c> {
         self
     }
 
-    /// Runs the sweep: one [`Session`] per machine, loops in parallel.
+    /// Overrides the executor's worker count (default: hardware
+    /// parallelism). Results are bit-identical for any worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Rejects configurations that can only produce a silently-empty
+    /// report: no machines, no models, or no workload (neither points
+    /// nor budgets).
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.machines.is_empty() {
+            return Err(PipelineError::config(ConfigError::EmptyMachineGrid));
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::config(ConfigError::EmptyModelSet));
+        }
+        if self.points.is_empty() && self.budgets.is_empty() {
+            return Err(PipelineError::config(ConfigError::EmptyWorkload));
+        }
+        Ok(())
+    }
+
+    /// Runs the flattened `(machine, loop)` grid on one work-stealing
+    /// pool. Returns one session per machine plus, per machine, the
+    /// per-loop cell results in corpus order (worker panics already
+    /// converted to failures naming the loop).
+    ///
+    /// With `fail_fast`, the first failing cell cancels all tasks that
+    /// have not started yet (they report [`CellFailure::Cancelled`]), so
+    /// an all-or-nothing caller doesn't pay for the rest of a grid it is
+    /// about to discard.
+    #[allow(clippy::type_complexity)]
+    fn run_grid(&self, fail_fast: bool) -> (Vec<Session>, Vec<Vec<Result<LoopCell, CellFailure>>>) {
+        let sessions: Vec<Session> = self
+            .machines
+            .iter()
+            .map(|m| Session::new(m.clone()).options(self.opts))
+            .collect();
+        let loops = self.corpus.loops();
+        let n = loops.len();
+        let mut per_machine: Vec<Vec<Result<LoopCell, CellFailure>>> =
+            sessions.iter().map(|_| Vec::with_capacity(n)).collect();
+        if n == 0 {
+            return (sessions, per_machine);
+        }
+        let pool = match self.workers {
+            Some(w) => Pool::with_workers(w),
+            None => Pool::new(),
+        };
+        let want_points = !self.points.is_empty();
+        let cancelled = AtomicBool::new(false);
+        let raw = pool.run(sessions.len() * n, |t| {
+            if fail_fast && cancelled.load(Ordering::Relaxed) {
+                return Err(CellFailure::Cancelled);
+            }
+            let (mi, li) = (t / n, t % n);
+            // Catch panics locally (before the pool's own isolation) so
+            // a panicking cell triggers cancellation exactly like an
+            // erroring one; the payload is re-raised for the pool to
+            // record as the cell's `TaskPanic`.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eval_cell(
+                    &sessions[mi],
+                    &loops[li],
+                    &self.models,
+                    &self.budgets,
+                    want_points,
+                )
+            }));
+            if fail_fast && !matches!(outcome, Ok(Ok(_))) {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            match outcome {
+                Ok(cell) => cell.map_err(CellFailure::Error),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        });
+        for (t, r) in raw.into_iter().enumerate() {
+            let (mi, li) = (t / n, t % n);
+            per_machine[mi].push(match r {
+                Ok(cell) => cell,
+                Err(p) => Err(CellFailure::Error(PipelineError::panic(
+                    loops[li].name(),
+                    p.message,
+                ))),
+            });
+        }
+        (sessions, per_machine)
+    }
+
+    /// Runs the sweep on the work-stealing executor: one [`Session`] per
+    /// machine, every `(machine, loop)` pair as an independent task. A
+    /// failing pair cancels the tasks that have not started yet — the
+    /// all-or-nothing contract doesn't pay for a grid it is about to
+    /// discard.
     ///
     /// # Errors
     ///
-    /// Returns the first per-loop failure; the error names the loop (see
-    /// [`PipelineError::loop_name`]).
+    /// Returns a [`ConfigError`] for an empty machine grid, model set or
+    /// workload, otherwise a per-loop failure naming the loop (see
+    /// [`PipelineError::loop_name`]) — the grid-order (machine-major,
+    /// corpus-order) first among the pairs that ran. For a report that
+    /// survives individual failures, use [`Sweep::run_partial`].
     pub fn run(&self) -> Result<SweepReport, PipelineError> {
+        self.validate()?;
+        let (sessions, per_machine) = self.run_grid(true);
+        let mut machine_cells = Vec::with_capacity(sessions.len());
+        for cells in per_machine {
+            let mut ok = Vec::with_capacity(cells.len());
+            for cell in cells {
+                match cell {
+                    Ok(c) => ok.push(c),
+                    Err(CellFailure::Error(e)) => return Err(e),
+                    // A cancelled cell implies a real error later in the
+                    // grid scan; keep looking for it.
+                    Err(CellFailure::Cancelled) => {}
+                }
+            }
+            machine_cells.push(ok);
+        }
+        let mut report = SweepReport::default();
+        for (session, cells) in sessions.iter().zip(&machine_cells) {
+            self.assemble_machine(&mut report, session, cells);
+        }
+        Ok(report)
+    }
+
+    /// Runs the sweep fault-tolerantly: every `(machine, loop)` pair that
+    /// succeeds contributes to the report, and every failure is returned
+    /// by name instead of discarding the rest of the grid. A machine's
+    /// aggregates (curves, outcomes) are computed over its surviving
+    /// loops; a machine whose **every** loop failed contributes no
+    /// aggregates at all (all-zero curves and vacuously-ideal outcomes
+    /// would misreport a dead machine as perfect).
+    ///
+    /// Configuration errors (empty machine grid / model set / workload)
+    /// surface in the error list with an empty report.
+    pub fn run_partial(&self) -> PartialSweep {
+        if let Err(e) = self.validate() {
+            return PartialSweep {
+                report: SweepReport::default(),
+                errors: vec![e],
+            };
+        }
+        let (sessions, per_machine) = self.run_grid(false);
+        let mut report = SweepReport::default();
+        let mut errors = Vec::new();
+        for (session, cells) in sessions.iter().zip(per_machine) {
+            let mut ok = Vec::with_capacity(cells.len());
+            for cell in cells {
+                match cell {
+                    Ok(c) => ok.push(c),
+                    Err(CellFailure::Error(e)) => errors.push(e),
+                    Err(CellFailure::Cancelled) => {
+                        unreachable!("run_partial never cancels cells")
+                    }
+                }
+            }
+            self.assemble_machine(&mut report, session, &ok);
+        }
+        PartialSweep { report, errors }
+    }
+
+    /// Reference implementation: the same grid evaluated strictly
+    /// sequentially on the calling thread (machine-major, corpus order).
+    /// [`Sweep::run`] is bit-identical to this for every worker count;
+    /// the `sweep_parallel` bench and stress test assert it.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Sweep::run`].
+    pub fn run_sequential(&self) -> Result<SweepReport, PipelineError> {
+        self.validate()?;
+        let want_points = !self.points.is_empty();
         let mut report = SweepReport::default();
         for machine in &self.machines {
             let session = Session::new(machine.clone()).options(self.opts);
-            if !self.points.is_empty() {
-                for &model in &self.models {
-                    report.distributions.push(distribution_curve(
-                        &session,
-                        self.corpus,
-                        model,
-                        &self.points,
-                    )?);
-                }
-            }
-            for &budget in &self.budgets {
-                report.outcomes.extend(budget_outcomes(
+            let mut cells = Vec::with_capacity(self.corpus.len());
+            for l in self.corpus.iter() {
+                cells.push(eval_cell(
                     &session,
-                    self.corpus,
+                    l,
                     &self.models,
-                    budget,
+                    &self.budgets,
+                    want_points,
                 )?);
             }
+            self.assemble_machine(&mut report, &session, &cells);
+        }
+        Ok(report)
+    }
+
+    /// Folds one machine's surviving cells (in corpus order) into the
+    /// report and accumulates the session's cache counters.
+    ///
+    /// A machine left with zero surviving cells by a non-empty corpus
+    /// (i.e. every pair failed) gets no curves or outcomes — only its
+    /// cache counters. An empty corpus still assembles its (empty)
+    /// aggregates, matching the sequential reference.
+    fn assemble_machine(&self, report: &mut SweepReport, session: &Session, cells: &[LoopCell]) {
+        let machine_is_dead = cells.is_empty() && !self.corpus.is_empty();
+        if machine_is_dead {
             let stats = session.cache_stats();
             report.scheduling.hits += stats.hits;
             report.scheduling.misses += stats.misses;
+            return;
         }
-        Ok(report)
+        if !self.points.is_empty() {
+            for (mi, &model) in self.models.iter().enumerate() {
+                let rows: Vec<&LoopAnalysis> = cells.iter().map(|c| &c.analyses[mi]).collect();
+                report
+                    .distributions
+                    .push(curve_from_rows(session, model, &self.points, &rows));
+            }
+        }
+        let machine = session.machine();
+        let ports = machine.memory_ports() as u128;
+        for (bi, &budget) in self.budgets.iter().enumerate() {
+            let ideal_cycles: u128 = cells.iter().map(|c| c.evals[bi].ideal.cycles()).sum();
+            for (mi, &model) in self.models.iter().enumerate() {
+                let rows = || cells.iter().map(|c| &c.evals[bi].rows[mi]);
+                let cycles: u128 = rows().map(|r| r.cycles()).sum();
+                let accesses: u128 = rows().map(|r| r.accesses()).sum();
+                let loops_spilled = rows().filter(|r| r.spilled > 0).count();
+                report.outcomes.push(BudgetOutcome {
+                    config: machine.name().to_owned(),
+                    model,
+                    latency: fp_latency(machine),
+                    registers: budget,
+                    cycles,
+                    accesses,
+                    relative_performance: relative_performance(ideal_cycles, cycles),
+                    traffic_density: if cycles == 0 {
+                        0.0
+                    } else {
+                        accesses as f64 / (cycles * ports) as f64
+                    },
+                    loops_spilled,
+                });
+            }
+        }
+        let stats = session.cache_stats();
+        report.scheduling.hits += stats.hits;
+        report.scheduling.misses += stats.misses;
+    }
+}
+
+/// Why a grid cell produced no [`LoopCell`].
+#[derive(Debug, Clone)]
+enum CellFailure {
+    /// The pipeline failed (or a worker panicked) on this pair.
+    Error(PipelineError),
+    /// The cell never ran: a fail-fast run already hit an error
+    /// elsewhere in the grid.
+    Cancelled,
+}
+
+/// One `(machine, loop)` cell of the flattened grid: everything the sweep
+/// needs from that pair, for every requested model and budget.
+#[derive(Debug, Clone)]
+struct LoopCell {
+    /// One analysis per model (empty when no sample points were set).
+    analyses: Vec<LoopAnalysis>,
+    /// One entry per budget.
+    evals: Vec<BudgetCell>,
+}
+
+/// One budget's evaluations of a single loop.
+#[derive(Debug, Clone)]
+struct BudgetCell {
+    /// The [`Model::Ideal`] anchor evaluation (always computed, so
+    /// relative performance stays anchored even when the model set omits
+    /// the ideal model).
+    ideal: LoopEval,
+    /// One evaluation per model, in model-set order.
+    rows: Vec<LoopEval>,
+}
+
+/// Evaluates one `(machine, loop)` pair: all model analyses (when the
+/// sweep samples distribution points) and all `(budget, model)`
+/// evaluations, sharing the session's schedule cache.
+fn eval_cell(
+    session: &Session,
+    l: &Loop,
+    models: &[Model],
+    budgets: &[u32],
+    want_points: bool,
+) -> Result<LoopCell, PipelineError> {
+    let analyses = if want_points {
+        models
+            .iter()
+            .map(|&m| session.analyze(l, m))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        Vec::new()
+    };
+    let evals = budgets
+        .iter()
+        .map(|&budget| {
+            let ideal = session.evaluate(l, Model::Ideal, budget)?;
+            let rows = models
+                .iter()
+                .map(|&m| {
+                    if m == Model::Ideal {
+                        Ok(ideal.clone())
+                    } else {
+                        session.evaluate(l, m, budget)
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(BudgetCell { ideal, rows })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(LoopCell { analyses, evals })
+}
+
+/// Result of [`Sweep::run_partial`]: the report over every surviving
+/// `(machine, loop)` pair, plus one error per failed pair.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartialSweep {
+    /// Aggregates over the pairs that succeeded.
+    pub report: SweepReport,
+    /// One error per failed pair (or a single configuration error), in
+    /// grid (machine-major, corpus) order.
+    pub errors: Vec<PipelineError>,
+}
+
+impl PartialSweep {
+    /// Whether every `(machine, loop)` pair succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Converts to the all-or-nothing contract of [`Sweep::run`]: the
+    /// report if complete, otherwise the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first recorded failure.
+    pub fn into_result(self) -> Result<SweepReport, PipelineError> {
+        match self.errors.into_iter().next() {
+            None => Ok(self.report),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -178,9 +502,13 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Derives Table 1 rows (allocatable percentages at 16/32/64
-    /// registers) from every distribution curve that sampled all three
-    /// Table 1 points.
+    /// Derives Table 1 rows (allocatable percentages at the
+    /// [`TABLE1_POINTS`] register counts) from every distribution curve
+    /// that sampled all three Table 1 points.
+    ///
+    /// Both the curve filter and the sampled columns derive from
+    /// [`TABLE1_POINTS`], so the two can never disagree about which
+    /// register counts Table 1 reports.
     pub fn table1(&self) -> Vec<Table1Row> {
         self.distributions
             .iter()
@@ -191,16 +519,8 @@ impl SweepReport {
             })
             .map(|c| Table1Row {
                 config: c.config.clone(),
-                loops_within: [
-                    c.static_dist.at(16),
-                    c.static_dist.at(32),
-                    c.static_dist.at(64),
-                ],
-                cycles_within: [
-                    c.dynamic_dist.at(16),
-                    c.dynamic_dist.at(32),
-                    c.dynamic_dist.at(64),
-                ],
+                loops_within: TABLE1_POINTS.map(|p| c.static_dist.at(p)),
+                cycles_within: TABLE1_POINTS.map(|p| c.dynamic_dist.at(p)),
             })
             .collect()
     }
@@ -233,13 +553,13 @@ pub(crate) fn fp_latency(machine: &Machine) -> u32 {
         .unwrap_or(0)
 }
 
-fn distribution_curve(
+/// Builds one distribution curve from per-loop analyses (corpus order).
+fn curve_from_rows(
     session: &Session,
-    corpus: &Corpus,
     model: Model,
     points: &[u32],
-) -> Result<DistributionCurve, PipelineError> {
-    let rows = session.analyze_corpus(corpus, model)?;
+    rows: &[&LoopAnalysis],
+) -> DistributionCurve {
     let static_obs: Vec<Observation> = rows
         .iter()
         .map(|r| Observation {
@@ -254,57 +574,13 @@ fn distribution_curve(
             weight: r.cycles() as f64,
         })
         .collect();
-    Ok(DistributionCurve {
+    DistributionCurve {
         config: session.machine().name().to_owned(),
         model,
         latency: fp_latency(session.machine()),
         static_dist: Cumulative::new(points, &static_obs),
         dynamic_dist: Cumulative::new(points, &dyn_obs),
-    })
-}
-
-fn budget_outcomes(
-    session: &Session,
-    corpus: &Corpus,
-    models: &[Model],
-    budget: u32,
-) -> Result<Vec<BudgetOutcome>, PipelineError> {
-    let machine = session.machine();
-    let ports = machine.memory_ports() as u128;
-    // The ideal rows anchor relative performance even when the caller's
-    // model set omits Model::Ideal; with the shared schedule cache they
-    // cost one lookup per loop.
-    let ideal_rows = session.evaluate_corpus(corpus, Model::Ideal, budget)?;
-    let ideal_cycles: u128 = ideal_rows.iter().map(LoopEval::cycles).sum();
-
-    models
-        .iter()
-        .map(|&model| {
-            let rows = if model == Model::Ideal {
-                ideal_rows.clone()
-            } else {
-                session.evaluate_corpus(corpus, model, budget)?
-            };
-            let cycles: u128 = rows.iter().map(LoopEval::cycles).sum();
-            let accesses: u128 = rows.iter().map(LoopEval::accesses).sum();
-            let loops_spilled = rows.iter().filter(|r| r.spilled > 0).count();
-            Ok(BudgetOutcome {
-                config: machine.name().to_owned(),
-                model,
-                latency: fp_latency(machine),
-                registers: budget,
-                cycles,
-                accesses,
-                relative_performance: relative_performance(ideal_cycles, cycles),
-                traffic_density: if cycles == 0 {
-                    0.0
-                } else {
-                    accesses as f64 / (cycles * ports) as f64
-                },
-                loops_spilled,
-            })
-        })
-        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +670,210 @@ mod tests {
             .unwrap();
         let o = &report.outcomes[0];
         assert!(o.relative_performance > 0.0 && o.relative_performance <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_machine_grid_is_a_named_config_error() {
+        let corpus = tiny();
+        let err = Sweep::new(&corpus).budget(32).run().unwrap_err();
+        assert!(err.is_config());
+        assert_eq!(
+            err.stage,
+            crate::pipeline::PipelineStage::Config(crate::ConfigError::EmptyMachineGrid)
+        );
+        assert!(err.to_string().contains("no machines"), "{err}");
+        // The fault-tolerant entry point reports the same error instead
+        // of an empty report.
+        let partial = Sweep::new(&corpus).budget(32).run_partial();
+        assert_eq!(partial.errors, vec![err]);
+        assert_eq!(partial.report, SweepReport::default());
+    }
+
+    #[test]
+    fn empty_model_set_is_a_named_config_error() {
+        let corpus = tiny();
+        let err = Sweep::new(&corpus)
+            .machine(Machine::clustered(3, 1))
+            .models([])
+            .points([16])
+            .run()
+            .unwrap_err();
+        assert!(err.is_config());
+        assert!(err.to_string().contains("no models"), "{err}");
+    }
+
+    #[test]
+    fn empty_workload_is_a_named_config_error() {
+        let corpus = tiny();
+        let err = Sweep::new(&corpus)
+            .machine(Machine::clustered(3, 1))
+            .run()
+            .unwrap_err();
+        assert!(err.is_config());
+        assert!(err.to_string().contains("no workload"), "{err}");
+    }
+
+    #[test]
+    fn dead_machine_contributes_no_aggregates_in_partial_runs() {
+        use ncdrf_corpus::kernels;
+        use ncdrf_machine::{FuClass, FuGroup};
+        // Every corpus loop needs a multiplier, so this machine fails all
+        // of them; it must not appear as a vacuously-ideal row.
+        let no_mul = Machine::new(
+            "NOMUL",
+            vec![
+                FuGroup::unified(FuClass::Adder, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let corpus = Corpus::from_loops("mul-only", vec![kernels::blas::vscale()]);
+        let partial = Sweep::new(&corpus)
+            .machines([no_mul, Machine::clustered(3, 1)])
+            .models([Model::Unified])
+            .points([16])
+            .budget(16)
+            .run_partial();
+        assert_eq!(partial.errors.len(), 1);
+        assert_eq!(partial.errors[0].loop_name, "vscale");
+        // Only the live machine's aggregates exist.
+        assert_eq!(partial.report.distributions.len(), 1);
+        assert_eq!(partial.report.distributions[0].config, "C2L3");
+        assert_eq!(partial.report.outcomes.len(), 1);
+        assert_eq!(partial.report.outcomes[0].config, "C2L3");
+    }
+
+    #[test]
+    fn failing_run_cancels_remaining_grid_work() {
+        use ncdrf_corpus::kernels;
+        use ncdrf_machine::{FuClass, FuGroup};
+        let no_mul = Machine::new(
+            "NOMUL",
+            vec![
+                FuGroup::unified(FuClass::Adder, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        // `vscale` fails first; with one worker and fail-fast, the
+        // remaining cells must be cancelled, not evaluated.
+        let corpus = Corpus::from_loops(
+            "fails-first",
+            vec![
+                kernels::blas::vscale(),
+                kernels::blas::vadd(),
+                kernels::blas::vsum(),
+            ],
+        );
+        let sweep = Sweep::new(&corpus)
+            .machine(no_mul)
+            .models([Model::Unified])
+            .budget(16)
+            .workers(1);
+        let (_sessions, per_machine) = sweep.run_grid(true);
+        assert!(matches!(per_machine[0][0], Err(CellFailure::Error(_))));
+        assert!(matches!(per_machine[0][1], Err(CellFailure::Cancelled)));
+        assert!(matches!(per_machine[0][2], Err(CellFailure::Cancelled)));
+        // And the public contract still surfaces the real error.
+        assert_eq!(sweep.run().unwrap_err().loop_name, "vscale");
+        // Without fail-fast the same grid evaluates everything.
+        let partial = sweep.run_partial();
+        assert_eq!(partial.errors.len(), 1);
+        assert_eq!(partial.report.outcomes.len(), 1, "survivors aggregated");
+    }
+
+    #[test]
+    fn table1_columns_derive_from_the_points_constant() {
+        let corpus = tiny();
+        let report = Sweep::new(&corpus)
+            .pxly_configs([(1, 3)])
+            .models([Model::Unified])
+            .points(TABLE1_POINTS)
+            .run()
+            .unwrap();
+        let rows = report.table1();
+        assert_eq!(rows.len(), 1);
+        let curve = &report.distributions[0];
+        // Every reported column is the curve sampled at the matching
+        // TABLE1_POINTS entry — the linkage the old hardcoded
+        // at(16)/at(32)/at(64) could silently break.
+        for (i, &p) in TABLE1_POINTS.iter().enumerate() {
+            assert_eq!(rows[0].loops_within[i], curve.static_dist.at(p));
+            assert_eq!(rows[0].cycles_within[i], curve.dynamic_dist.at(p));
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_reference() {
+        let corpus = tiny();
+        let sweep = Sweep::new(&corpus)
+            .clustered_latencies([3, 6])
+            .models(Model::all())
+            .points([16, 32])
+            .budgets([16, 48])
+            .workers(4);
+        let par = sweep.run().unwrap();
+        let seq = sweep.run_sequential().unwrap();
+        assert_eq!(par, seq, "executor must be bit-identical to sequential");
+        assert_eq!(par.scheduling.misses, 2 * corpus.len() as u64);
+    }
+
+    #[test]
+    fn run_partial_keeps_surviving_pairs_and_names_failures() {
+        use ncdrf_corpus::kernels;
+        use ncdrf_machine::{FuClass, FuGroup};
+        // No multiplier: `vscale` (y = a*x) cannot schedule, the
+        // mul-free loops can.
+        let no_mul = Machine::new(
+            "NOMUL",
+            vec![
+                FuGroup::unified(FuClass::Adder, 3, 2),
+                FuGroup::unified(FuClass::MemPort, 1, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let corpus = Corpus::from_loops(
+            "mixed",
+            vec![
+                kernels::blas::vadd(),
+                kernels::blas::vscale(),
+                kernels::blas::vsum(),
+            ],
+        );
+        let sweep = Sweep::new(&corpus)
+            .machines([no_mul, Machine::clustered(3, 1)])
+            .models([Model::Unified])
+            .points([16, 64])
+            .budget(16);
+
+        // The all-or-nothing contract aborts on the bad pair...
+        let err = sweep.run().unwrap_err();
+        assert_eq!(err.loop_name, "vscale");
+
+        // ...the fault-tolerant contract returns everything else.
+        let partial = sweep.run_partial();
+        assert_eq!(partial.errors.len(), 1, "exactly one failing pair");
+        assert_eq!(partial.errors[0].loop_name, "vscale");
+        assert!(!partial.is_complete());
+        // Both machines still contribute every curve and outcome.
+        assert_eq!(partial.report.distributions.len(), 2);
+        assert_eq!(partial.report.outcomes.len(), 2);
+        // The clustered machine lost nothing; NOMUL aggregates cover its
+        // two surviving loops.
+        let clustered = partial.report.curves_for("C2L3");
+        assert_eq!(clustered.len(), 1);
+        let seq = Sweep::new(&corpus)
+            .machine(Machine::clustered(3, 1))
+            .models([Model::Unified])
+            .points([16, 64])
+            .budget(16)
+            .run_sequential()
+            .unwrap();
+        assert_eq!(clustered[0], &seq.distributions[0]);
+        assert_eq!(partial.report.outcomes_for("C2L3", 16)[0], &seq.outcomes[0]);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # ncdrf-exec — the sweep execution subsystem
+//!
+//! A work-stealing worker [`Pool`] for running indexed task grids (such
+//! as a sweep's flattened `(machine, loop)` pairs) with:
+//!
+//! * **one pool per run** — threads are spawned once for the whole grid,
+//!   not once per corpus call;
+//! * **work stealing** — each worker owns a deque seeded with a
+//!   contiguous chunk of the grid and steals from its siblings when it
+//!   runs dry, so skewed per-task costs (one slow loop, one big machine)
+//!   don't serialise the rest;
+//! * **lock-free result slots** — every task writes its result into its
+//!   own pre-allocated cell instead of a shared `Mutex<Vec<_>>`;
+//! * **panic isolation** — a panicking task is caught and reported as a
+//!   [`TaskPanic`] for its index; every other task still completes and
+//!   the process never aborts.
+//!
+//! ```
+//! use ncdrf_exec::Pool;
+//!
+//! let pool = Pool::with_workers(4);
+//! let results = pool.run(8, |i| i * i);
+//! let squares: Vec<usize> = results.into_iter().map(Result::unwrap).collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod panic;
+mod pool;
+mod slots;
+
+pub use panic::TaskPanic;
+pub use pool::Pool;

@@ -1,0 +1,73 @@
+//! Panic capture: a worker that panics inside a task must not take the
+//! pool (or the process) down with it.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A task that panicked, identified by its grid index and carrying the
+/// stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the panicking task in the grid passed to [`crate::Pool::run`].
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Stringifies a panic payload, preserving `&str`/`String` messages.
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs task `index`, converting a panic into a [`TaskPanic`].
+///
+/// `AssertUnwindSafe` is sound here because a panicking task's result
+/// slot is never written: no partially-updated state escapes the closure
+/// except through `&`-captured types whose own invariants are
+/// panic-safe (the sweep pipeline only shares `Session`s, whose caches
+/// are lock-guarded and poison-free).
+pub(crate) fn run_task<R, F>(f: &F, index: usize) -> Result<R, TaskPanic>
+where
+    F: Fn(usize) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| f(index))).map_err(|payload| TaskPanic {
+        index,
+        message: payload_message(payload.as_ref()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_and_string_payloads_are_preserved() {
+        let err = run_task(&|_| -> u32 { panic!("static message") }, 3).unwrap_err();
+        assert_eq!(err.index, 3);
+        assert_eq!(err.message, "static message");
+        let err = run_task(&|i| -> u32 { panic!("loop {i} failed") }, 7).unwrap_err();
+        assert_eq!(err.message, "loop 7 failed");
+        assert_eq!(err.to_string(), "task 7 panicked: loop 7 failed");
+    }
+
+    #[test]
+    fn non_panicking_tasks_pass_through() {
+        assert_eq!(run_task(&|i| i + 1, 9), Ok(10));
+    }
+}

@@ -1,0 +1,215 @@
+//! The work-stealing worker pool.
+
+use crate::panic::{run_task, TaskPanic};
+use crate::slots::SlotVec;
+use crossbeam::deque::{Stealer, Worker};
+
+/// A work-stealing worker pool for indexed task grids.
+///
+/// A `Pool` is a worker-count policy; threads live for exactly one
+/// [`Pool::run`] call (scoped, so tasks may borrow from the caller) and
+/// serve the whole grid from per-worker deques with stealing. Compare
+/// with a map that respawns threads per corpus call and serialises
+/// writes behind one results mutex — the pool spawns once per grid,
+/// writes results into independent per-task cells, and isolates panics
+/// per task instead of aborting the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Pool {
+    /// A pool sized to the available hardware parallelism.
+    pub fn new() -> Self {
+        Pool {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs tasks `0..tasks` on the pool and returns their results in
+    /// index order.
+    ///
+    /// Each task is executed exactly once by exactly one worker. A task
+    /// that panics yields `Err(TaskPanic)` in its slot; all other tasks
+    /// still run to completion. With one worker (or one task) the grid is
+    /// executed inline on the calling thread, still panic-isolated.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let slots = SlotVec::new(tasks);
+        let workers = self.workers.min(tasks);
+        if workers <= 1 {
+            for i in 0..tasks {
+                slots.set(i, run_task(&f, i));
+            }
+            return slots.into_results();
+        }
+
+        // Seed each worker's deque with a contiguous chunk of the grid so
+        // neighbouring tasks (same machine, adjacent loops) start on the
+        // same worker; stealing rebalances skewed chunks from the far end.
+        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+        let chunk = tasks.div_ceil(workers);
+        for (w, local) in locals.iter().enumerate() {
+            for i in (w * chunk)..((w + 1) * chunk).min(tasks) {
+                local.push(i);
+            }
+        }
+
+        let slots_ref = &slots;
+        let f_ref = &f;
+        let stealers_ref = &stealers;
+        crossbeam::thread::scope(|scope| {
+            for (wid, local) in locals.into_iter().enumerate() {
+                scope.spawn(move |_| {
+                    while let Some(i) = next_task(&local, stealers_ref, wid) {
+                        slots_ref.set(i, run_task(f_ref, i));
+                    }
+                });
+            }
+        })
+        .expect("pool workers catch task panics and never panic themselves");
+        slots.into_results()
+    }
+}
+
+/// Pops from the worker's own deque, falling back to stealing from the
+/// siblings in index order (first non-empty victim wins). Returns `None`
+/// when every deque is empty — the grid is fixed up front, so no new
+/// work can appear.
+fn next_task(local: &Worker<usize>, stealers: &[Stealer<usize>], wid: usize) -> Option<usize> {
+    if let Some(i) = local.pop() {
+        return Some(i);
+    }
+    loop {
+        let mut attempted = false;
+        for (vid, victim) in stealers.iter().enumerate() {
+            if vid == wid {
+                continue;
+            }
+            match victim.steal() {
+                crossbeam::deque::Steal::Success(i) => return Some(i),
+                crossbeam::deque::Steal::Retry => attempted = true,
+                crossbeam::deque::Steal::Empty => {}
+            }
+        }
+        if !attempted {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order() {
+        for workers in [1, 2, 4, 7] {
+            let pool = Pool::with_workers(workers);
+            let out: Vec<usize> = pool
+                .run(100, |i| i * 3)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        Pool::with_workers(8).run(64, |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_is_isolated() {
+        let results = Pool::with_workers(4).run(10, |i| {
+            if i == 5 {
+                panic!("task five exploded");
+            }
+            i
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.index, 5);
+                assert_eq!(err.message, "task five exploded");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_isolation_holds_inline_too() {
+        let results = Pool::with_workers(1).run(3, |i| {
+            if i == 0 {
+                panic!("first");
+            }
+            i
+        });
+        assert!(results[0].is_err());
+        assert_eq!(results[1], Ok(1));
+        assert_eq!(results[2], Ok(2));
+    }
+
+    #[test]
+    fn skewed_chunks_are_stolen() {
+        // All of the slow tasks land in worker 0's seed chunk; the run
+        // still finishes because siblings steal them. (On a single-core
+        // host this degenerates to timesharing — the assertion is about
+        // completion and correctness, not wall-clock.)
+        let slow = |i: usize| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i + 1
+        };
+        let out: Vec<usize> = Pool::with_workers(4)
+            .run(32, slow)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_grids() {
+        assert!(Pool::new().run(0, |i| i).is_empty());
+        let one: Vec<_> = Pool::with_workers(16)
+            .run(1, |i| i + 42)
+            .into_iter()
+            .collect();
+        assert_eq!(one, vec![Ok(42)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-task result cells: one pre-allocated slot per grid index, written
+//! exactly once by whichever worker claims the index, with no shared
+//! lock on the write path.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-size vector of write-once result cells.
+///
+/// The work-stealing deques hand every index to exactly one worker, so
+/// each cell has exactly one writer and the writes are disjoint; the
+/// scope join that ends the run happens-before the reads in
+/// [`SlotVec::into_results`].
+pub(crate) struct SlotVec<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: distinct indices refer to distinct cells, each written at most
+// once by the single worker that claimed the index from the deques (see
+// `Pool::run`); no cell is read until every worker has been joined.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        SlotVec {
+            cells: std::iter::repeat_with(|| UnsafeCell::new(None))
+                .take(len)
+                .collect(),
+        }
+    }
+
+    /// Writes the result for `index`.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// The caller must guarantee `index` is claimed by exactly one worker
+    /// for the lifetime of the run — the deque hand-off in `Pool::run`
+    /// provides this.
+    pub(crate) fn set(&self, index: usize, value: T) {
+        // SAFETY: unique writer per index (deque claim), bounds-checked
+        // access, and no concurrent reader before the scope join.
+        unsafe {
+            *self.cells[index].get() = Some(value);
+        }
+    }
+
+    /// Consumes the slots, panicking if any index was never written
+    /// (which would mean the pool lost a task — a bug, not a user error).
+    pub(crate) fn into_results(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                cell.into_inner()
+                    .unwrap_or_else(|| panic!("task {i} was never executed"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_roundtrip() {
+        let slots = SlotVec::new(3);
+        slots.set(2, "c");
+        slots.set(0, "a");
+        slots.set(1, "b");
+        assert_eq!(slots.into_results(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task 1 was never executed")]
+    fn missing_slot_is_a_loud_bug() {
+        let slots: SlotVec<u8> = SlotVec::new(2);
+        slots.set(0, 1);
+        let _ = slots.into_results();
+    }
+}

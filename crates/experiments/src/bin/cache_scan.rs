@@ -1,6 +1,10 @@
-//! Session-cache speedup grid: uncached vs cached four-model evaluation
-//! across corpus slices, latencies and register budgets. Complements the
-//! `session_cache` criterion bench with a workload-shape overview.
+//! Session-cache speedup grid: uncached vs cached vs cached+pooled
+//! four-model evaluation across corpus slices, latencies and register
+//! budgets. Complements the `session_cache` criterion bench with a
+//! workload-shape overview. The pooled column drives the corpus through
+//! `Session::evaluate_corpus`, i.e. the work-stealing execution pool; on
+//! a single hardware thread it tracks the cached column, on multi-core
+//! hosts it adds the loop-level parallel speedup on top of caching.
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
@@ -46,11 +50,21 @@ fn main() {
                     }
                 }
                 let cac = t.elapsed();
+                let t = Instant::now();
+                for _ in 0..reps {
+                    let session = Session::new(machine.clone()).options(opts);
+                    for model in Model::all() {
+                        session.evaluate_corpus(&corpus, model, budget).unwrap();
+                    }
+                }
+                let pooled = t.elapsed();
                 println!(
-                    "{name:>8} L{lat} R{budget}: {:>9.1?} -> {:>9.1?}  {:.2}x",
+                    "{name:>8} L{lat} R{budget}: {:>9.1?} -> {:>9.1?} ({:.2}x) -> pooled {:>9.1?} ({:.2}x)",
                     unc / reps,
                     cac / reps,
-                    unc.as_secs_f64() / cac.as_secs_f64()
+                    unc.as_secs_f64() / cac.as_secs_f64(),
+                    pooled / reps,
+                    unc.as_secs_f64() / pooled.as_secs_f64()
                 );
             }
         }

@@ -11,6 +11,7 @@
 use ncdrf::machine::Machine;
 use ncdrf::regalloc::{allocate_multi, allocate_unified, classify_multi};
 use ncdrf::Session;
+use ncdrf_exec::Pool;
 use ncdrf_experiments::{banner, Cli};
 use std::fmt::Write as _;
 
@@ -18,6 +19,11 @@ fn main() {
     let cli = Cli::parse();
     banner("Extension: requirement scaling with cluster count", &cli);
 
+    // This study is not expressible as a `Sweep` (it uses the k-cluster
+    // allocator), so it drives the execution pool directly: one task per
+    // loop, summed in corpus order so the output stays deterministic.
+    let pool = Pool::new();
+    let loops = cli.corpus.loops();
     let mut csv = String::from("clusters,latency,avg_unified,avg_ncdrf,avg_ii\n");
     println!(
         "{:>8} {:>8} {:>12} {:>12} {:>8}",
@@ -26,20 +32,37 @@ fn main() {
     for lat in [3u32, 6] {
         for k in [1u32, 2, 4] {
             let machine = Machine::clustered_n(k, lat, 1);
+            let session = Session::new(machine.clone());
+            let per_loop = pool.run(loops.len(), |i| {
+                let l = &loops[i];
+                let base = session.base(l).ok()?;
+                let (sched, lts) = (&base.sched, &base.lifetimes);
+                let uni = allocate_unified(lts, sched.ii()).regs as u64;
+                let sets = classify_multi(l, &machine, sched, lts);
+                let multi = allocate_multi(lts, &sets, sched.ii(), k).regs as u64;
+                Some((uni, multi, sched.ii() as u64))
+            });
             let mut uni_sum = 0u64;
             let mut multi_sum = 0u64;
             let mut ii_sum = 0u64;
             let mut count = 0u64;
-            let session = Session::new(machine.clone());
-            for l in cli.corpus.iter() {
-                let Ok(base) = session.base(l) else {
+            for r in per_loop {
+                let some = match r {
+                    // A contained worker panic is skipped like an
+                    // unschedulable loop, but loudly: the averages below
+                    // cover fewer loops than the banner advertises.
+                    Err(p) => {
+                        eprintln!("[skipped] {p}");
+                        None
+                    }
+                    Ok(per_loop) => per_loop,
+                };
+                let Some((uni, multi, ii)) = some else {
                     continue;
                 };
-                let (sched, lts) = (&base.sched, &base.lifetimes);
-                uni_sum += allocate_unified(lts, sched.ii()).regs as u64;
-                let sets = classify_multi(l, &machine, sched, lts);
-                multi_sum += allocate_multi(lts, &sets, sched.ii(), k).regs as u64;
-                ii_sum += sched.ii() as u64;
+                uni_sum += uni;
+                multi_sum += multi;
+                ii_sum += ii;
                 count += 1;
             }
             let (u, m, i) = (

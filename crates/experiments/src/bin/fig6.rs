@@ -9,12 +9,15 @@ fn main() {
     let cli = Cli::parse();
     banner("Figure 6: static cumulative distribution of loops", &cli);
 
-    let report = Sweep::new(&cli.corpus)
+    let partial = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::finite())
         .points(default_points())
-        .run()
-        .expect("corpus loops always schedule");
+        .run_partial();
+    for e in &partial.errors {
+        eprintln!("[skipped] {e}");
+    }
+    let report = partial.report;
 
     for lat in [3, 6] {
         let curves: Vec<_> = report

@@ -11,12 +11,17 @@ fn main() {
 
     // One sweep covers the whole latency × register grid; each loop is
     // scheduled once per machine no matter how many models/budgets run.
-    let report = Sweep::new(&cli.corpus)
+    // The fault-tolerant entry point keeps the grid alive if an exotic
+    // corpus loop fails: the pair is skipped by name, not the figure.
+    let partial = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::all())
         .budgets([32, 64])
-        .run()
-        .expect("corpus loops always schedule");
+        .run_partial();
+    for e in &partial.errors {
+        eprintln!("[skipped] {e}");
+    }
+    let report = partial.report;
 
     for (lat, regs) in FIG89_CONFIGS {
         let outcomes: Vec<_> = report

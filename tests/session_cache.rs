@@ -74,6 +74,36 @@ fn cached_base_schedule_matches_fresh_modulo_schedule() {
 }
 
 #[test]
+fn repeated_swapped_analyses_pin_the_counters() {
+    use ncdrf::CacheStats;
+    let session = Session::new(Machine::clustered(6, 1));
+    let l = kernels::livermore::hydro();
+
+    // First swapped analysis: one scheduling run, no reuse yet.
+    session.analyze(&l, Model::Swapped).unwrap();
+    assert_eq!(session.cache_stats(), CacheStats { hits: 0, misses: 1 });
+
+    // Every repeated swapped analysis is served from the post-swap cache
+    // and must count as a hit (it saves scheduling AND the swap pass);
+    // before the fix these were invisible and reuse was under-reported.
+    for round in 1..=3u64 {
+        session.analyze(&l, Model::Swapped).unwrap();
+        assert_eq!(
+            session.cache_stats(),
+            CacheStats {
+                hits: round,
+                misses: 1
+            }
+        );
+    }
+
+    // A swapped evaluation whose requirement fits the budget touches the
+    // swapped cache once more — still one scheduling run total.
+    session.evaluate(&l, Model::Swapped, 512).unwrap();
+    assert_eq!(session.cache_stats(), CacheStats { hits: 4, misses: 1 });
+}
+
+#[test]
 fn schedule_cache_hits_across_models_and_budgets() {
     let machine = Machine::clustered(6, 1);
     let session = Session::new(machine);

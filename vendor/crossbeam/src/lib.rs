@@ -1,6 +1,12 @@
-//! Offline stand-in for `crossbeam`: the scoped-thread API the workspace
-//! uses (`crossbeam::thread::scope` + `Scope::spawn`), implemented over
-//! `std::thread::scope`.
+//! Offline stand-in for `crossbeam`: the scoped-thread API
+//! (`crossbeam::thread::scope` + `Scope::spawn`) implemented over
+//! `std::thread::scope`, plus the work-stealing deque API
+//! (`crossbeam::deque::{Worker, Stealer, Injector, Steal}`) implemented
+//! over locked ring buffers. The deque stand-in keeps crossbeam's
+//! semantics (LIFO/FIFO locals, FIFO stealing from the opposite end,
+//! `Steal::Retry` in the contract even though the lock-based
+//! implementation never produces it) so switching back to the real crate
+//! is a manifest-only change.
 
 /// Scoped threads.
 pub mod thread {
@@ -33,5 +39,207 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
         Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Work-stealing deques, mirroring `crossbeam-deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried. The lock-based
+        /// stand-in never returns this; it exists for API compatibility.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A worker-owned deque. The owner pushes and pops at one end;
+    /// [`Stealer`]s take from the other.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue (owner pops oldest first).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker queue (owner pops newest first).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// The number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+
+        /// A stealer handle onto this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals from the opposite end of a [`Worker`]'s queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the owner's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steals the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// The number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_worker_pops_newest_stealer_takes_oldest() {
+            let w = Worker::new_lifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            let s = w.stealer();
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn fifo_worker_pops_oldest() {
+            let w: Worker<u32> = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.len(), 1);
+        }
+
+        #[test]
+        fn injector_is_fifo_and_shared() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert!(inj.steal().is_empty());
+        }
     }
 }
