@@ -80,6 +80,7 @@ mod model;
 mod pipeline;
 mod report;
 mod session;
+mod shard;
 mod sweep;
 
 pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
@@ -100,9 +101,13 @@ pub use report::{
     csv_budget_outcomes, csv_distribution, csv_table1, render_budget_outcomes, render_distribution,
     render_table1,
 };
-pub use report::{BudgetMetric, BudgetTable, DistributionPanel, Render, ReportFormat};
+pub use report::{
+    parse_partial_sweep, parse_sweep_report, parse_sweep_shard, BudgetMetric, BudgetTable,
+    DistributionPanel, Render, ReportFormat, ReportParseError,
+};
 pub use session::{BaseSchedule, CacheStats, Session};
-pub use sweep::{PartialSweep, Sweep, SweepReport};
+pub use shard::{GridSignature, MachineSig, SweepShard};
+pub use sweep::{shard_tasks, PartialSweep, Sweep, SweepReport};
 
 /// Re-export of the corpus crate.
 pub use ncdrf_corpus as corpus;

@@ -59,6 +59,21 @@ impl Model {
     pub fn swaps(self) -> bool {
         self == Model::Swapped
     }
+
+    /// The model with the given [`Display`](fmt::Display) name, used when
+    /// parsing serialized reports back (`"ideal"`, `"unified"`,
+    /// `"partitioned"`, `"swapped"`).
+    pub fn from_name(name: &str) -> Option<Model> {
+        Model::all().into_iter().find(|m| m.to_string() == name)
+    }
+}
+
+impl std::str::FromStr for Model {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Model::from_name(s).ok_or_else(|| format!("unknown model `{s}`"))
+    }
 }
 
 impl fmt::Display for Model {
@@ -81,6 +96,16 @@ mod tests {
     fn display_names() {
         let names: Vec<String> = Model::all().iter().map(|m| m.to_string()).collect();
         assert_eq!(names, ["ideal", "unified", "partitioned", "swapped"]);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in Model::all() {
+            assert_eq!(Model::from_name(&m.to_string()), Some(m));
+            assert_eq!(m.to_string().parse::<Model>(), Ok(m));
+        }
+        assert_eq!(Model::from_name("POWER2"), None);
+        assert!("".parse::<Model>().is_err());
     }
 
     #[test]

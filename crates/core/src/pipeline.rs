@@ -61,6 +61,11 @@ pub enum PipelineStage {
     /// stringified panic message. The panic was contained by the
     /// execution pool — other loops in the same run still completed.
     Panic(String),
+    /// An error parsed back from a serialized report (its structured
+    /// stage was rendered to text when the producing process emitted
+    /// JSON). The payload is the original stage message verbatim, so a
+    /// round-tripped report renders identically.
+    Remote(String),
 }
 
 /// An invalid experiment configuration, detected before any loop runs.
@@ -74,6 +79,24 @@ pub enum ConfigError {
     /// The sweep requests neither distribution points nor spill budgets,
     /// so there is nothing to compute.
     EmptyWorkload,
+    /// A shard specification is out of range: `count` is zero or `index`
+    /// is not below `count`.
+    InvalidShard {
+        /// The requested shard index.
+        index: u32,
+        /// The requested shard count.
+        count: u32,
+    },
+    /// Shards being merged were produced from different grids (machines,
+    /// models, points, budgets, corpus or pipeline options differ) or
+    /// disagree about the shard count.
+    IncompatibleShards,
+    /// Two shards being merged claim the same shard index or the same
+    /// grid cell.
+    OverlappingShards,
+    /// The merge input does not cover the full grid: no shards at all, a
+    /// shard index absent, or a grid cell reported by no shard.
+    MissingShards,
 }
 
 impl fmt::Display for ConfigError {
@@ -93,6 +116,27 @@ impl fmt::Display for ConfigError {
                 f,
                 "the sweep has no workload; request distribution points \
                  via `points` and/or spill budgets via `budget`/`budgets`"
+            ),
+            ConfigError::InvalidShard { index, count } => write!(
+                f,
+                "invalid shard {index}/{count}: the count must be positive \
+                 and the index below it"
+            ),
+            ConfigError::IncompatibleShards => write!(
+                f,
+                "shards disagree about the grid (machines, models, points, \
+                 budgets, corpus, options or shard count differ); only \
+                 shards of one sweep merge"
+            ),
+            ConfigError::OverlappingShards => write!(
+                f,
+                "two shards claim the same shard index or grid cell; each \
+                 cell must be reported by exactly one shard"
+            ),
+            ConfigError::MissingShards => write!(
+                f,
+                "the shard set does not cover the full grid; every shard \
+                 index and every grid cell must be present exactly once"
             ),
         }
     }
@@ -148,7 +192,7 @@ impl std::error::Error for PipelineError {
             PipelineStage::Machine(e) => Some(e),
             PipelineStage::Spill(e) => Some(e),
             PipelineStage::Config(e) => Some(e),
-            PipelineStage::Panic(_) => None,
+            PipelineStage::Panic(_) | PipelineStage::Remote(_) => None,
         }
     }
 }
@@ -161,6 +205,7 @@ impl fmt::Display for PipelineStage {
             PipelineStage::Spill(e) => write!(f, "spilling failed: {e}"),
             PipelineStage::Config(e) => write!(f, "invalid configuration: {e}"),
             PipelineStage::Panic(msg) => write!(f, "worker panicked: {msg}"),
+            PipelineStage::Remote(msg) => f.write_str(msg),
         }
     }
 }

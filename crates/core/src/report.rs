@@ -15,8 +15,15 @@
 //! assert!(rows.as_slice().render(ReportFormat::Json).starts_with("["));
 //! ```
 
+use crate::distribution::Cumulative;
 use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
-use crate::sweep::{PartialSweep, SweepReport};
+use crate::model::Model;
+use crate::pipeline::{LoopAnalysis, LoopEval, PipelineError, PipelineStage};
+use crate::session::CacheStats;
+use crate::shard::{GridSignature, MachineSig, ShardCell, SweepShard};
+use crate::sweep::{BudgetCell, LoopCell, PartialSweep, SweepReport};
+use ncdrf_regalloc::DualPressure;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Output backend of [`Render`].
@@ -218,7 +225,7 @@ impl Render for [DistributionCurve] {
                 let mut o = JsonObject::new();
                 o.string("config", &c.config);
                 o.string("model", &c.model.to_string());
-                o.number("latency", c.latency as f64);
+                o.integer("latency", c.latency as u128);
                 o.number_array("points", &c.static_dist.points);
                 o.number_array("static_percent", &c.static_dist.percent);
                 o.number_array("dynamic_percent", &c.dynamic_dist.percent);
@@ -310,13 +317,13 @@ impl Render for [BudgetOutcome] {
                 let mut j = JsonObject::new();
                 j.string("config", &o.config);
                 j.string("model", &o.model.to_string());
-                j.number("latency", o.latency as f64);
-                j.number("registers", o.registers as f64);
-                j.number("cycles", o.cycles as f64);
-                j.number("accesses", o.accesses as f64);
+                j.integer("latency", o.latency as u128);
+                j.integer("registers", o.registers as u128);
+                j.integer("cycles", o.cycles);
+                j.integer("accesses", o.accesses);
                 j.number("relative_performance", o.relative_performance);
                 j.number("traffic_density", o.traffic_density);
-                j.number("loops_spilled", o.loops_spilled as f64);
+                j.integer("loops_spilled", o.loops_spilled as u128);
                 j.finish()
             })),
         }
@@ -381,8 +388,8 @@ impl Render for SweepReport {
                     "outcomes",
                     &self.outcomes.as_slice().render(ReportFormat::Json),
                 );
-                o.number("scheduling_runs", self.scheduling.misses as f64);
-                o.number("cache_hits", self.scheduling.hits as f64);
+                o.integer("scheduling_runs", self.scheduling.misses as u128);
+                o.integer("cache_hits", self.scheduling.hits as u128);
                 o.finish()
             }
         }
@@ -423,6 +430,178 @@ impl Render for PartialSweep {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sweep shards (the multi-process artifact)
+// ---------------------------------------------------------------------
+
+/// Artifact type tag of a serialized [`SweepShard`].
+const SHARD_KIND: &str = "ncdrf-sweep-shard";
+/// Artifact format version; bump on layout changes so stale artifacts
+/// fail loudly instead of merging garbage.
+const SHARD_VERSION: u128 = 1;
+
+impl Render for SweepShard {
+    /// `Text` is a human summary, `Csv` one record per grid cell, `Json`
+    /// the full artifact [`crate::parse_sweep_shard`] reads back.
+    fn render(&self, format: ReportFormat) -> String {
+        match format {
+            ReportFormat::Text => {
+                let sig = self.signature();
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "shard {}/{} of sweep over corpus `{}` ({} machines × {} loops)",
+                    self.index(),
+                    self.count(),
+                    sig.corpus,
+                    sig.machines.len(),
+                    sig.loops.len(),
+                );
+                let _ = writeln!(
+                    s,
+                    "  cells: {} evaluated, {} failed",
+                    self.cell_count(),
+                    self.failure_count()
+                );
+                let stats = self.scheduling();
+                let _ = writeln!(
+                    s,
+                    "  [schedule cache: {} runs, {} hits]",
+                    stats.misses, stats.hits
+                );
+                s
+            }
+            ReportFormat::Csv => {
+                let mut s = String::from("task,machine,loop,status\n");
+                let n = self.signature.loops.len().max(1) as u64;
+                for c in &self.cells {
+                    let machine = self
+                        .signature
+                        .machines
+                        .get((c.task / n) as usize)
+                        .map(|m| m.name.as_str())
+                        .unwrap_or("-");
+                    let status = match &c.outcome {
+                        Ok(_) => "ok".to_owned(),
+                        Err(e) => format!("failed: {}", e.stage),
+                    };
+                    let _ = writeln!(
+                        s,
+                        "{},{},{},{}",
+                        c.task,
+                        machine,
+                        c.loop_name,
+                        status.replace(',', ";")
+                    );
+                }
+                s
+            }
+            ReportFormat::Json => {
+                let mut o = JsonObject::new();
+                o.string("kind", SHARD_KIND);
+                o.integer("version", SHARD_VERSION);
+                o.integer("index", self.index() as u128);
+                o.integer("count", self.count() as u128);
+                o.raw("signature", &json_signature(self.signature()));
+                let stats = self.scheduling();
+                let mut sched = JsonObject::new();
+                sched.integer("hits", stats.hits as u128);
+                sched.integer("misses", stats.misses as u128);
+                o.raw("scheduling", &sched.finish());
+                o.raw("cells", &json_array(self.cells.iter().map(json_cell)));
+                o.finish()
+            }
+        }
+    }
+}
+
+fn json_signature(sig: &GridSignature) -> String {
+    let mut o = JsonObject::new();
+    o.string("corpus", &sig.corpus);
+    o.string("options", &sig.options);
+    o.string_array("loops", &sig.loops);
+    o.raw(
+        "machines",
+        &json_array(sig.machines.iter().map(|m| {
+            let mut j = JsonObject::new();
+            j.string("name", &m.name);
+            j.integer("latency", m.latency as u128);
+            j.integer("ports", m.ports as u128);
+            j.finish()
+        })),
+    );
+    o.string_array(
+        "models",
+        &sig.models.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+    );
+    o.number_array("points", &sig.points);
+    o.number_array("budgets", &sig.budgets);
+    o.finish()
+}
+
+fn json_cell(c: &ShardCell) -> String {
+    let mut o = JsonObject::new();
+    o.integer("task", c.task as u128);
+    o.string("loop", &c.loop_name);
+    match &c.outcome {
+        Ok(cell) => {
+            o.raw(
+                "analyses",
+                &json_array(cell.analyses.iter().map(json_analysis)),
+            );
+            o.raw(
+                "evals",
+                &json_array(cell.evals.iter().map(|b| {
+                    let mut j = JsonObject::new();
+                    j.raw("ideal", &json_eval(&b.ideal));
+                    j.raw("rows", &json_array(b.rows.iter().map(json_eval)));
+                    j.finish()
+                })),
+            );
+        }
+        Err(e) => o.string("error", &e.stage.to_string()),
+    }
+    o.finish()
+}
+
+fn json_analysis(a: &LoopAnalysis) -> String {
+    let mut o = JsonObject::new();
+    o.string("name", &a.name);
+    o.string("model", &a.model.to_string());
+    o.integer("ii", a.ii as u128);
+    o.integer("regs", a.regs as u128);
+    o.integer("max_live", a.max_live as u128);
+    o.integer("iterations", a.iterations as u128);
+    match &a.pressure {
+        None => o.raw("pressure", "null"),
+        Some(p) => {
+            let mut j = JsonObject::new();
+            j.integer("global", p.global as u128);
+            j.integer("left", p.left as u128);
+            j.integer("right", p.right as u128);
+            j.integer("left_total", p.left_total as u128);
+            j.integer("right_total", p.right_total as u128);
+            o.raw("pressure", &j.finish());
+        }
+    }
+    o.finish()
+}
+
+fn json_eval(e: &LoopEval) -> String {
+    let mut o = JsonObject::new();
+    o.string("name", &e.name);
+    o.string("model", &e.model.to_string());
+    o.integer("budget", e.budget as u128);
+    o.integer("ii", e.ii as u128);
+    o.integer("regs", e.regs as u128);
+    o.boolean("fits", e.fits);
+    o.integer("spilled", e.spilled as u128);
+    o.integer("mem_ops", e.mem_ops as u128);
+    o.integer("ports", e.ports as u128);
+    o.integer("iterations", e.iterations as u128);
+    o.finish()
 }
 
 impl<T: Render + ?Sized> Render for &T {
@@ -503,6 +682,27 @@ impl JsonObject {
         let _ = write!(self.body, "\"{}\":{}", json_escape(key), json_number(value));
     }
 
+    /// Emits an integer exactly (counters like sweep cycle totals exceed
+    /// 2^53, where `f64` formatting would round them).
+    fn integer(&mut self, key: &str, value: u128) {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", json_escape(key), value);
+    }
+
+    fn boolean(&mut self, key: &str, value: bool) {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", json_escape(key), value);
+    }
+
+    fn string_array(&mut self, key: &str, values: &[String]) {
+        self.sep();
+        let items: Vec<String> = values
+            .iter()
+            .map(|v| format!("\"{}\"", json_escape(v)))
+            .collect();
+        let _ = write!(self.body, "\"{}\":[{}]", json_escape(key), items.join(","));
+    }
+
     fn number_array<T: Copy + Into<f64>>(&mut self, key: &str, values: &[T]) {
         self.sep();
         let items: Vec<String> = values.iter().map(|&v| json_number(v.into())).collect();
@@ -523,6 +723,380 @@ impl JsonObject {
 fn json_array(items: impl Iterator<Item = String>) -> String {
     let items: Vec<String> = items.collect();
     format!("[{}]", items.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Parsers (the other half of the JSON backend)
+// ---------------------------------------------------------------------
+
+/// A failure while parsing a serialized report back into its typed form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportParseError {
+    /// What went wrong, with the offending key where known.
+    pub message: String,
+}
+
+impl ReportParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ReportParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed report: {}", self.message)
+    }
+}
+
+impl std::error::Error for ReportParseError {}
+
+impl From<serde_json::Error> for ReportParseError {
+    fn from(e: serde_json::Error) -> Self {
+        ReportParseError::new(e.to_string())
+    }
+}
+
+type Parsed<T> = Result<T, ReportParseError>;
+
+use serde_json::Value;
+
+fn member<'v>(v: &'v Value, key: &str) -> Parsed<&'v Value> {
+    v.get(key)
+        .ok_or_else(|| ReportParseError::new(format!("missing key `{key}`")))
+}
+
+fn str_member(v: &Value, key: &str) -> Parsed<String> {
+    member(v, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` is not a string")))
+}
+
+fn u128_member(v: &Value, key: &str) -> Parsed<u128> {
+    member(v, key)?
+        .as_u128()
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` is not a non-negative integer")))
+}
+
+fn u64_member(v: &Value, key: &str) -> Parsed<u64> {
+    u128_member(v, key)?
+        .try_into()
+        .map_err(|_| ReportParseError::new(format!("`{key}` is out of range")))
+}
+
+fn u32_member(v: &Value, key: &str) -> Parsed<u32> {
+    u128_member(v, key)?
+        .try_into()
+        .map_err(|_| ReportParseError::new(format!("`{key}` is out of range")))
+}
+
+fn usize_member(v: &Value, key: &str) -> Parsed<usize> {
+    u128_member(v, key)?
+        .try_into()
+        .map_err(|_| ReportParseError::new(format!("`{key}` is out of range")))
+}
+
+fn bool_member(v: &Value, key: &str) -> Parsed<bool> {
+    member(v, key)?
+        .as_bool()
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` is not a boolean")))
+}
+
+/// An `f64` member. `null` parses as `f64::INFINITY`: the emitter maps
+/// non-finite values to `null` (JSON has no literals for them), and the
+/// only non-finite quantity a report can legitimately hold is the
+/// impossible-quadrant `relative_performance`, which is `+∞`.
+fn f64_member(v: &Value, key: &str) -> Parsed<f64> {
+    let m = member(v, key)?;
+    if m.is_null() {
+        return Ok(f64::INFINITY);
+    }
+    m.as_f64()
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` is not a number")))
+}
+
+fn array_member<'v>(v: &'v Value, key: &str) -> Parsed<&'v [Value]> {
+    member(v, key)?
+        .as_array()
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` is not an array")))
+}
+
+fn u32_array_member(v: &Value, key: &str) -> Parsed<Vec<u32>> {
+    array_member(v, key)?
+        .iter()
+        .map(|item| {
+            item.as_u32()
+                .ok_or_else(|| ReportParseError::new(format!("`{key}` holds a non-u32 entry")))
+        })
+        .collect()
+}
+
+fn f64_array_member(v: &Value, key: &str) -> Parsed<Vec<f64>> {
+    array_member(v, key)?
+        .iter()
+        .map(|item| {
+            if item.is_null() {
+                return Ok(f64::INFINITY);
+            }
+            item.as_f64()
+                .ok_or_else(|| ReportParseError::new(format!("`{key}` holds a non-number entry")))
+        })
+        .collect()
+}
+
+fn string_array_member(v: &Value, key: &str) -> Parsed<Vec<String>> {
+    array_member(v, key)?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ReportParseError::new(format!("`{key}` holds a non-string entry")))
+        })
+        .collect()
+}
+
+fn model_member(v: &Value, key: &str) -> Parsed<Model> {
+    let name = str_member(v, key)?;
+    Model::from_name(&name)
+        .ok_or_else(|| ReportParseError::new(format!("`{key}` names no model: `{name}`")))
+}
+
+fn curve_from(v: &Value) -> Parsed<DistributionCurve> {
+    let points = u32_array_member(v, "points")?;
+    Ok(DistributionCurve {
+        config: str_member(v, "config")?,
+        model: model_member(v, "model")?,
+        latency: u32_member(v, "latency")?,
+        static_dist: Cumulative {
+            points: points.clone(),
+            percent: f64_array_member(v, "static_percent")?,
+        },
+        dynamic_dist: Cumulative {
+            points,
+            percent: f64_array_member(v, "dynamic_percent")?,
+        },
+    })
+}
+
+fn outcome_from(v: &Value) -> Parsed<BudgetOutcome> {
+    Ok(BudgetOutcome {
+        config: str_member(v, "config")?,
+        model: model_member(v, "model")?,
+        latency: u32_member(v, "latency")?,
+        registers: u32_member(v, "registers")?,
+        cycles: u128_member(v, "cycles")?,
+        accesses: u128_member(v, "accesses")?,
+        relative_performance: f64_member(v, "relative_performance")?,
+        traffic_density: f64_member(v, "traffic_density")?,
+        loops_spilled: usize_member(v, "loops_spilled")?,
+    })
+}
+
+fn sweep_report_from(v: &Value) -> Parsed<SweepReport> {
+    Ok(SweepReport {
+        distributions: array_member(v, "distributions")?
+            .iter()
+            .map(curve_from)
+            .collect::<Parsed<_>>()?,
+        outcomes: array_member(v, "outcomes")?
+            .iter()
+            .map(outcome_from)
+            .collect::<Parsed<_>>()?,
+        scheduling: CacheStats {
+            hits: u64_member(v, "cache_hits")?,
+            misses: u64_member(v, "scheduling_runs")?,
+        },
+    })
+}
+
+/// Parses the JSON emitted by `SweepReport`'s [`Render`] backend back
+/// into the typed report.
+///
+/// Round-trip exact: integer counters are parsed without an `f64`
+/// detour and floats re-parse to their original bit patterns (Rust's
+/// `{}` float formatting is shortest-round-trip), so
+/// `parse_sweep_report(&r.render(ReportFormat::Json)) == r` for any
+/// report with finite floats — property-tested in
+/// `tests/proptest_shard.rs`.
+///
+/// # Errors
+///
+/// A [`ReportParseError`] naming the first malformed or missing key.
+pub fn parse_sweep_report(json: &str) -> Parsed<SweepReport> {
+    sweep_report_from(&serde_json::from_str(json)?)
+}
+
+/// Parses the JSON emitted by `PartialSweep`'s [`Render`] backend.
+///
+/// Error entries come back with [`PipelineStage::Remote`] carrying the
+/// original stage message verbatim (the structured stage is rendered to
+/// text on emit), so a round-tripped partial sweep *renders* identically
+/// even though the error values compare unequal to their in-process
+/// originals.
+///
+/// # Errors
+///
+/// A [`ReportParseError`] naming the first malformed or missing key.
+pub fn parse_partial_sweep(json: &str) -> Parsed<PartialSweep> {
+    let v = serde_json::from_str(json)?;
+    Ok(PartialSweep {
+        report: sweep_report_from(member(&v, "report")?)?,
+        errors: array_member(&v, "errors")?
+            .iter()
+            .map(|e| {
+                Ok(PipelineError {
+                    loop_name: str_member(e, "loop")?,
+                    stage: PipelineStage::Remote(str_member(e, "error")?),
+                })
+            })
+            .collect::<Parsed<_>>()?,
+    })
+}
+
+fn analysis_from(v: &Value) -> Parsed<LoopAnalysis> {
+    let pressure = member(v, "pressure")?;
+    let pressure = if pressure.is_null() {
+        None
+    } else {
+        Some(DualPressure {
+            global: u32_member(pressure, "global")?,
+            left: u32_member(pressure, "left")?,
+            right: u32_member(pressure, "right")?,
+            left_total: u32_member(pressure, "left_total")?,
+            right_total: u32_member(pressure, "right_total")?,
+        })
+    };
+    Ok(LoopAnalysis {
+        name: str_member(v, "name")?,
+        model: model_member(v, "model")?,
+        ii: u32_member(v, "ii")?,
+        regs: u32_member(v, "regs")?,
+        max_live: u32_member(v, "max_live")?,
+        pressure,
+        iterations: u64_member(v, "iterations")?,
+    })
+}
+
+fn eval_from(v: &Value) -> Parsed<LoopEval> {
+    Ok(LoopEval {
+        name: str_member(v, "name")?,
+        model: model_member(v, "model")?,
+        budget: u32_member(v, "budget")?,
+        ii: u32_member(v, "ii")?,
+        regs: u32_member(v, "regs")?,
+        fits: bool_member(v, "fits")?,
+        spilled: usize_member(v, "spilled")?,
+        mem_ops: usize_member(v, "mem_ops")?,
+        ports: u32_member(v, "ports")?,
+        iterations: u64_member(v, "iterations")?,
+    })
+}
+
+fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
+    let loop_name = str_member(v, "loop")?;
+    let outcome = if let Some(err) = v.get("error") {
+        let message = err
+            .as_str()
+            .ok_or_else(|| ReportParseError::new("`error` is not a string"))?;
+        Err(PipelineError {
+            loop_name: loop_name.clone(),
+            stage: PipelineStage::Remote(message.to_owned()),
+        })
+    } else {
+        Ok(LoopCell {
+            analyses: array_member(v, "analyses")?
+                .iter()
+                .map(analysis_from)
+                .collect::<Parsed<_>>()?,
+            evals: array_member(v, "evals")?
+                .iter()
+                .map(|b| {
+                    Ok(BudgetCell {
+                        ideal: eval_from(member(b, "ideal")?)?,
+                        rows: array_member(b, "rows")?
+                            .iter()
+                            .map(eval_from)
+                            .collect::<Parsed<_>>()?,
+                    })
+                })
+                .collect::<Parsed<_>>()?,
+        })
+    };
+    Ok(ShardCell {
+        task: u64_member(v, "task")?,
+        loop_name,
+        outcome,
+    })
+}
+
+/// Parses the JSON artifact emitted by `SweepShard`'s [`Render`] backend
+/// (the file `shard_runner run` writes and `shard_runner merge` reads).
+///
+/// The cell payloads are all-integer, so the parsed shard merges to the
+/// **bit-identical** report of its in-process original — the guarantee
+/// the CI `merge-verify` job asserts across processes.
+///
+/// # Errors
+///
+/// A [`ReportParseError`] for unknown artifact kinds/versions or the
+/// first malformed key.
+pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
+    let v = serde_json::from_str(json)?;
+    let kind = str_member(&v, "kind")?;
+    if kind != SHARD_KIND {
+        return Err(ReportParseError::new(format!(
+            "not a sweep shard (kind `{kind}`, expected `{SHARD_KIND}`)"
+        )));
+    }
+    let version = u128_member(&v, "version")?;
+    if version != SHARD_VERSION {
+        return Err(ReportParseError::new(format!(
+            "unsupported shard format version {version} (this build reads {SHARD_VERSION})"
+        )));
+    }
+    let sig = member(&v, "signature")?;
+    let machines = array_member(sig, "machines")?
+        .iter()
+        .map(|m| {
+            Ok(MachineSig {
+                name: str_member(m, "name")?,
+                latency: u32_member(m, "latency")?,
+                ports: u32_member(m, "ports")?,
+            })
+        })
+        .collect::<Parsed<_>>()?;
+    let models = string_array_member(sig, "models")?
+        .iter()
+        .map(|name| {
+            Model::from_name(name)
+                .ok_or_else(|| ReportParseError::new(format!("`models` names no model: `{name}`")))
+        })
+        .collect::<Parsed<_>>()?;
+    let signature = GridSignature {
+        corpus: str_member(sig, "corpus")?,
+        loops: string_array_member(sig, "loops")?,
+        machines,
+        models,
+        points: u32_array_member(sig, "points")?,
+        budgets: u32_array_member(sig, "budgets")?,
+        options: str_member(sig, "options")?,
+    };
+    let scheduling = member(&v, "scheduling")?;
+    Ok(SweepShard::assemble_parts(
+        signature,
+        u32_member(&v, "index")?,
+        u32_member(&v, "count")?,
+        CacheStats {
+            hits: u64_member(scheduling, "hits")?,
+            misses: u64_member(scheduling, "misses")?,
+        },
+        array_member(&v, "cells")?
+            .iter()
+            .map(shard_cell_from)
+            .collect::<Parsed<_>>()?,
+    ))
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,292 @@
+//! Sharded sweep execution: the serializable [`SweepShard`] artifact
+//! produced by [`crate::Sweep::shard`] and the validated merge that
+//! reassembles shards into one [`PartialSweep`].
+//!
+//! The experiment grid is embarrassingly partitionable: every
+//! `(machine, loop)` cell is independent, and all cross-cell arithmetic
+//! (curve percentages, corpus cycle totals, relative performance)
+//! happens in one assembly pass at the end. A shard therefore carries
+//! the grid cells it evaluated **raw** — per-loop analyses and
+//! evaluations, all-integer payloads — plus a [`GridSignature`]
+//! identifying the sweep it came from. [`SweepShard::merge`] checks the
+//! signatures, checks that the shards partition the grid exactly, puts
+//! the cells back in grid order, and runs the *same* assembly code as
+//! [`crate::Sweep::run_sequential`]; the merged report is bit-identical
+//! to an unsharded run, including after a JSON round trip.
+//!
+//! ```
+//! use ncdrf::{Model, Sweep, SweepShard};
+//! use ncdrf::corpus::Corpus;
+//!
+//! # fn main() -> Result<(), ncdrf::PipelineError> {
+//! let corpus = Corpus::small().take(6);
+//! let sweep = Sweep::new(&corpus)
+//!     .clustered_latencies([3])
+//!     .models(Model::all())
+//!     .budget(32);
+//! // Run the grid as three shards (in one process here; `shard_runner`
+//! // does the same across processes via JSON files)...
+//! let shards: Vec<SweepShard> = (0..3).map(|i| sweep.shard(i, 3)).collect::<Result<_, _>>()?;
+//! // ...and reassemble: bit-identical to the unsharded run.
+//! let merged = SweepShard::merge(&shards)?;
+//! assert_eq!(merged.report, sweep.run_sequential()?);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::model::Model;
+use crate::pipeline::{ConfigError, PipelineError};
+use crate::session::CacheStats;
+use crate::sweep::{assemble_cells, LoopCell, PartialSweep, SweepReport};
+
+/// The aspects of a machine the report assembly depends on. Shards carry
+/// these instead of full machine descriptions: merging only needs to
+/// label rows (`name`), anchor latencies and normalize traffic density
+/// (`ports`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSig {
+    /// Machine preset name (`C2L3`, `P1L6`, ...).
+    pub name: String,
+    /// Functional-unit latency (the machine's slowest group).
+    pub latency: u32,
+    /// Memory ports (the traffic-density denominator).
+    pub ports: u32,
+}
+
+/// Everything that identifies the grid a shard was cut from. Two shards
+/// merge only if their signatures are equal — same machines in the same
+/// order, same model/point/budget sets, same corpus (by name *and* loop
+/// list) and same pipeline options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSignature {
+    /// Corpus name (`small`, `standard`, ...).
+    pub corpus: String,
+    /// Loop names in corpus order (the grid's minor axis).
+    pub loops: Vec<String>,
+    /// Machine signatures in grid order (the grid's major axis).
+    pub machines: Vec<MachineSig>,
+    /// Model set, in evaluation order.
+    pub models: Vec<Model>,
+    /// Distribution sample points.
+    pub points: Vec<u32>,
+    /// Register budgets.
+    pub budgets: Vec<u32>,
+    /// Fingerprint of the [`crate::PipelineOptions`] (their `Debug`
+    /// rendering) — results depend on them, so shards evaluated under
+    /// different options must not merge.
+    pub options: String,
+}
+
+impl GridSignature {
+    /// Total number of grid cells (`machines × loops`).
+    pub fn total_tasks(&self) -> usize {
+        self.machines.len() * self.loops.len()
+    }
+}
+
+/// One evaluated cell of a shard: the flattened task index, the loop's
+/// name (for error reporting without the corpus at hand), and either the
+/// raw results or the per-pair failure.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardCell {
+    /// Flattened machine-major task index (`machine * loops + loop`).
+    pub(crate) task: u64,
+    /// Name of the cell's loop.
+    pub(crate) loop_name: String,
+    /// The cell's results, or why it has none.
+    pub(crate) outcome: Result<LoopCell, PipelineError>,
+}
+
+/// One shard of a sweep's task grid: raw per-cell results plus the
+/// [`GridSignature`] needed to validate and reassemble a merge.
+///
+/// Produced by [`crate::Sweep::shard`] in-process, or parsed back from
+/// the JSON emitted by [`crate::Render`] (see
+/// [`crate::parse_sweep_shard`]) when shards cross process or
+/// host boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepShard {
+    pub(crate) signature: GridSignature,
+    pub(crate) index: u32,
+    pub(crate) count: u32,
+    pub(crate) scheduling: CacheStats,
+    pub(crate) cells: Vec<ShardCell>,
+}
+
+impl SweepShard {
+    /// Internal constructor shared by [`crate::Sweep::shard`] and the
+    /// JSON parser.
+    pub(crate) fn assemble_parts(
+        signature: GridSignature,
+        index: u32,
+        count: u32,
+        scheduling: CacheStats,
+        cells: Vec<ShardCell>,
+    ) -> SweepShard {
+        SweepShard {
+            signature,
+            index,
+            count,
+            scheduling,
+            cells,
+        }
+    }
+
+    /// The grid this shard was cut from.
+    pub fn signature(&self) -> &GridSignature {
+        &self.signature
+    }
+
+    /// This shard's index (`0..count`).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of shards the grid was cut into.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Schedule-cache counters of this shard's sessions. Cells partition
+    /// across shards and all cache reuse is per-cell, so these sum to
+    /// the unsharded run's counters.
+    pub fn scheduling(&self) -> CacheStats {
+        self.scheduling
+    }
+
+    /// Number of grid cells this shard evaluated (including failures).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of this shard's cells that failed.
+    pub fn failure_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_err()).count()
+    }
+
+    /// Reassembles a full sweep from its shards, in any order.
+    ///
+    /// Validates, then rebuilds: cells return to grid (machine-major,
+    /// corpus) order, each machine's survivors are aggregated by the
+    /// same code as [`crate::Sweep::run_sequential`], failures become the
+    /// error list in grid order, and cache counters sum in shard-index
+    /// order. The result is **bit-identical** to
+    /// [`crate::Sweep::run_partial`] on the whole grid — and, when
+    /// complete, its report equals `run_sequential`'s. Because the merge
+    /// sorts by task index, it is invariant under permutation of
+    /// `shards` (property-tested in `tests/proptest_shard.rs`).
+    ///
+    /// Counters and failures are attributed per **cell**, so a machine
+    /// whose loops were split across several shards — the normal case —
+    /// contributes each failed pair once and its cache counters once,
+    /// never per shard.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::MissingShards`] — `shards` is empty, a shard
+    ///   index is absent, or a grid cell was reported by no shard;
+    /// * [`ConfigError::OverlappingShards`] — a shard index or grid cell
+    ///   appears twice;
+    /// * [`ConfigError::IncompatibleShards`] — signatures or shard
+    ///   counts disagree, or a cell lies outside the signature's grid;
+    /// * [`ConfigError::InvalidShard`] — a shard's index is not below
+    ///   its count.
+    pub fn merge(shards: &[SweepShard]) -> Result<PartialSweep, PipelineError> {
+        let config = |e: ConfigError| PipelineError::config(e);
+        let first = shards.first().ok_or(config(ConfigError::MissingShards))?;
+        let count = first.count;
+        let signature = &first.signature;
+        for s in shards {
+            if s.count != count || s.signature != *signature {
+                return Err(config(ConfigError::IncompatibleShards));
+            }
+            if s.index >= count {
+                return Err(config(ConfigError::InvalidShard {
+                    index: s.index,
+                    count,
+                }));
+            }
+        }
+        // Size sanity before any declared-size-proportional allocation:
+        // artifacts come from disk, so a corrupt `count` or grid
+        // declaration must fail with a named error, not an abort inside
+        // a huge `vec!`. A valid set has exactly one shard per index and
+        // exactly one cell per grid slot, so the declared sizes must
+        // match what is actually present.
+        if (count as usize) > shards.len() {
+            return Err(config(ConfigError::MissingShards));
+        }
+        if (count as usize) < shards.len() {
+            return Err(config(ConfigError::OverlappingShards));
+        }
+        let total = signature.total_tasks();
+        let present: usize = shards.iter().map(SweepShard::cell_count).sum();
+        if present < total {
+            return Err(config(ConfigError::MissingShards));
+        }
+        if present > total {
+            return Err(config(ConfigError::OverlappingShards));
+        }
+        // Both allocations below are now bounded by the bytes actually
+        // parsed: `count == shards.len()` and `total == Σ cells`.
+        let mut seen = vec![false; count as usize];
+        for s in shards {
+            if std::mem::replace(&mut seen[s.index as usize], true) {
+                return Err(config(ConfigError::OverlappingShards));
+            }
+        }
+
+        // Cells back into grid order, each exactly once.
+        let mut slots: Vec<Option<&ShardCell>> = vec![None; total];
+        // Shard order must not matter: visit shards by index.
+        let mut by_index: Vec<&SweepShard> = shards.iter().collect();
+        by_index.sort_by_key(|s| s.index);
+        let mut scheduling = CacheStats::default();
+        for s in &by_index {
+            scheduling.hits += s.scheduling.hits;
+            scheduling.misses += s.scheduling.misses;
+            for cell in &s.cells {
+                let t = usize::try_from(cell.task)
+                    .ok()
+                    .filter(|&t| t < total)
+                    .ok_or(config(ConfigError::IncompatibleShards))?;
+                if slots[t].replace(cell).is_some() {
+                    return Err(config(ConfigError::OverlappingShards));
+                }
+            }
+        }
+        if slots.iter().any(|s| s.is_none()) {
+            return Err(config(ConfigError::MissingShards));
+        }
+
+        // Reassemble exactly as `run_partial` over the full grid does:
+        // per machine, survivors aggregate and failures list, both in
+        // corpus order.
+        let n = signature.loops.len();
+        let mut report = SweepReport::default();
+        let mut errors = Vec::new();
+        for (mi, machine) in signature.machines.iter().enumerate() {
+            let mut ok = Vec::new();
+            for li in 0..n {
+                let cell = slots[mi * n + li].expect("all slots verified filled");
+                match &cell.outcome {
+                    Ok(c) => ok.push(c.clone()),
+                    Err(e) => errors.push(e.clone()),
+                }
+            }
+            assemble_cells(
+                &mut report,
+                &machine.name,
+                machine.latency,
+                machine.ports,
+                &signature.models,
+                &signature.points,
+                &signature.budgets,
+                &ok,
+                n == 0,
+            );
+        }
+        report.scheduling = scheduling;
+        Ok(PartialSweep { report, errors })
+    }
+}

@@ -332,59 +332,215 @@ impl<'c> Sweep<'c> {
         Ok(report)
     }
 
+    /// Runs shard `index` of `count` of the flattened `(machine, loop)`
+    /// task grid and returns its raw, serializable results.
+    ///
+    /// The grid is split round-robin ([`shard_tasks`]): cell `t` (machine
+    /// `t / loops`, loop `t % loops`, machine-major) belongs to shard
+    /// `t % count`, so for every `i in 0..count` the shards partition the
+    /// grid exactly — no overlap, no gaps — and machines and loops spread
+    /// evenly across shards. Each shard is fault-tolerant like
+    /// [`Sweep::run_partial`]: a failing pair becomes a per-cell error,
+    /// not a dead shard.
+    ///
+    /// Shards carry **raw per-cell results** (all-integer payloads), not
+    /// aggregated curves: [`crate::SweepShard::merge`] reassembles them
+    /// through the exact assembly code of [`Sweep::run_sequential`], so
+    /// the merged report is bit-identical to an unsharded run — including
+    /// after a JSON round trip through [`crate::Render`] and
+    /// [`crate::parse_sweep_shard`].
+    ///
+    /// # Errors
+    ///
+    /// The usual grid [`ConfigError`]s, plus
+    /// [`ConfigError::InvalidShard`] when `count` is zero or `index` is
+    /// not below `count`.
+    pub fn shard(&self, index: u32, count: u32) -> Result<crate::SweepShard, PipelineError> {
+        self.validate()?;
+        if count == 0 || index >= count {
+            return Err(PipelineError::config(ConfigError::InvalidShard {
+                index,
+                count,
+            }));
+        }
+        let loops = self.corpus.loops();
+        let n = loops.len();
+        let tasks: Vec<usize> = shard_tasks(self.machines.len() * n, index, count).collect();
+        let sessions: Vec<Session> = self
+            .machines
+            .iter()
+            .map(|m| Session::new(m.clone()).options(self.opts))
+            .collect();
+        let want_points = !self.points.is_empty();
+        let raw = if tasks.is_empty() {
+            Vec::new()
+        } else {
+            let pool = match self.workers {
+                Some(w) => Pool::with_workers(w),
+                None => Pool::new(),
+            };
+            pool.run(tasks.len(), |k| {
+                let t = tasks[k];
+                let (mi, li) = (t / n, t % n);
+                eval_cell(
+                    &sessions[mi],
+                    &loops[li],
+                    &self.models,
+                    &self.budgets,
+                    want_points,
+                )
+            })
+        };
+        let cells = raw
+            .into_iter()
+            .zip(&tasks)
+            .map(|(r, &t)| {
+                let loop_name = loops[t % n].name().to_owned();
+                let outcome = match r {
+                    Ok(Ok(cell)) => Ok(cell),
+                    Ok(Err(e)) => Err(e),
+                    Err(p) => Err(PipelineError::panic(&loop_name, p.message)),
+                };
+                crate::shard::ShardCell {
+                    task: t as u64,
+                    loop_name,
+                    outcome,
+                }
+            })
+            .collect();
+        let mut scheduling = CacheStats::default();
+        for s in &sessions {
+            let stats = s.cache_stats();
+            scheduling.hits += stats.hits;
+            scheduling.misses += stats.misses;
+        }
+        Ok(crate::SweepShard::assemble_parts(
+            self.signature(),
+            index,
+            count,
+            scheduling,
+            cells,
+        ))
+    }
+
+    /// The grid signature shards carry so a merge can prove they came
+    /// from the same sweep.
+    fn signature(&self) -> crate::GridSignature {
+        crate::GridSignature {
+            corpus: self.corpus.name().to_owned(),
+            loops: self.corpus.iter().map(|l| l.name().to_owned()).collect(),
+            machines: self
+                .machines
+                .iter()
+                .map(|m| crate::MachineSig {
+                    name: m.name().to_owned(),
+                    latency: fp_latency(m),
+                    ports: m.memory_ports() as u32,
+                })
+                .collect(),
+            models: self.models.clone(),
+            points: self.points.clone(),
+            budgets: self.budgets.clone(),
+            options: format!("{:?}", self.opts),
+        }
+    }
+
     /// Folds one machine's surviving cells (in corpus order) into the
     /// report and accumulates the session's cache counters.
-    ///
-    /// A machine left with zero surviving cells by a non-empty corpus
-    /// (i.e. every pair failed) gets no curves or outcomes — only its
-    /// cache counters. An empty corpus still assembles its (empty)
-    /// aggregates, matching the sequential reference.
     fn assemble_machine(&self, report: &mut SweepReport, session: &Session, cells: &[LoopCell]) {
-        let machine_is_dead = cells.is_empty() && !self.corpus.is_empty();
-        if machine_is_dead {
-            let stats = session.cache_stats();
-            report.scheduling.hits += stats.hits;
-            report.scheduling.misses += stats.misses;
-            return;
-        }
-        if !self.points.is_empty() {
-            for (mi, &model) in self.models.iter().enumerate() {
-                let rows: Vec<&LoopAnalysis> = cells.iter().map(|c| &c.analyses[mi]).collect();
-                report
-                    .distributions
-                    .push(curve_from_rows(session, model, &self.points, &rows));
-            }
-        }
         let machine = session.machine();
-        let ports = machine.memory_ports() as u128;
-        for (bi, &budget) in self.budgets.iter().enumerate() {
-            let ideal_cycles: u128 = cells.iter().map(|c| c.evals[bi].ideal.cycles()).sum();
-            for (mi, &model) in self.models.iter().enumerate() {
-                let rows = || cells.iter().map(|c| &c.evals[bi].rows[mi]);
-                let cycles: u128 = rows().map(|r| r.cycles()).sum();
-                let accesses: u128 = rows().map(|r| r.accesses()).sum();
-                let loops_spilled = rows().filter(|r| r.spilled > 0).count();
-                report.outcomes.push(BudgetOutcome {
-                    config: machine.name().to_owned(),
-                    model,
-                    latency: fp_latency(machine),
-                    registers: budget,
-                    cycles,
-                    accesses,
-                    relative_performance: relative_performance(ideal_cycles, cycles),
-                    traffic_density: if cycles == 0 {
-                        0.0
-                    } else {
-                        accesses as f64 / (cycles * ports) as f64
-                    },
-                    loops_spilled,
-                });
-            }
-        }
+        assemble_cells(
+            report,
+            machine.name(),
+            fp_latency(machine),
+            machine.memory_ports() as u32,
+            &self.models,
+            &self.points,
+            &self.budgets,
+            cells,
+            self.corpus.is_empty(),
+        );
         let stats = session.cache_stats();
         report.scheduling.hits += stats.hits;
         report.scheduling.misses += stats.misses;
     }
+}
+
+/// Folds one machine's surviving cells (in corpus order) into a report.
+/// Shared verbatim by every assembly path — sequential, pooled and
+/// shard-merge — so they cannot drift apart; the merged report of a
+/// sharded run is bit-identical to [`Sweep::run_sequential`] because
+/// every floating-point operation happens here, over the same values in
+/// the same order.
+///
+/// A machine left with zero surviving cells by a non-empty corpus (i.e.
+/// every pair failed) gets no curves or outcomes. An empty corpus still
+/// assembles its (empty) aggregates, matching the sequential reference.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_cells(
+    report: &mut SweepReport,
+    config: &str,
+    latency: u32,
+    ports: u32,
+    models: &[Model],
+    points: &[u32],
+    budgets: &[u32],
+    cells: &[LoopCell],
+    corpus_is_empty: bool,
+) {
+    let machine_is_dead = cells.is_empty() && !corpus_is_empty;
+    if machine_is_dead {
+        return;
+    }
+    if !points.is_empty() {
+        for (mi, &model) in models.iter().enumerate() {
+            let rows: Vec<&LoopAnalysis> = cells.iter().map(|c| &c.analyses[mi]).collect();
+            report
+                .distributions
+                .push(curve_from_rows(config, model, latency, points, &rows));
+        }
+    }
+    let ports = ports as u128;
+    for (bi, &budget) in budgets.iter().enumerate() {
+        let ideal_cycles: u128 = cells.iter().map(|c| c.evals[bi].ideal.cycles()).sum();
+        for (mi, &model) in models.iter().enumerate() {
+            let rows = || cells.iter().map(|c| &c.evals[bi].rows[mi]);
+            let cycles: u128 = rows().map(|r| r.cycles()).sum();
+            let accesses: u128 = rows().map(|r| r.accesses()).sum();
+            let loops_spilled = rows().filter(|r| r.spilled > 0).count();
+            report.outcomes.push(BudgetOutcome {
+                config: config.to_owned(),
+                model,
+                latency,
+                registers: budget,
+                cycles,
+                accesses,
+                relative_performance: relative_performance(ideal_cycles, cycles),
+                traffic_density: if cycles == 0 {
+                    0.0
+                } else {
+                    accesses as f64 / (cycles * ports) as f64
+                },
+                loops_spilled,
+            });
+        }
+    }
+}
+
+/// The task indices of shard `index` of `count` over a `total`-cell
+/// grid: every `t in 0..total` with `t % count == index`, ascending.
+///
+/// For any `count >= 1` the shards `0..count` partition `0..total`
+/// exactly (each task in exactly one shard) — property-tested in
+/// `tests/proptest_shard.rs`.
+///
+/// # Panics
+///
+/// Panics if `count` is zero (there is no empty partition of a non-empty
+/// grid).
+pub fn shard_tasks(total: usize, index: u32, count: u32) -> impl Iterator<Item = usize> {
+    assert!(count > 0, "shard count must be positive");
+    (index as usize..total).step_by(count as usize)
 }
 
 /// Why a grid cell produced no [`LoopCell`].
@@ -398,24 +554,27 @@ enum CellFailure {
 }
 
 /// One `(machine, loop)` cell of the flattened grid: everything the sweep
-/// needs from that pair, for every requested model and budget.
-#[derive(Debug, Clone)]
-struct LoopCell {
+/// needs from that pair, for every requested model and budget. This is
+/// the unit a [`crate::SweepShard`] serializes — all-integer payloads, so
+/// a JSON round trip is exact and merged reports reassemble
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoopCell {
     /// One analysis per model (empty when no sample points were set).
-    analyses: Vec<LoopAnalysis>,
+    pub(crate) analyses: Vec<LoopAnalysis>,
     /// One entry per budget.
-    evals: Vec<BudgetCell>,
+    pub(crate) evals: Vec<BudgetCell>,
 }
 
 /// One budget's evaluations of a single loop.
-#[derive(Debug, Clone)]
-struct BudgetCell {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BudgetCell {
     /// The [`Model::Ideal`] anchor evaluation (always computed, so
     /// relative performance stays anchored even when the model set omits
     /// the ideal model).
-    ideal: LoopEval,
+    pub(crate) ideal: LoopEval,
     /// One evaluation per model, in model-set order.
-    rows: Vec<LoopEval>,
+    pub(crate) rows: Vec<LoopEval>,
 }
 
 /// Evaluates one `(machine, loop)` pair: all model analyses (when the
@@ -485,6 +644,32 @@ impl PartialSweep {
             Some(e) => Err(e),
         }
     }
+
+    /// Order-stable merge of partial sweeps over **disjoint grids** (for
+    /// example one sweep per machine family, split across CI jobs):
+    /// reports merge as [`SweepReport::merge`] and the error lists
+    /// concatenate in argument order.
+    ///
+    /// Every input's errors and cache counters are carried over exactly
+    /// once — a machine whose failures appear in several inputs keeps one
+    /// error per failed *pair*, and its `CacheStats` are summed, not
+    /// overwritten or repeated.
+    ///
+    /// This does **not** re-aggregate rows: inputs whose grids overlap
+    /// (the same machine's curves in two inputs) are simply concatenated.
+    /// To reassemble one sweep from loop-level shards — which requires
+    /// re-aggregation — use [`Sweep::shard`] and
+    /// [`crate::SweepShard::merge`]; merging shards of one machine
+    /// through this method would double-count that machine, which is why
+    /// shards carry raw cells instead of reports.
+    pub fn merge<I: IntoIterator<Item = PartialSweep>>(parts: I) -> PartialSweep {
+        let mut out = PartialSweep::default();
+        for p in parts {
+            out.report = SweepReport::merge([std::mem::take(&mut out.report), p.report]);
+            out.errors.extend(p.errors);
+        }
+        out
+    }
 }
 
 /// Typed result of [`Sweep::run`].
@@ -502,6 +687,29 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Order-stable merge of reports over **disjoint grids**: the curve
+    /// and outcome series concatenate in argument order (so two sweeps
+    /// over different machine sets merge into one machine-major report)
+    /// and the schedule-cache counters sum.
+    ///
+    /// Merging is associative — `merge([merge([a, b]), c])`,
+    /// `merge([a, merge([b, c])])` and `merge([a, b, c])` are
+    /// bit-identical (concatenation and `u64` addition both are) — which
+    /// is property-tested in `tests/proptest_shard.rs`. Like
+    /// [`PartialSweep::merge`], this concatenates rather than
+    /// re-aggregates; loop-level shards of a *single* grid merge through
+    /// [`crate::SweepShard::merge`] instead.
+    pub fn merge<I: IntoIterator<Item = SweepReport>>(reports: I) -> SweepReport {
+        let mut out = SweepReport::default();
+        for r in reports {
+            out.distributions.extend(r.distributions);
+            out.outcomes.extend(r.outcomes);
+            out.scheduling.hits += r.scheduling.hits;
+            out.scheduling.misses += r.scheduling.misses;
+        }
+        out
+    }
+
     /// Derives Table 1 rows (allocatable percentages at the
     /// [`TABLE1_POINTS`] register counts) from every distribution curve
     /// that sampled all three Table 1 points.
@@ -555,8 +763,9 @@ pub(crate) fn fp_latency(machine: &Machine) -> u32 {
 
 /// Builds one distribution curve from per-loop analyses (corpus order).
 fn curve_from_rows(
-    session: &Session,
+    config: &str,
     model: Model,
+    latency: u32,
     points: &[u32],
     rows: &[&LoopAnalysis],
 ) -> DistributionCurve {
@@ -575,9 +784,9 @@ fn curve_from_rows(
         })
         .collect();
     DistributionCurve {
-        config: session.machine().name().to_owned(),
+        config: config.to_owned(),
         model,
-        latency: fp_latency(session.machine()),
+        latency,
         static_dist: Cumulative::new(points, &static_obs),
         dynamic_dist: Cumulative::new(points, &dyn_obs),
     }

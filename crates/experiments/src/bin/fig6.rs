@@ -3,20 +3,21 @@
 //! latencies 3 and 6.
 
 use ncdrf::{default_points, DistributionPanel, Model, Render, ReportFormat, Sweep};
-use ncdrf_experiments::{banner, Cli};
+use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 6: static cumulative distribution of loops", &cli);
 
-    let partial = Sweep::new(&cli.corpus)
+    let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::finite())
-        .points(default_points())
-        .run_partial();
-    for e in &partial.errors {
-        eprintln!("[skipped] {e}");
-    }
+        .points(default_points());
+    // Under `--shard i/n` only that slice of the grid runs, a mergeable
+    // JSON artifact is written, and there is nothing to render yet.
+    let Some(partial) = run_or_shard(&cli, &sweep, "fig6") else {
+        return;
+    };
     let report = partial.report;
 
     for lat in [3, 6] {

@@ -3,20 +3,19 @@
 //! estimated execution time (iterations x II).
 
 use ncdrf::{default_points, DistributionPanel, Model, Render, ReportFormat, Sweep};
-use ncdrf_experiments::{banner, Cli};
+use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 7: dynamic cumulative distribution of cycles", &cli);
 
-    let partial = Sweep::new(&cli.corpus)
+    let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::finite())
-        .points(default_points())
-        .run_partial();
-    for e in &partial.errors {
-        eprintln!("[skipped] {e}");
-    }
+        .points(default_points());
+    let Some(partial) = run_or_shard(&cli, &sweep, "fig7") else {
+        return;
+    };
     let report = partial.report;
 
     for lat in [3, 6] {

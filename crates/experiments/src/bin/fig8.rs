@@ -3,7 +3,7 @@
 //! a loop exceeds the file.
 
 use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
-use ncdrf_experiments::{banner, Cli};
+use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -13,14 +13,15 @@ fn main() {
     // scheduled once per machine no matter how many models/budgets run.
     // The fault-tolerant entry point keeps the grid alive if an exotic
     // corpus loop fails: the pair is skipped by name, not the figure.
-    let partial = Sweep::new(&cli.corpus)
+    // Under `--shard i/n` only that slice runs and a mergeable JSON
+    // artifact is written instead.
+    let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::all())
-        .budgets([32, 64])
-        .run_partial();
-    for e in &partial.errors {
-        eprintln!("[skipped] {e}");
-    }
+        .budgets([32, 64]);
+    let Some(partial) = run_or_shard(&cli, &sweep, "fig8") else {
+        return;
+    };
     let report = partial.report;
 
     for (lat, regs) in FIG89_CONFIGS {

@@ -2,20 +2,19 @@
 //! for the same model/latency/register grid as Figure 8.
 
 use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
-use ncdrf_experiments::{banner, Cli};
+use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Figure 9: density of memory traffic", &cli);
 
-    let partial = Sweep::new(&cli.corpus)
+    let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
         .models(Model::all())
-        .budgets([32, 64])
-        .run_partial();
-    for e in &partial.errors {
-        eprintln!("[skipped] {e}");
-    }
+        .budgets([32, 64]);
+    let Some(partial) = run_or_shard(&cli, &sweep, "fig9") else {
+        return;
+    };
     let report = partial.report;
 
     for (lat, regs) in FIG89_CONFIGS {

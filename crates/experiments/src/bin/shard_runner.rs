@@ -1,0 +1,295 @@
+//! Multi-process sharded sweep driver.
+//!
+//! `shard_runner run` evaluates one shard of a fixed experiment grid and
+//! writes a mergeable JSON artifact; `shard_runner merge` reassembles
+//! any complete set of such artifacts into the full report and can
+//! verify the result against an in-process sequential run. This is how
+//! the CI matrix splits the experiment grid over four runners (on the
+//! fast `small` corpus; pass `--standard` for the 795-loop population)
+//! and proves the merged report **bit-identical** to an unsharded
+//! `Sweep::run_sequential`.
+//!
+//! ```text
+//! shard_runner run --shard <i>/<n> [--out FILE.json] [--grid GRID] [--standard]
+//! shard_runner merge [--verify-against-sequential] [--out FILE.json] FILE.json...
+//! ```
+//!
+//! Grids: `full` (default; Figure 6–9 machines, models, points and
+//! budgets in one sweep), `fig67`, `fig89`, `table1`.
+//!
+//! Exit codes: `0` success, `1` verification mismatch, `2` usage or
+//! configuration error.
+
+use ncdrf::corpus::Corpus;
+use ncdrf::machine::Machine;
+use ncdrf::{
+    default_points, parse_sweep_shard, GridSignature, Model, PartialSweep, PipelineOptions, Render,
+    ReportFormat, Sweep, SweepShard, TABLE1_POINTS,
+};
+use ncdrf_experiments::parse_shard_spec;
+use std::process::exit;
+
+const USAGE: &str = "usage:
+  shard_runner run --shard <i>/<n> [--out FILE.json] [--grid full|fig67|fig89|table1] [--standard]
+  shard_runner merge [--verify-against-sequential] [--out FILE.json] FILE.json...";
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("merge") => merge(&args[1..]),
+        Some(other) => die(&format!("unknown subcommand `{other}`")),
+        None => die("missing subcommand"),
+    }
+}
+
+/// Value of `--flag <value>`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.as_str(),
+            None => die(&format!("`{flag}` needs a value")),
+        })
+}
+
+/// Builds the named experiment grid over `corpus`. The grid must be
+/// identical in every `run` invocation being merged — it is pinned here,
+/// not on the command line, so two runners can only disagree by naming
+/// different presets, which the merge's signature check catches.
+fn build_sweep<'c>(corpus: &'c Corpus, grid: &str) -> Sweep<'c> {
+    match grid {
+        "full" => Sweep::new(corpus)
+            .clustered_latencies([3, 6])
+            .models(Model::all())
+            .points(default_points())
+            .budgets([32, 64]),
+        "fig67" => Sweep::new(corpus)
+            .clustered_latencies([3, 6])
+            .models(Model::finite())
+            .points(default_points()),
+        "fig89" => Sweep::new(corpus)
+            .clustered_latencies([3, 6])
+            .models(Model::all())
+            .budgets([32, 64]),
+        "table1" => Sweep::new(corpus)
+            .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
+            .models([Model::Unified])
+            .points(TABLE1_POINTS),
+        other => die(&format!("unknown grid `{other}`")),
+    }
+}
+
+fn run(args: &[String]) {
+    let (index, count) = match flag_value(args, "--shard") {
+        Some(spec) => parse_shard_spec(spec).unwrap_or_else(|e| die(&e)),
+        None => die("`run` needs `--shard <i>/<n>`"),
+    };
+    let grid = flag_value(args, "--grid").unwrap_or("full");
+    let corpus = if args.iter().any(|a| a == "--standard") {
+        Corpus::standard()
+    } else {
+        Corpus::small()
+    };
+    let out = flag_value(args, "--out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("shard-{index}-of-{count}.json"));
+
+    let sweep = build_sweep(&corpus, grid);
+    let shard = sweep
+        .shard(index, count)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    print!("{}", shard.render(ReportFormat::Text));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create `{out}`: {e}")));
+        }
+    }
+    std::fs::write(&out, shard.render(ReportFormat::Json))
+        .unwrap_or_else(|e| die(&format!("write `{out}`: {e}")));
+    println!("[wrote {out}]");
+}
+
+fn merge(args: &[String]) {
+    let verify = args.iter().any(|a| a == "--verify-against-sequential");
+    let out = flag_value(args, "--out");
+    let mut files = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match a.as_str() {
+            "--verify-against-sequential" => {}
+            "--out" => skip = true,
+            flag if flag.starts_with("--") => die(&format!("unknown flag `{flag}`")),
+            file => {
+                // `--out`'s value never lands here (skipped above).
+                let _ = i;
+                files.push(file);
+            }
+        }
+    }
+    if files.is_empty() {
+        die("`merge` needs at least one shard file");
+    }
+
+    let shards: Vec<SweepShard> = files
+        .iter()
+        .map(|f| {
+            let json =
+                std::fs::read_to_string(f).unwrap_or_else(|e| die(&format!("read `{f}`: {e}")));
+            parse_sweep_shard(&json).unwrap_or_else(|e| die(&format!("parse `{f}`: {e}")))
+        })
+        .collect();
+    println!(
+        "[merging {} shard file(s) covering {} grid cells]",
+        shards.len(),
+        shards.iter().map(SweepShard::cell_count).sum::<usize>()
+    );
+    let merged = SweepShard::merge(&shards).unwrap_or_else(|e| die(&e.to_string()));
+    print!("{}", merged.render(ReportFormat::Text));
+    if let Some(path) = out {
+        std::fs::write(path, merged.render(ReportFormat::Json))
+            .unwrap_or_else(|e| die(&format!("write `{path}`: {e}")));
+        println!("[wrote {path}]");
+    }
+    if verify {
+        verify_against_sequential(&merged, shards[0].signature());
+    }
+}
+
+/// Recomputes the merged grid sequentially in this process and asserts
+/// the merged report is bit-identical (value equality *and* identical
+/// serialized bytes). Exits `1` on mismatch.
+fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
+    let corpus = rebuild_corpus(sig).unwrap_or_else(|e| die(&e));
+    let machines: Vec<Machine> = sig
+        .machines
+        .iter()
+        .map(|m| {
+            let machine = machine_from_name(&m.name)
+                .unwrap_or_else(|| die(&format!("cannot rebuild machine `{}`", m.name)));
+            // The name alone does not pin the datapath (it omits e.g.
+            // load/store units per cluster), so cross-check the rebuilt
+            // machine against the signature instead of letting a
+            // name-colliding variant masquerade as a verification
+            // failure.
+            let latency = machine
+                .groups()
+                .iter()
+                .map(|g| g.latency)
+                .max()
+                .unwrap_or(0);
+            let ports = machine.memory_ports() as u32;
+            if latency != m.latency || ports != m.ports {
+                die(&format!(
+                    "cannot rebuild machine `{}`: this build reconstructs latency {latency} / \
+                     {ports} ports, the shards declare latency {} / {} ports",
+                    m.name, m.latency, m.ports
+                ));
+            }
+            machine
+        })
+        .collect();
+    if sig.options != format!("{:?}", PipelineOptions::default()) {
+        die("the shards were produced with non-default pipeline options; cannot rebuild the reference run");
+    }
+    let sweep = Sweep::new(&corpus)
+        .machines(machines)
+        .models(sig.models.iter().copied())
+        .points(sig.points.iter().copied())
+        .budgets(sig.budgets.iter().copied());
+
+    let reference = if merged.is_complete() {
+        match sweep.run_sequential() {
+            Ok(report) => PartialSweep {
+                report,
+                errors: Vec::new(),
+            },
+            Err(e) => die(&format!("sequential reference run failed: {e}")),
+        }
+    } else {
+        // The merged run recorded failures; the all-or-nothing
+        // sequential entry point would abort on the first, so compare
+        // against the fault-tolerant run (bit-identical to sequential on
+        // the surviving cells).
+        sweep.run_partial()
+    };
+
+    let mut mismatches = Vec::new();
+    if merged.report != reference.report {
+        mismatches.push("report values differ".to_owned());
+    }
+    let merged_json = merged.report.render(ReportFormat::Json);
+    let reference_json = reference.report.render(ReportFormat::Json);
+    if merged_json != reference_json {
+        mismatches.push("serialized report bytes differ".to_owned());
+    }
+    let merged_errors: Vec<String> = merged.errors.iter().map(ToString::to_string).collect();
+    let reference_errors: Vec<String> = reference.errors.iter().map(ToString::to_string).collect();
+    if merged_errors != reference_errors {
+        mismatches.push(format!(
+            "failure lists differ ({} merged vs {} sequential)",
+            merged_errors.len(),
+            reference_errors.len()
+        ));
+    }
+    if mismatches.is_empty() {
+        println!(
+            "[verified: merged report is bit-identical to the sequential reference \
+             ({} curves, {} outcomes, {} failures)]",
+            merged.report.distributions.len(),
+            merged.report.outcomes.len(),
+            merged.errors.len()
+        );
+    } else {
+        eprintln!("verification FAILED: {}", mismatches.join("; "));
+        exit(1);
+    }
+}
+
+/// Rebuilds the corpus a signature names, refusing silently-different
+/// grids (the loop list must match this build exactly).
+fn rebuild_corpus(sig: &GridSignature) -> Result<Corpus, String> {
+    let corpus = match sig.corpus.as_str() {
+        "small" => Corpus::small(),
+        "standard" => Corpus::standard(),
+        other => {
+            return Err(format!(
+                "cannot rebuild corpus `{other}` (only `small`/`standard` are reproducible here); \
+                 merge without --verify-against-sequential"
+            ))
+        }
+    };
+    let matches = corpus.len() == sig.loops.len()
+        && corpus
+            .iter()
+            .zip(&sig.loops)
+            .all(|(l, name)| l.name() == name);
+    if !matches {
+        return Err(format!(
+            "the shards' `{}` corpus has a different loop list than this build",
+            sig.corpus
+        ));
+    }
+    Ok(corpus)
+}
+
+/// Rebuilds a preset machine from its name (`C2L<lat>` clustered,
+/// `P<x>L<lat>` unified) — the only machines `shard_runner run` emits.
+fn machine_from_name(name: &str) -> Option<Machine> {
+    if let Some(lat) = name.strip_prefix("C2L").and_then(|s| s.parse().ok()) {
+        return Some(Machine::clustered(lat, 1));
+    }
+    let rest = name.strip_prefix('P')?;
+    let (x, lat) = rest.split_once('L')?;
+    Some(Machine::pxly(x.parse().ok()?, lat.parse().ok()?))
+}

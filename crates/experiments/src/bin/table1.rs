@@ -3,20 +3,19 @@
 //! represent — on the unified `PxLy` machines.
 
 use ncdrf::{Model, Render, ReportFormat, Sweep, TABLE1_POINTS};
-use ncdrf_experiments::{banner, Cli};
+use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
     let cli = Cli::parse();
     banner("Table 1: allocatable loops under PxLy configurations", &cli);
 
-    let partial = Sweep::new(&cli.corpus)
+    let sweep = Sweep::new(&cli.corpus)
         .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
         .models([Model::Unified])
-        .points(TABLE1_POINTS)
-        .run_partial();
-    for e in &partial.errors {
-        eprintln!("[skipped] {e}");
-    }
+        .points(TABLE1_POINTS);
+    let Some(partial) = run_or_shard(&cli, &sweep, "table1") else {
+        return;
+    };
     let rows = partial.report.table1();
 
     println!("{}", rows.render(ReportFormat::Text));

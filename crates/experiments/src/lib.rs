@@ -6,9 +6,15 @@
 //! * `--standard` — run on the full 795-loop corpus (minutes in release
 //!   mode); the default is the fast `small` corpus (~100 loops), which
 //!   already reproduces every qualitative shape;
-//! * `--out <dir>` — where to write CSV results (default `results/`).
+//! * `--out <dir>` — where to write CSV results (default `results/`);
+//! * `--shard <i>/<n>` — evaluate only shard `i` of `n` of the figure's
+//!   `(machine, loop)` grid and write a mergeable JSON artifact instead
+//!   of rendering the figure (see [`run_or_shard`] and the `shard_runner`
+//!   binary, which merges such artifacts and can verify them against an
+//!   unsharded sequential run).
 
 use ncdrf::corpus::Corpus;
+use ncdrf::{PartialSweep, Render, ReportFormat, Sweep};
 use std::path::PathBuf;
 
 /// Parsed common command-line options.
@@ -16,12 +22,29 @@ use std::path::PathBuf;
 pub struct Cli {
     /// The selected corpus.
     pub corpus: Corpus,
-    /// Output directory for CSV files.
+    /// Output directory for CSV results (default `results/`).
     pub out: PathBuf,
+    /// `--shard i/n`: run only that shard of the experiment grid.
+    pub shard: Option<(u32, u32)>,
+}
+
+/// Parses `"i/n"` into a shard spec.
+///
+/// # Errors
+///
+/// A usage message when the spec is not `index/count`.
+pub fn parse_shard_spec(spec: &str) -> Result<(u32, u32), String> {
+    let usage = || format!("invalid shard spec `{spec}`; expected `<index>/<count>`, e.g. `0/4`");
+    let (i, n) = spec.split_once('/').ok_or_else(usage)?;
+    Ok((
+        i.trim().parse().map_err(|_| usage())?,
+        n.trim().parse().map_err(|_| usage())?,
+    ))
 }
 
 impl Cli {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args`, exiting with a usage message on a
+    /// malformed `--shard` spec.
     pub fn parse() -> Cli {
         let args: Vec<String> = std::env::args().collect();
         let corpus = if args.iter().any(|a| a == "--standard") {
@@ -29,13 +52,21 @@ impl Cli {
         } else {
             Corpus::small()
         };
-        let out = args
-            .iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1))
+        let flag_value = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let out = flag_value("--out")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("results"));
-        Cli { corpus, out }
+        let shard = flag_value("--shard").map(|spec| {
+            parse_shard_spec(spec).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        });
+        Cli { corpus, out, shard }
     }
 
     /// Writes `contents` to `<out>/<name>`, creating the directory.
@@ -58,4 +89,34 @@ pub fn banner(what: &str, cli: &Cli) {
         cli.corpus.name(),
         cli.corpus.len()
     );
+}
+
+/// Runs `sweep` the way the CLI asked: fault-tolerantly in-process
+/// (returns the partial result; skipped pairs already reported on
+/// stderr), or — under `--shard i/n` — evaluates only that shard, writes
+/// `<stem>.shard-<i>-of-<n>.json` to the output directory and returns
+/// `None` (the caller renders nothing; `shard_runner merge` reassembles
+/// the figure from all `n` artifacts).
+pub fn run_or_shard(cli: &Cli, sweep: &Sweep<'_>, stem: &str) -> Option<PartialSweep> {
+    match cli.shard {
+        None => {
+            let partial = sweep.run_partial();
+            for e in &partial.errors {
+                eprintln!("[skipped] {e}");
+            }
+            Some(partial)
+        }
+        Some((index, count)) => {
+            let shard = sweep.shard(index, count).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            println!("{}", shard.render(ReportFormat::Text));
+            cli.write(
+                &format!("{stem}.shard-{index}-of-{count}.json"),
+                &shard.render(ReportFormat::Json),
+            );
+            None
+        }
+    }
 }
