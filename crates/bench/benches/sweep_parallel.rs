@@ -19,15 +19,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ncdrf::corpus::Corpus;
+use ncdrf::exec::Pool;
 use ncdrf::machine::Machine;
 use ncdrf::{LoopEval, Model, Session, Sweep, SweepReport};
 use ncdrf_bench::bench_corpus;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The full multi-machine Figure 8/9 grid: 2 latencies × 2 budgets × 4
 /// models.
 const LATENCIES: [u32; 2] = [3, 6];
 const BUDGETS: [u32; 2] = [32, 64];
+
+/// The descending budget ladder of the trajectory-continuation guard:
+/// each rung below 64 is a strict continuation of the rung above it.
+const LADDER: [u32; 4] = [64, 48, 32, 16];
 
 fn grid<'c>(corpus: &'c Corpus) -> Sweep<'c> {
     Sweep::new(corpus)
@@ -60,9 +66,72 @@ fn checksum(r: &SweepReport) -> u128 {
     r.outcomes.iter().map(|o| o.cycles).sum()
 }
 
+/// The trajectory-continuation guard: the 64→48→32→16 ladder in ONE
+/// sweep (per-`(loop, model)` spill trajectories resumed across budgets)
+/// versus one sweep per budget (every budget respills from zero). The
+/// assertion is on the **spill-step counters**, not wall clock: the
+/// ladder must compute strictly fewer steps, while staying bit-identical
+/// per budget cell (the `trajectory_identity` suite pins that part).
+fn ladder_guard(corpus: &Corpus, pool: &Arc<Pool>) {
+    let ladder = Sweep::new(corpus)
+        .clustered_latencies(LATENCIES)
+        .models(Model::all())
+        .budgets(LADDER)
+        .pool(Arc::clone(pool));
+    let t = Instant::now();
+    let continued = ladder.run().expect("bench corpus always schedules");
+    let ladder_time = t.elapsed();
+
+    let t = Instant::now();
+    let from_scratch: u64 = LADDER
+        .iter()
+        .map(|&b| {
+            Sweep::new(corpus)
+                .clustered_latencies(LATENCIES)
+                .models(Model::all())
+                .budget(b)
+                .pool(Arc::clone(pool))
+                .run()
+                .expect("bench corpus always schedules")
+                .scheduling
+                .spill_steps
+        })
+        .sum();
+    let scratch_time = t.elapsed();
+
+    let s = continued.scheduling;
+    assert!(
+        s.traj_hits + s.traj_resumes > 0,
+        "the ladder must exercise trajectory continuation"
+    );
+    assert!(
+        s.spill_steps < from_scratch,
+        "continuation must compute fewer spill steps: {} vs {}",
+        s.spill_steps,
+        from_scratch
+    );
+    println!(
+        "\nsweep_parallel: budget ladder {LADDER:?} — {} spill steps \
+         ({} trajectory hits, {} resumes) vs {} from scratch \
+         ({:.1}% saved); wall {:.1?} vs {:.1?}\n",
+        s.spill_steps,
+        s.traj_hits,
+        s.traj_resumes,
+        from_scratch,
+        100.0 * (from_scratch - s.spill_steps) as f64 / (from_scratch.max(1)) as f64,
+        ladder_time,
+        scratch_time,
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let corpus = bench_corpus(24);
-    let sweep = grid(&corpus);
+    // One persistent pool for every pooled run in this bench: the
+    // workers spawn once and are reused across all sweeps and reps.
+    let pool = Arc::new(Pool::new());
+    let sweep = grid(&corpus).pool(Arc::clone(&pool));
+
+    ladder_guard(&corpus, &pool);
 
     // Correctness guard (the acceptance criterion): the work-stealing
     // grid is bit-identical to the sequential reference — same curves,

@@ -359,11 +359,7 @@ impl Render for SweepReport {
                 if !self.outcomes.is_empty() {
                     let _ = writeln!(s, "{}", self.outcomes.as_slice().render(ReportFormat::Text));
                 }
-                let _ = writeln!(
-                    s,
-                    "[schedule cache: {} runs, {} hits]",
-                    self.scheduling.misses, self.scheduling.hits
-                );
+                let _ = writeln!(s, "[schedule cache: {}]", self.scheduling);
                 s
             }
             ReportFormat::Csv => {
@@ -390,6 +386,9 @@ impl Render for SweepReport {
                 );
                 o.integer("scheduling_runs", self.scheduling.misses as u128);
                 o.integer("cache_hits", self.scheduling.hits as u128);
+                o.integer("spill_steps", self.scheduling.spill_steps as u128);
+                o.integer("trajectory_hits", self.scheduling.traj_hits as u128);
+                o.integer("trajectory_resumes", self.scheduling.traj_resumes as u128);
                 o.finish()
             }
         }
@@ -440,7 +439,7 @@ impl Render for PartialSweep {
 const SHARD_KIND: &str = "ncdrf-sweep-shard";
 /// Artifact format version; bump on layout changes so stale artifacts
 /// fail loudly instead of merging garbage.
-const SHARD_VERSION: u128 = 1;
+const SHARD_VERSION: u128 = 2;
 
 impl Render for SweepShard {
     /// `Text` is a human summary, `Csv` one record per grid cell, `Json`
@@ -465,12 +464,7 @@ impl Render for SweepShard {
                     self.cell_count(),
                     self.failure_count()
                 );
-                let stats = self.scheduling();
-                let _ = writeln!(
-                    s,
-                    "  [schedule cache: {} runs, {} hits]",
-                    stats.misses, stats.hits
-                );
+                let _ = writeln!(s, "  [schedule cache: {}]", self.scheduling());
                 s
             }
             ReportFormat::Csv => {
@@ -509,6 +503,9 @@ impl Render for SweepShard {
                 let mut sched = JsonObject::new();
                 sched.integer("hits", stats.hits as u128);
                 sched.integer("misses", stats.misses as u128);
+                sched.integer("spill_steps", stats.spill_steps as u128);
+                sched.integer("trajectory_hits", stats.traj_hits as u128);
+                sched.integer("trajectory_resumes", stats.traj_resumes as u128);
                 o.raw("scheduling", &sched.finish());
                 o.raw("cells", &json_array(self.cells.iter().map(json_cell)));
                 o.finish()
@@ -786,6 +783,19 @@ fn u64_member(v: &Value, key: &str) -> Parsed<u64> {
         .map_err(|_| ReportParseError::new(format!("`{key}` is out of range")))
 }
 
+/// A `u64` member that defaults to zero when the key is absent — for
+/// counters added to the (unversioned) report JSON after artifacts were
+/// already in the wild: a pre-trajectory report parses with zeroed
+/// trajectory counters instead of a bare missing-member error. (Shard
+/// artifacts are versioned and fail loudly instead; see
+/// [`SHARD_VERSION`].)
+fn u64_member_or_zero(v: &Value, key: &str) -> Parsed<u64> {
+    if v.get(key).is_none() {
+        return Ok(0);
+    }
+    u64_member(v, key)
+}
+
 fn u32_member(v: &Value, key: &str) -> Parsed<u32> {
     u128_member(v, key)?
         .try_into()
@@ -907,6 +917,9 @@ fn sweep_report_from(v: &Value) -> Parsed<SweepReport> {
         scheduling: CacheStats {
             hits: u64_member(v, "cache_hits")?,
             misses: u64_member(v, "scheduling_runs")?,
+            spill_steps: u64_member_or_zero(v, "spill_steps")?,
+            traj_hits: u64_member_or_zero(v, "trajectory_hits")?,
+            traj_resumes: u64_member_or_zero(v, "trajectory_resumes")?,
         },
     })
 }
@@ -1091,6 +1104,9 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
         CacheStats {
             hits: u64_member(scheduling, "hits")?,
             misses: u64_member(scheduling, "misses")?,
+            spill_steps: u64_member(scheduling, "spill_steps")?,
+            traj_hits: u64_member(scheduling, "trajectory_hits")?,
+            traj_resumes: u64_member(scheduling, "trajectory_resumes")?,
         },
         array_member(&v, "cells")?
             .iter()
@@ -1238,12 +1254,19 @@ mod tests {
         let report = SweepReport {
             distributions: sample_curves(),
             outcomes: sample_outcomes(),
-            scheduling: crate::session::CacheStats { hits: 9, misses: 3 },
+            scheduling: crate::session::CacheStats {
+                hits: 9,
+                misses: 3,
+                traj_hits: 2,
+                traj_resumes: 1,
+                spill_steps: 5,
+            },
         };
         let text = report.render(ReportFormat::Text);
         assert!(text.contains("% of loops"));
         assert!(text.contains("rel. perf"));
         assert!(text.contains("3 runs, 9 hits"));
+        assert!(text.contains("5 steps, 2 hits, 1 resumes"));
         let csv = report.render(ReportFormat::Csv);
         assert!(csv.contains("static_percent"));
         assert!(csv.contains("traffic_density"));
@@ -1253,12 +1276,40 @@ mod tests {
     }
 
     #[test]
+    fn report_json_without_trajectory_counters_parses_with_zeroes() {
+        // Report JSON is unversioned and artifacts predating the
+        // trajectory counters exist; they must parse (counters zeroed),
+        // not die on a bare missing-member error.
+        let report = SweepReport {
+            distributions: sample_curves(),
+            outcomes: sample_outcomes(),
+            scheduling: crate::session::CacheStats {
+                hits: 9,
+                misses: 3,
+                ..Default::default()
+            },
+        };
+        let json = report.render(ReportFormat::Json);
+        let legacy = json.replace(
+            ",\"spill_steps\":0,\"trajectory_hits\":0,\"trajectory_resumes\":0",
+            "",
+        );
+        assert_ne!(legacy, json, "the legacy rewrite must strip the keys");
+        let parsed = crate::report::parse_sweep_report(&legacy).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
     fn partial_sweep_renders_failures_by_name() {
         let partial = PartialSweep {
             report: SweepReport {
                 distributions: sample_curves(),
                 outcomes: sample_outcomes(),
-                scheduling: crate::session::CacheStats { hits: 4, misses: 2 },
+                scheduling: crate::session::CacheStats {
+                    hits: 4,
+                    misses: 2,
+                    ..Default::default()
+                },
             },
             errors: vec![crate::PipelineError::panic("hydro", "boom")],
         };

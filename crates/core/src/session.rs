@@ -38,12 +38,16 @@ use ncdrf_ddg::Loop;
 use ncdrf_machine::{Machine, MachineError};
 use ncdrf_regalloc::{allocate_dual, allocate_unified, classify, lifetimes, max_live, Lifetime};
 use ncdrf_sched::{modulo_schedule_with, Schedule};
-use ncdrf_spill::spill_until_fits_seeded;
+use ncdrf_spill::SpillTrajectory;
 use ncdrf_swap::swap_pass_with;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-(loop, model) spill trajectories, individually locked so distinct
+/// pairs extend concurrently while same-pair evaluations serialise.
+type TrajectoryCache = Mutex<HashMap<(String, Model), Arc<Mutex<SpillTrajectory>>>>;
 
 /// A loop's cached model-independent artifacts: the base modulo schedule
 /// and its lifetimes.
@@ -55,7 +59,8 @@ pub struct BaseSchedule {
     pub lifetimes: Vec<Lifetime>,
 }
 
-/// Hit/miss counters of a session's schedule cache.
+/// Hit/miss counters of a session's schedule and spill-trajectory
+/// caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Schedule requests served from the cache — base-schedule lookups
@@ -63,6 +68,46 @@ pub struct CacheStats {
     pub hits: u64,
     /// Base requests that ran the scheduler.
     pub misses: u64,
+    /// Budgeted evaluations served **entirely** from an existing spill
+    /// trajectory's checkpoints — no spill step was recomputed and no
+    /// per-budget escalation fallback ran.
+    pub traj_hits: u64,
+    /// Budgeted evaluations that *resumed* an existing trajectory:
+    /// extension started from the deepest prior checkpoint instead of
+    /// respilling from zero.
+    pub traj_resumes: u64,
+    /// Spill steps (victim selection + rewrite + reschedule +
+    /// allocation) actually computed. Without trajectory reuse a
+    /// multi-budget sweep pays this once **per budget**; with it, once
+    /// per `(loop, model)` — the `sweep_parallel` bench counter-asserts
+    /// the saving.
+    pub spill_steps: u64,
+}
+
+impl CacheStats {
+    /// Accumulates another counter set (used when summing sessions,
+    /// shards and merged reports — all five counters are per-cell and
+    /// therefore sum exactly across any partition of the grid).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.traj_hits += other.traj_hits;
+        self.traj_resumes += other.traj_resumes;
+        self.spill_steps += other.spill_steps;
+    }
+}
+
+/// The one-line summary every report and figure binary prints (pinned
+/// by the golden text fixtures) — one source of truth for the five
+/// counters.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs, {} hits | spill trajectories: {} steps, {} hits, {} resumes",
+            self.misses, self.hits, self.spill_steps, self.traj_hits, self.traj_resumes
+        )
+    }
 }
 
 /// An experiment session over one machine: a schedule cache plus the
@@ -83,8 +128,16 @@ pub struct Session {
     /// Per-(loop, model) register requirements of the cached schedules.
     /// Budget-independent, so a multi-budget sweep allocates once.
     reqs: Mutex<HashMap<(String, Model), u32>>,
+    /// Per-(loop, model) spill trajectories: the §5.4 descent computed
+    /// once, checkpointed, and resumed by every budget that needs it
+    /// (see [`Session::evaluate`]). The two-level locking lets distinct
+    /// `(loop, model)` pairs extend their trajectories concurrently.
+    trajectories: TrajectoryCache,
     hits: AtomicU64,
     misses: AtomicU64,
+    traj_hits: AtomicU64,
+    traj_resumes: AtomicU64,
+    spill_steps: AtomicU64,
 }
 
 impl Session {
@@ -96,8 +149,12 @@ impl Session {
             cache: Mutex::new(HashMap::new()),
             swapped: Mutex::new(HashMap::new()),
             reqs: Mutex::new(HashMap::new()),
+            trajectories: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            traj_hits: AtomicU64::new(0),
+            traj_resumes: AtomicU64::new(0),
+            spill_steps: AtomicU64::new(0),
         }
     }
 
@@ -117,19 +174,25 @@ impl Session {
         &self.opts
     }
 
-    /// Cache hit/miss counters so far.
+    /// Cache hit/miss counters so far — schedule caches *and* the spill
+    /// trajectory cache.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            traj_hits: self.traj_hits.load(Ordering::Relaxed),
+            traj_resumes: self.traj_resumes.load(Ordering::Relaxed),
+            spill_steps: self.spill_steps.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached schedule (counters are kept).
+    /// Drops every cached schedule **and** every cached spill trajectory
+    /// (counters are kept).
     pub fn clear_cache(&self) {
         self.cache.lock().clear();
         self.swapped.lock().clear();
         self.reqs.lock().clear();
+        self.trajectories.lock().clear();
     }
 
     fn fail(l: &Loop, stage: impl Into<PipelineStage>) -> PipelineError {
@@ -268,17 +331,67 @@ impl Session {
         })
     }
 
-    /// Evaluates `l` under `model` with a `budget`-register file.
-    ///
-    /// Loops whose cached-schedule requirement already fits the budget —
-    /// the common case — return directly without touching the spiller;
-    /// the rest run the §5.4 spill loop with the cached base schedule
-    /// seeding the first round. Results are bit-identical to the uncached
-    /// [`crate::evaluate`] either way.
+    /// The cached spill trajectory of `(l, model)`, creating (and
+    /// caching) it on first use. Creation seeds checkpoint 0 from the
+    /// cached base schedule — the same seeding the old per-budget
+    /// `spill_until_fits_seeded` call used — and the returned flag says
+    /// whether this call created the entry (for hit/resume accounting).
     ///
     /// # Errors
     ///
-    /// Propagates scheduling and spilling failures, naming the loop.
+    /// Propagates scheduling and requirement failures, naming the loop.
+    /// A failed creation caches nothing.
+    fn trajectory(
+        &self,
+        l: &Loop,
+        model: Model,
+    ) -> Result<(Arc<Mutex<SpillTrajectory>>, bool), PipelineError> {
+        let key = (l.name().to_owned(), model);
+        if let Some(hit) = self.trajectories.lock().get(&key) {
+            return Ok((hit.clone(), false));
+        }
+        // Construct outside the map lock so distinct loops build
+        // concurrently; a racing duplicate is bit-identical (the whole
+        // pipeline is deterministic), so first-insert-wins is sound.
+        let seed = self.base(l)?;
+        let opts = self.opts;
+        let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
+            requirement(l, m, s, model, &opts)
+        };
+        let traj = SpillTrajectory::from_base(
+            l,
+            &self.machine,
+            seed.sched.clone(),
+            &mut req,
+            self.opts.spill,
+        )
+        .map_err(|e| Self::fail(l, e))?;
+        let entry = Arc::new(Mutex::new(traj));
+        let mut map = self.trajectories.lock();
+        let created = !map.contains_key(&key);
+        Ok((map.entry(key).or_insert(entry).clone(), created))
+    }
+
+    /// Evaluates `l` under `model` with a `budget`-register file.
+    ///
+    /// Loops whose cached-schedule requirement already fits the budget —
+    /// the common case — return directly without touching the spiller.
+    /// The rest are served from the session's cached
+    /// [`SpillTrajectory`] for `(l, model)`: a budget that an earlier
+    /// (larger-budget) evaluation already spilled past is answered from
+    /// the checkpoints, and a deeper budget **resumes** the descent from
+    /// the deepest checkpoint instead of respilling from zero — the
+    /// trajectory hit/resume counters in [`CacheStats`] make the reuse
+    /// visible. Results are bit-identical to the uncached
+    /// [`crate::evaluate`] either way (pinned by the
+    /// `trajectory_identity` differential suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling and spilling failures, naming the loop. A
+    /// failure while extending the trajectory for this budget does not
+    /// poison the cached prefix: budgets it already serves (and other
+    /// models' trajectories) keep working.
     pub fn evaluate(&self, l: &Loop, model: Model, budget: u32) -> Result<LoopEval, PipelineError> {
         let no_spill_eval = |sched: &Schedule, regs: u32| LoopEval {
             name: l.name().to_owned(),
@@ -305,23 +418,34 @@ impl Session {
         if regs <= budget {
             return Ok(no_spill_eval(&req_base.sched, regs));
         }
-        // Slow path: real spilling, seeded with the cached base schedule
-        // (the swapped model re-derives its swap from the base, exactly
-        // as the uncached pipeline does).
-        let spill_seed = self.base(l)?;
+        // Slow path: real spilling, via the cached trajectory (seeded
+        // from the cached base schedule; the swapped model re-derives
+        // its swap from the base, exactly as the uncached pipeline
+        // does). The entry lock serialises same-pair evaluations; the
+        // grid executor never co-schedules those, so sweeps don't
+        // contend here.
+        let (traj, created) = self.trajectory(l, model)?;
         let opts = self.opts;
         let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
             requirement(l, m, s, model, &opts)
         };
-        let r = spill_until_fits_seeded(
-            l,
-            &self.machine,
-            spill_seed.sched.clone(),
-            budget,
-            &mut req,
-            self.opts.spill,
-        )
-        .map_err(|e| Self::fail(l, e))?;
+        let (r, resume) = traj
+            .lock()
+            .evaluate(&self.machine, budget, &mut req)
+            .map_err(|e| Self::fail(l, e))?;
+        self.spill_steps
+            .fetch_add(resume.steps_computed as u64, Ordering::Relaxed);
+        if !created {
+            if resume.steps_computed > 0 {
+                self.traj_resumes.fetch_add(1, Ordering::Relaxed);
+            } else if !resume.escalated {
+                // An escalated call recomputes the (uncached, budget-
+                // dependent) II-escalation scan even when it added no
+                // checkpoints; counting it as a hit would misreport
+                // repeated below-floor budgets as free.
+                self.traj_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let mut eval = eval_from_spill(l, model, budget, r);
         eval.ports = self.machine.memory_ports() as u32;
         Ok(eval)
@@ -420,12 +544,108 @@ mod tests {
         let l = kernels::livermore::hydro();
         session.analyze(&l, Model::Swapped).unwrap();
         // First request: one scheduling run, swap pass filled lazily.
-        assert_eq!(session.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            session.cache_stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
         session.analyze(&l, Model::Swapped).unwrap();
         session.analyze(&l, Model::Swapped).unwrap();
         // Each repeat is served entirely from the swapped cache and must
         // be visible as reuse, not invisible work.
-        assert_eq!(session.cache_stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(
+            session.cache_stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn budget_ladder_resumes_the_spill_trajectory() {
+        let machine = Machine::clustered(6, 1);
+        let session = Session::new(machine);
+        let l = kernels::recurrences::chain8();
+        let free = session.analyze(&l, Model::Unified).unwrap().regs;
+        assert!(free > 4, "chain8 should be pressured");
+
+        // A descending budget ladder: the first rung creates and extends
+        // the trajectory, every later rung hits or resumes it.
+        let top = session.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert!(top.spilled > 0);
+        let deepest = session.evaluate(&l, Model::Unified, 4).unwrap();
+        let between = session.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert_eq!(between, top, "checkpoint-served repeat is identical");
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.traj_hits + stats.traj_resumes,
+            2,
+            "both follow-up rungs reused the trajectory"
+        );
+        assert!(stats.traj_hits >= 1, "the repeat rung was a pure hit");
+        // The whole ladder computed exactly the deepest rung's steps.
+        assert_eq!(stats.spill_steps, deepest.spilled as u64);
+
+        // clear_cache drops the trajectory too: the same evaluation
+        // recomputes its steps from zero.
+        session.clear_cache();
+        let again = session.evaluate(&l, Model::Unified, 4).unwrap();
+        assert_eq!(again, deepest);
+        assert_eq!(
+            session.cache_stats().spill_steps,
+            2 * deepest.spilled as u64,
+            "a cleared trajectory cache recomputes the descent"
+        );
+    }
+
+    #[test]
+    fn escalated_evaluations_are_not_counted_as_hits() {
+        let session = Session::new(Machine::clustered(6, 1));
+        let l = kernels::recurrences::chain8();
+        // Budget 1 sits below the descent's floor: the trajectory
+        // exhausts and every evaluation re-runs the per-budget
+        // escalation scan.
+        let first = session.evaluate(&l, Model::Unified, 1).unwrap();
+        let after_first = session.cache_stats();
+        let second = session.evaluate(&l, Model::Unified, 1).unwrap();
+        assert_eq!(second, first);
+        let after_second = session.cache_stats();
+        // The repeat recomputed escalation work — neither a hit nor a
+        // resume, and no new spill steps.
+        assert_eq!(after_second.traj_hits, after_first.traj_hits);
+        assert_eq!(after_second.traj_resumes, after_first.traj_resumes);
+        assert_eq!(after_second.spill_steps, after_first.spill_steps);
+        // A checkpoint-served budget still counts as a real hit.
+        let free = session.analyze(&l, Model::Unified).unwrap().regs;
+        session.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert_eq!(session.cache_stats().traj_hits, after_second.traj_hits + 1);
+    }
+
+    #[test]
+    fn trajectories_are_isolated_per_model() {
+        let session = Session::new(Machine::clustered(6, 1));
+        let l = kernels::recurrences::chain8();
+        let e_uni = session.evaluate(&l, Model::Unified, 4).unwrap();
+        let before = session.cache_stats();
+        // A different model neither hits nor resumes the unified
+        // trajectory: it builds its own.
+        session.evaluate(&l, Model::Partitioned, 4).unwrap();
+        let after = session.cache_stats();
+        assert_eq!(after.traj_hits, before.traj_hits);
+        assert_eq!(after.traj_resumes, before.traj_resumes);
+        // And the unified one is still intact: the deep budget repeats
+        // identically, and a checkpoint-served budget is a pure hit.
+        let repeat = session.evaluate(&l, Model::Unified, 4).unwrap();
+        assert_eq!(repeat, e_uni);
+        let free = session.analyze(&l, Model::Unified).unwrap().regs;
+        let hits = session.cache_stats().traj_hits;
+        session.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert_eq!(session.cache_stats().traj_hits, hits + 1);
     }
 
     #[test]

@@ -243,8 +243,7 @@ impl SweepShard {
         by_index.sort_by_key(|s| s.index);
         let mut scheduling = CacheStats::default();
         for s in &by_index {
-            scheduling.hits += s.scheduling.hits;
-            scheduling.misses += s.scheduling.misses;
+            scheduling.absorb(s.scheduling);
             for cell in &s.cells {
                 let t = usize::try_from(cell.task)
                     .ok()

@@ -44,6 +44,7 @@ use ncdrf_exec::Pool;
 use ncdrf_machine::Machine;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Builder for a corpus experiment over machines × models × budgets.
 ///
@@ -63,6 +64,7 @@ pub struct Sweep<'c> {
     budgets: Vec<u32>,
     opts: PipelineOptions,
     workers: Option<usize>,
+    pool: Option<Arc<Pool>>,
 }
 
 impl<'c> Sweep<'c> {
@@ -77,6 +79,7 @@ impl<'c> Sweep<'c> {
             budgets: Vec::new(),
             opts: PipelineOptions::default(),
             workers: None,
+            pool: None,
         }
     }
 
@@ -146,6 +149,30 @@ impl<'c> Sweep<'c> {
         self
     }
 
+    /// Runs this sweep on a shared, persistent [`Pool`] instead of a
+    /// pool created (and torn down) per `run`/`shard` call. A process
+    /// executing several sweeps — a budget ladder, one grid per figure,
+    /// a repeated bench — passes one `Arc<Pool>` to all of them and
+    /// reuses the same parked worker threads throughout. Takes
+    /// precedence over [`Sweep::workers`]; results are bit-identical
+    /// either way.
+    pub fn pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool this sweep's grids run on: the shared one when set,
+    /// otherwise a fresh per-call pool honouring [`Sweep::workers`].
+    fn executor(&self) -> Arc<Pool> {
+        match &self.pool {
+            Some(pool) => Arc::clone(pool),
+            None => Arc::new(match self.workers {
+                Some(w) => Pool::with_workers(w),
+                None => Pool::new(),
+            }),
+        }
+    }
+
     /// Rejects configurations that can only produce a silently-empty
     /// report: no machines, no models, or no workload (neither points
     /// nor budgets).
@@ -185,10 +212,7 @@ impl<'c> Sweep<'c> {
         if n == 0 {
             return (sessions, per_machine);
         }
-        let pool = match self.workers {
-            Some(w) => Pool::with_workers(w),
-            None => Pool::new(),
-        };
+        let pool = self.executor();
         let want_points = !self.points.is_empty();
         let cancelled = AtomicBool::new(false);
         let raw = pool.run(sessions.len() * n, |t| {
@@ -375,10 +399,7 @@ impl<'c> Sweep<'c> {
         let raw = if tasks.is_empty() {
             Vec::new()
         } else {
-            let pool = match self.workers {
-                Some(w) => Pool::with_workers(w),
-                None => Pool::new(),
-            };
+            let pool = self.executor();
             pool.run(tasks.len(), |k| {
                 let t = tasks[k];
                 let (mi, li) = (t / n, t % n);
@@ -410,9 +431,7 @@ impl<'c> Sweep<'c> {
             .collect();
         let mut scheduling = CacheStats::default();
         for s in &sessions {
-            let stats = s.cache_stats();
-            scheduling.hits += stats.hits;
-            scheduling.misses += stats.misses;
+            scheduling.absorb(s.cache_stats());
         }
         Ok(crate::SweepShard::assemble_parts(
             self.signature(),
@@ -460,9 +479,7 @@ impl<'c> Sweep<'c> {
             cells,
             self.corpus.is_empty(),
         );
-        let stats = session.cache_stats();
-        report.scheduling.hits += stats.hits;
-        report.scheduling.misses += stats.misses;
+        report.scheduling.absorb(session.cache_stats());
     }
 }
 
@@ -577,9 +594,26 @@ pub(crate) struct BudgetCell {
     pub(crate) rows: Vec<LoopEval>,
 }
 
+/// The order a cell evaluates its budgets in: **descending by value**
+/// (ties in request order). Since a trajectory extended for a small
+/// budget answers every larger budget from its checkpoints, descending
+/// order makes each `(loop, model)`'s spill descent strictly
+/// incremental: every budget after a pair's first either *hits* the
+/// cached trajectory or *resumes* it, and no spill step is ever
+/// recomputed. Report order is untouched — results are emitted in
+/// request order — and so is sharding (a cell's budgets always execute
+/// together on one worker, because the task grid is `(machine, loop)`).
+fn descending_budget_order(budgets: &[u32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..budgets.len()).collect();
+    order.sort_by(|&a, &b| budgets[b].cmp(&budgets[a]).then(a.cmp(&b)));
+    order
+}
+
 /// Evaluates one `(machine, loop)` pair: all model analyses (when the
 /// sweep samples distribution points) and all `(budget, model)`
-/// evaluations, sharing the session's schedule cache.
+/// evaluations, sharing the session's schedule and spill-trajectory
+/// caches. Budgets are *evaluated* in descending order (see
+/// [`descending_budget_order`]) and *reported* in request order.
 fn eval_cell(
     session: &Session,
     l: &Loop,
@@ -595,23 +629,26 @@ fn eval_cell(
     } else {
         Vec::new()
     };
-    let evals = budgets
-        .iter()
-        .map(|&budget| {
-            let ideal = session.evaluate(l, Model::Ideal, budget)?;
-            let rows = models
-                .iter()
-                .map(|&m| {
-                    if m == Model::Ideal {
-                        Ok(ideal.clone())
-                    } else {
-                        session.evaluate(l, m, budget)
-                    }
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(BudgetCell { ideal, rows })
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut evals: Vec<Option<BudgetCell>> = budgets.iter().map(|_| None).collect();
+    for bi in descending_budget_order(budgets) {
+        let budget = budgets[bi];
+        let ideal = session.evaluate(l, Model::Ideal, budget)?;
+        let rows = models
+            .iter()
+            .map(|&m| {
+                if m == Model::Ideal {
+                    Ok(ideal.clone())
+                } else {
+                    session.evaluate(l, m, budget)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        evals[bi] = Some(BudgetCell { ideal, rows });
+    }
+    let evals = evals
+        .into_iter()
+        .map(|cell| cell.expect("every budget index evaluated"))
+        .collect();
     Ok(LoopCell { analyses, evals })
 }
 
@@ -704,8 +741,7 @@ impl SweepReport {
         for r in reports {
             out.distributions.extend(r.distributions);
             out.outcomes.extend(r.outcomes);
-            out.scheduling.hits += r.scheduling.hits;
-            out.scheduling.misses += r.scheduling.misses;
+            out.scheduling.absorb(r.scheduling);
         }
         out
     }

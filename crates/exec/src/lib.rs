@@ -1,19 +1,20 @@
 //! # ncdrf-exec — the sweep execution subsystem
 //!
-//! A work-stealing worker [`Pool`] for running indexed task grids (such
+//! A persistent worker [`Pool`] for running indexed task grids (such
 //! as a sweep's flattened `(machine, loop)` pairs) with:
 //!
-//! * **one pool per run** — threads are spawned once for the whole grid,
-//!   not once per corpus call;
-//! * **work stealing** — each worker owns a deque seeded with a
-//!   contiguous chunk of the grid and steals from its siblings when it
-//!   runs dry, so skewed per-task costs (one slow loop, one big machine)
-//!   don't serialise the rest;
+//! * **one pool per process** — worker threads are spawned lazily on the
+//!   first parallel run and parked between runs, so a session executing
+//!   many sweeps (a budget ladder, one grid per figure, a repeated
+//!   bench) reuses the same threads instead of respawning per `run`;
+//! * **dynamic self-scheduling** — tasks are claimed one at a time from
+//!   a shared cursor, so skewed per-task costs (one slow loop, one big
+//!   machine) don't serialise the rest of the grid;
 //! * **lock-free result slots** — every task writes its result into its
 //!   own pre-allocated cell instead of a shared `Mutex<Vec<_>>`;
 //! * **panic isolation** — a panicking task is caught and reported as a
-//!   [`TaskPanic`] for its index; every other task still completes and
-//!   the process never aborts.
+//!   [`TaskPanic`] for its index; every other task still completes, the
+//!   process never aborts, and the pool keeps serving later runs.
 //!
 //! ```
 //! use ncdrf_exec::Pool;

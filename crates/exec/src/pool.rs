@@ -1,21 +1,85 @@
-//! The work-stealing worker pool.
+//! The persistent worker pool.
 
-use crate::panic::{run_task, TaskPanic};
+use crate::panic::run_task;
 use crate::slots::SlotVec;
-use crossbeam::deque::{Stealer, Worker};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-/// A work-stealing worker pool for indexed task grids.
+/// A reusable worker pool for indexed task grids.
 ///
-/// A `Pool` is a worker-count policy; threads live for exactly one
-/// [`Pool::run`] call (scoped, so tasks may borrow from the caller) and
-/// serve the whole grid from per-worker deques with stealing. Compare
-/// with a map that respawns threads per corpus call and serialises
-/// writes behind one results mutex — the pool spawns once per grid,
-/// writes results into independent per-task cells, and isolates panics
-/// per task instead of aborting the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Worker threads are spawned **once** — lazily, on the first [`run`]
+/// that needs them — and parked between runs, so a process that executes
+/// many grids (a session running one sweep per figure, a bench repeating
+/// a sweep, a ladder of budget grids) pays thread start-up once instead
+/// of once per `run`. Tasks are claimed from a shared cursor under the
+/// job lock (dynamic self-scheduling): a slow task never blocks the rest
+/// of the grid, which is the same load-balancing guarantee the previous
+/// per-run deque-stealing pool provided, without respawning threads.
+/// Results land in independent per-task cells, and a panicking task is
+/// isolated as a [`TaskPanic`](crate::TaskPanic) for its index.
+///
+/// Runs on one pool are serialised (`run` from two threads queues); a
+/// task must not call `run` on its own pool. Dropping the pool joins its
+/// workers.
+///
+/// [`run`]: Pool::run
+#[derive(Debug)]
 pub struct Pool {
     workers: usize,
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Serialises concurrent `run` calls: the job slot holds one grid.
+    submit: Mutex<()>,
+}
+
+/// State shared with the worker threads.
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a job (or shutdown).
+    work: Condvar,
+    /// The submitting thread waits here for grid completion.
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct State {
+    job: Option<Job>,
+    /// Next unclaimed task index of the current job.
+    next: usize,
+    /// Tasks of the current job that finished executing.
+    finished: usize,
+    shutdown: bool,
+}
+
+/// A type-erased borrowed grid closure. The pointer refers into the
+/// stack frame of the `run` call that published the job; it is only
+/// dereferenced for claimed indices `< total`, and `run` does not return
+/// (ending that frame) until every claimed task has finished.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    total: usize,
+}
+
+// SAFETY: the raw pointer crosses threads only for the duration of one
+// `run` call, which outlives every dereference (completion is awaited
+// before returning) — see `Job`.
+unsafe impl Send for Job {}
+
+/// Invokes the erased closure. SAFETY: `data` must point to a live `G`.
+unsafe fn call_erased<G: Fn(usize)>(data: *const (), index: usize) {
+    (*(data as *const G))(index)
+}
+
+/// Erases a borrowed grid closure into a [`Job`].
+fn job_for<G: Fn(usize)>(grid: &G, total: usize) -> Job {
+    Job {
+        data: grid as *const G as *const (),
+        call: call_erased::<G>,
+        total,
+    }
 }
 
 impl Default for Pool {
@@ -27,23 +91,47 @@ impl Default for Pool {
 impl Pool {
     /// A pool sized to the available hardware parallelism.
     pub fn new() -> Self {
-        Pool {
-            workers: std::thread::available_parallelism()
+        Pool::with_workers(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-        }
+        )
     }
 
     /// A pool with an explicit worker count (clamped to at least 1).
     pub fn with_workers(workers: usize) -> Self {
         Pool {
             workers: workers.max(1),
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    job: None,
+                    next: 0,
+                    finished: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+            submit: Mutex::new(()),
         }
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Spawns the worker threads if this is the first parallel run.
+    fn ensure_spawned(&self) {
+        let mut handles = self.handles.lock().expect("pool handles lock");
+        if !handles.is_empty() {
+            return;
+        }
+        for _ in 0..self.workers {
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
     }
 
     /// Runs tasks `0..tasks` on the pool and returns their results in
@@ -53,71 +141,91 @@ impl Pool {
     /// that panics yields `Err(TaskPanic)` in its slot; all other tasks
     /// still run to completion. With one worker (or one task) the grid is
     /// executed inline on the calling thread, still panic-isolated.
-    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<Result<R, TaskPanic>>
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<Result<R, crate::TaskPanic>>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         let slots = SlotVec::new(tasks);
-        let workers = self.workers.min(tasks);
-        if workers <= 1 {
+        if self.workers.min(tasks) <= 1 {
             for i in 0..tasks {
                 slots.set(i, run_task(&f, i));
             }
             return slots.into_results();
         }
+        self.ensure_spawned();
 
-        // Seed each worker's deque with a contiguous chunk of the grid so
-        // neighbouring tasks (same machine, adjacent loops) start on the
-        // same worker; stealing rebalances skewed chunks from the far end.
-        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
-        let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
-        let chunk = tasks.div_ceil(workers);
-        for (w, local) in locals.iter().enumerate() {
-            for i in (w * chunk)..((w + 1) * chunk).min(tasks) {
-                local.push(i);
-            }
+        // The whole grid as one infallible closure: `run_task` converts a
+        // task panic into a value, so `grid` itself never unwinds and the
+        // workers never see a panic.
+        let grid = |i: usize| slots.set(i, run_task(&f, i));
+        let _submission = self.submit.lock().expect("pool submit lock");
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            debug_assert!(st.job.is_none(), "submission lock serialises jobs");
+            st.job = Some(job_for(&grid, tasks));
+            st.next = 0;
+            st.finished = 0;
         }
-
-        let slots_ref = &slots;
-        let f_ref = &f;
-        let stealers_ref = &stealers;
-        crossbeam::thread::scope(|scope| {
-            for (wid, local) in locals.into_iter().enumerate() {
-                scope.spawn(move |_| {
-                    while let Some(i) = next_task(&local, stealers_ref, wid) {
-                        slots_ref.set(i, run_task(f_ref, i));
-                    }
-                });
-            }
-        })
-        .expect("pool workers catch task panics and never panic themselves");
+        self.shared.work.notify_all();
+        let mut st = self.shared.state.lock().expect("pool state lock");
+        while st.finished < tasks {
+            st = self.shared.done.wait(st).expect("pool state lock");
+        }
+        st.job = None;
+        drop(st);
+        // Every task has finished: no worker holds a reference into this
+        // frame any more, so `grid`/`slots`/`f` may be dropped/consumed.
         slots.into_results()
     }
 }
 
-/// Pops from the worker's own deque, falling back to stealing from the
-/// siblings in index order (first non-empty victim wins). Returns `None`
-/// when every deque is empty — the grid is fixed up front, so no new
-/// work can appear.
-fn next_task(local: &Worker<usize>, stealers: &[Stealer<usize>], wid: usize) -> Option<usize> {
-    if let Some(i) = local.pop() {
-        return Some(i);
-    }
-    loop {
-        let mut attempted = false;
-        for (vid, victim) in stealers.iter().enumerate() {
-            if vid == wid {
-                continue;
-            }
-            match victim.steal() {
-                crossbeam::deque::Steal::Success(i) => return Some(i),
-                crossbeam::deque::Steal::Retry => attempted = true,
-                crossbeam::deque::Steal::Empty => {}
-            }
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            st.shutdown = true;
         }
-        if !attempted {
-            return None;
+        self.shared.work.notify_all();
+        for h in self.handles.lock().expect("pool handles lock").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A worker: claim the next unclaimed index of the current job, execute
+/// it, report completion; park when no job (or no unclaimed index)
+/// exists.
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock().expect("pool state lock");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claimed = match st.job {
+            Some(job) if st.next < job.total => {
+                let i = st.next;
+                st.next += 1;
+                Some((job, i))
+            }
+            _ => None,
+        };
+        match claimed {
+            Some((job, i)) => {
+                drop(st);
+                // SAFETY: `i < total` was claimed exactly once under the
+                // lock, and the submitter keeps the closure alive until
+                // `finished == total` (which includes this task).
+                unsafe { (job.call)(job.data, i) };
+                st = shared.state.lock().expect("pool state lock");
+                st.finished += 1;
+                if st.finished == job.total {
+                    shared.done.notify_all();
+                }
+            }
+            None => {
+                st = shared.work.wait(st).expect("pool state lock");
+            }
         }
     }
 }
@@ -152,8 +260,31 @@ mod tests {
     }
 
     #[test]
+    fn one_pool_serves_many_runs() {
+        // The reuse contract: repeated grids (and grids of different
+        // types) on one pool, no respawn, results always exact.
+        let pool = Pool::with_workers(4);
+        for round in 0..5usize {
+            let out: Vec<usize> = pool
+                .run(32, |i| i + round)
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(out, (round..32 + round).collect::<Vec<_>>());
+        }
+        let strings: Vec<String> = pool
+            .run(3, |i| format!("task {i}"))
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(strings, vec!["task 0", "task 1", "task 2"]);
+        assert_eq!(pool.handles.lock().unwrap().len(), 4, "spawned once");
+    }
+
+    #[test]
     fn a_panicking_task_is_isolated() {
-        let results = Pool::with_workers(4).run(10, |i| {
+        let pool = Pool::with_workers(4);
+        let results = pool.run(10, |i| {
             if i == 5 {
                 panic!("task five exploded");
             }
@@ -168,6 +299,9 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), i);
             }
         }
+        // The pool survives the panic and serves the next run.
+        let ok: Vec<usize> = pool.run(4, |i| i).into_iter().map(Result::unwrap).collect();
+        assert_eq!(ok, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -184,11 +318,12 @@ mod tests {
     }
 
     #[test]
-    fn skewed_chunks_are_stolen() {
-        // All of the slow tasks land in worker 0's seed chunk; the run
-        // still finishes because siblings steal them. (On a single-core
-        // host this degenerates to timesharing — the assertion is about
-        // completion and correctness, not wall-clock.)
+    fn skewed_task_costs_do_not_serialise_the_grid() {
+        // Slow tasks sit at the front of the grid; the claim cursor
+        // hands them to different workers while the rest of the grid
+        // proceeds. (On a single-core host this degenerates to
+        // timesharing — the assertion is about completion and
+        // correctness, not wall-clock.)
         let slow = |i: usize| {
             if i < 8 {
                 std::thread::sleep(std::time::Duration::from_millis(1));
@@ -211,5 +346,24 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(one, vec![Ok(42)]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        // `Arc<Pool>` is the sharing unit `Sweep::pool` uses.
+        let pool = Arc::new(Pool::with_workers(2));
+        let a = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            a.run(16, |i| i * 2)
+                .into_iter()
+                .map(Result::unwrap)
+                .sum::<usize>()
+        });
+        let here: usize = pool
+            .run(16, |i| i * 2)
+            .into_iter()
+            .map(Result::unwrap)
+            .sum();
+        assert_eq!(t.join().unwrap(), here);
     }
 }

@@ -41,10 +41,7 @@ fn main() {
         );
     }
     cli.write("fig8.csv", &report.outcomes.render(ReportFormat::Csv));
-    println!(
-        "[schedule cache: {} runs, {} hits]\n",
-        report.scheduling.misses, report.scheduling.hits
-    );
+    println!("[schedule cache: {}]\n", report.scheduling);
     println!(
         "paper shape: with 64 registers Partitioned/Swapped ~ Ideal while \
          Unified loses at latency 6; with 32 registers Unified degrades \

@@ -34,10 +34,7 @@ fn main() {
         );
     }
     cli.write("fig9.csv", &report.outcomes.render(ReportFormat::Csv));
-    println!(
-        "[schedule cache: {} runs, {} hits]\n",
-        report.scheduling.misses, report.scheduling.hits
-    );
+    println!("[schedule cache: {}]\n", report.scheduling);
     println!(
         "paper shape: Partitioned/Swapped carry less traffic than Unified \
          (less spill code) except at L=6/R=32 where heavy spilling makes \

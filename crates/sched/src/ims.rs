@@ -106,7 +106,15 @@ pub fn modulo_schedule_with(
         .sum::<u32>()
         + l.ops().len() as u32
         + 1;
-    let max_ii = opts.max_ii.unwrap_or(seq_len).max(info.mii);
+    // An explicit `max_ii` is a *hard* ceiling: a loop whose MII already
+    // exceeds it fails with `NoSchedule` instead of silently scheduling
+    // above the cap (the cap used to be raised to the MII, which made it
+    // impossible to bound the II search — e.g. to reject spill rewrites
+    // whose added memory traffic outgrew a machine's ports).
+    let max_ii = match opts.max_ii {
+        Some(cap) => cap,
+        None => seq_len.max(info.mii),
+    };
     for ii in info.mii..=max_ii {
         if let Some(s) = schedule_at_ii_opts(l, machine, ii, opts)? {
             return Ok(s);
@@ -418,8 +426,12 @@ mod tests {
                 ..SchedulerOptions::default()
             },
         );
-        // MII is 4 (> max_ii), so the II loop never runs.
-        assert!(matches!(err, Err(ScheduleError::NoSchedule { .. })) || err.is_ok());
+        // MII is 4 (> max_ii), so the II loop never runs — the explicit
+        // ceiling is hard, and the failure is deterministic.
+        assert!(matches!(
+            err,
+            Err(ScheduleError::NoSchedule { tried_up_to: 3 })
+        ));
     }
 
     #[test]

@@ -57,9 +57,11 @@
 
 mod rewrite;
 mod spiller;
+mod trajectory;
 
 pub use rewrite::{spill_value, RewriteStats};
 pub use spiller::{
     requirement_unified, spill_until_fits, spill_until_fits_seeded, RequirementFn, SpillError,
     SpillOptions, SpillPolicy, SpillResult,
 };
+pub use trajectory::{ResumeStats, SpillCheckpoint, SpillTrajectory};

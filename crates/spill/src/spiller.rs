@@ -214,10 +214,7 @@ fn run_spill_loop(
     let mut spill_stores = 0usize;
     let mut spill_loads = 0usize;
     let mut rounds = 0usize;
-    let mut rng = Xorshift64(match opts.policy {
-        SpillPolicy::Random(seed) => seed | 1,
-        _ => 1,
-    });
+    let mut rng = Xorshift64::for_policy(opts.policy);
 
     loop {
         rounds += 1;
@@ -286,17 +283,17 @@ fn run_spill_loop(
     }
 }
 
-struct SpillTally {
-    spilled: Vec<String>,
-    spill_stores: usize,
-    spill_loads: usize,
-    rounds: usize,
+pub(crate) struct SpillTally {
+    pub(crate) spilled: Vec<String>,
+    pub(crate) spill_stores: usize,
+    pub(crate) spill_loads: usize,
+    pub(crate) rounds: usize,
 }
 
 /// Fallback when spilling alone cannot fit: re-schedule at increasing II
 /// until the requirement drops under the budget (it eventually does — at
 /// II equal to the sequential length at most a handful of values overlap).
-fn escalate_ii(
+pub(crate) fn escalate_ii(
     l: Loop,
     machine: &Machine,
     budget: u32,
@@ -357,7 +354,7 @@ fn escalate_ii(
 
 /// Selects the next value to spill among spillable candidates (value
 /// producers not created by the spiller and not spilled before).
-fn select_victim(
+pub(crate) fn select_victim(
     l: &Loop,
     machine: &Machine,
     sched: &Schedule,
@@ -408,10 +405,20 @@ fn spillable(l: &Loop, op: OpId) -> bool {
 
 /// Minimal deterministic PRNG for [`SpillPolicy::Random`] (no external
 /// dependency; the corpus's statistical RNG lives in `ncdrf-corpus`).
-struct Xorshift64(u64);
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Xorshift64(pub(crate) u64);
 
 impl Xorshift64 {
-    fn next(&mut self) -> u64 {
+    /// The stream a fresh spill run starts from: seeded for
+    /// [`SpillPolicy::Random`], inert (but valid) for every other policy.
+    pub(crate) fn for_policy(policy: SpillPolicy) -> Self {
+        Xorshift64(match policy {
+            SpillPolicy::Random(seed) => seed | 1,
+            _ => 1,
+        })
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x << 13;
         x ^= x >> 7;

@@ -1,0 +1,508 @@
+//! Resumable spill trajectories: the §5.4 descent as a checkpointed,
+//! budget-independent sequence.
+//!
+//! The spill loop's *path* — which value is spilled next, what the
+//! rewritten loop and its schedule look like, what the requirement drops
+//! to — depends only on the loop, the machine, the requirement function
+//! and the [`SpillOptions`]; the register budget only decides **where
+//! along that path the loop stops** (and whether the II-escalation
+//! fallback runs once the path is exhausted). A multi-budget experiment
+//! that re-runs [`crate::spill_until_fits`] per budget therefore redoes
+//! the same rewrites: the budget-32 run retraces every step of the
+//! budget-64 run before doing its own extra ones.
+//!
+//! A [`SpillTrajectory`] computes each step **once** and checkpoints it.
+//! Evaluating a budget scans the checkpoints for the first one that fits
+//! and only extends the trajectory when none does, so a descending
+//! budget ladder (64 → 48 → 32 → 16) costs exactly the steps of the
+//! deepest budget. [`SpillTrajectory::evaluate`] is bit-identical to
+//! [`crate::spill_until_fits_seeded`] at every budget — the repository's
+//! `trajectory_identity` differential suite and `proptest_spill`
+//! property tests pin this, including via the `vliw` execution oracle.
+//!
+//! ```
+//! use ncdrf_ddg::{LoopBuilder, Weight};
+//! use ncdrf_machine::Machine;
+//! use ncdrf_sched::modulo_schedule;
+//! use ncdrf_spill::{requirement_unified, SpillOptions, SpillTrajectory};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = LoopBuilder::new("chain");
+//! let x = b.array_in("x");
+//! let z = b.array_out("z");
+//! let l1 = b.load("L1", x, 0);
+//! let l2 = b.load("L2", x, 1);
+//! let m = b.mul("M", l1.now(), l2.now());
+//! let a = b.add("A", m.now(), l1.now());
+//! b.store("S", z, 0, a.now());
+//! let lp = b.finish(Weight::default())?;
+//!
+//! let machine = Machine::clustered(6, 1);
+//! let base = modulo_schedule(&lp, &machine)?;
+//! let mut traj = SpillTrajectory::from_base(
+//!     &lp, &machine, base, &mut requirement_unified, SpillOptions::default())?;
+//! // A descending ladder: later budgets resume where earlier ones stopped.
+//! let (r64, _) = traj.evaluate(&machine, 64, &mut requirement_unified)?;
+//! let (r8, s8) = traj.evaluate(&machine, 8, &mut requirement_unified)?;
+//! assert!(r64.fits && r8.fits);
+//! assert!(r8.spilled.len() >= r64.spilled.len());
+//! assert_eq!(s8.steps_computed, r8.spilled.len() - r64.spilled.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::rewrite::spill_value;
+use crate::spiller::{escalate_ii, select_victim, SpillTally, Xorshift64};
+use crate::{RequirementFn, SpillError, SpillOptions, SpillResult};
+use ncdrf_ddg::Loop;
+use ncdrf_machine::Machine;
+use ncdrf_sched::{modulo_schedule_with, Schedule};
+use std::collections::HashSet;
+
+/// One committed step of a spill trajectory: the loop after `k` spills,
+/// its schedule, and the register requirement the driver saw there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillCheckpoint {
+    /// The (rewritten) loop at this point of the descent.
+    pub l: Loop,
+    /// Its schedule, **after** the requirement function ran (the swapped
+    /// model's requirement applies the swap pass as a side effect, and
+    /// victim selection reads this post-requirement schedule — exactly
+    /// as each round of the fresh driver does).
+    pub sched: Schedule,
+    /// Register requirement at this checkpoint.
+    pub regs: u32,
+    /// The value spilled to reach this checkpoint (`None` for checkpoint
+    /// zero, which is the unspilled loop).
+    pub victim: Option<String>,
+    /// Cumulative spill stores added up to and including this step.
+    pub spill_stores: usize,
+    /// Cumulative reload loads added up to and including this step.
+    pub spill_loads: usize,
+}
+
+/// What a [`SpillTrajectory::evaluate`] call cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Spill steps (graph rewrite + reschedule + requirement) computed
+    /// by this call. Zero means no step was recomputed.
+    pub steps_computed: usize,
+    /// Whether the per-budget II-escalation fallback ran: the exhausted
+    /// descent could not fit this budget, so the call re-ran the
+    /// (budget-dependent, uncached) escalation scan. Such a call is
+    /// *not* a pure checkpoint hit even when `steps_computed` is zero.
+    pub escalated: bool,
+}
+
+/// A checkpointed, resumable run of the paper's §5.4 spill loop.
+///
+/// Construct once per `(loop, machine, requirement-model, options)` with
+/// [`SpillTrajectory::from_base`], then [`evaluate`](Self::evaluate) any
+/// number of budgets in any order; every step of the descent is computed
+/// at most once. Results are bit-identical to a fresh
+/// [`crate::spill_until_fits_seeded`] per budget.
+#[derive(Debug, Clone)]
+pub struct SpillTrajectory {
+    opts: SpillOptions,
+    /// Checkpoint `k` is the state after `k` spills; checkpoint 0 always
+    /// exists (the unspilled loop on the seeded base schedule).
+    checkpoints: Vec<SpillCheckpoint>,
+    /// Names excluded from victim selection so far (spilled values and
+    /// the reloads they introduced), exactly as the fresh driver tracks.
+    excluded: HashSet<String>,
+    /// PRNG state for [`crate::SpillPolicy::Random`], advanced once per
+    /// committed victim selection so a resumed run draws the same stream
+    /// a fresh run would.
+    rng: Xorshift64,
+    /// No further victim exists (or `max_spills` was reached): the
+    /// descent cannot be extended, only escalated per budget.
+    exhausted: bool,
+}
+
+impl SpillTrajectory {
+    /// Starts a trajectory from an already-computed base schedule of the
+    /// unmodified loop (see [`crate::spill_until_fits_seeded`] for the
+    /// seeding contract: `base` must be a schedule of `l` on `machine`
+    /// under `opts.scheduler`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpillError::Machine`] when the requirement function
+    /// fails on the base schedule.
+    pub fn from_base(
+        l: &Loop,
+        machine: &Machine,
+        base: Schedule,
+        requirement: &mut RequirementFn<'_>,
+        opts: SpillOptions,
+    ) -> Result<SpillTrajectory, SpillError> {
+        let mut sched = base;
+        let regs = requirement(l, machine, &mut sched)?;
+        Ok(SpillTrajectory {
+            opts,
+            checkpoints: vec![SpillCheckpoint {
+                l: l.clone(),
+                sched,
+                regs,
+                victim: None,
+                spill_stores: 0,
+                spill_loads: 0,
+            }],
+            excluded: HashSet::new(),
+            rng: Xorshift64::for_policy(opts.policy),
+            exhausted: false,
+        })
+    }
+
+    /// The committed checkpoints, from the unspilled loop onward.
+    pub fn checkpoints(&self) -> &[SpillCheckpoint] {
+        &self.checkpoints
+    }
+
+    /// Number of spill steps computed so far.
+    pub fn steps(&self) -> usize {
+        self.checkpoints.len() - 1
+    }
+
+    /// Whether the descent ran out of spillable values (or hit
+    /// `max_spills`) — deeper budgets can only be served by the
+    /// per-budget II-escalation fallback.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The smallest register requirement any checkpoint reached.
+    pub fn min_regs(&self) -> u32 {
+        self.checkpoints
+            .iter()
+            .map(|c| c.regs)
+            .min()
+            .expect("checkpoint 0 always exists")
+    }
+
+    /// The options this trajectory was built with.
+    pub fn options(&self) -> SpillOptions {
+        self.opts
+    }
+
+    /// The first checkpoint whose requirement fits `budget` — the state
+    /// a fresh spill run at that budget would stop at.
+    fn first_fit(&self, budget: u32) -> Option<usize> {
+        self.checkpoints.iter().position(|c| c.regs <= budget)
+    }
+
+    /// The spilled-value names up to checkpoint `k`, in spill order.
+    fn spilled_names(&self, k: usize) -> Vec<String> {
+        self.checkpoints[1..=k]
+            .iter()
+            .map(|c| c.victim.clone().expect("steps past 0 have victims"))
+            .collect()
+    }
+
+    /// Materialises the [`SpillResult`] a fresh run stopping at
+    /// checkpoint `k` would return. `rounds` is `k + 1`: the fresh
+    /// driver runs one schedule/allocate round per state it visits.
+    fn result_at(&self, k: usize, budget: u32) -> SpillResult {
+        let cp = &self.checkpoints[k];
+        SpillResult {
+            l: cp.l.clone(),
+            sched: cp.sched.clone(),
+            regs: cp.regs,
+            fits: cp.regs <= budget,
+            spilled: self.spilled_names(k),
+            spill_stores: cp.spill_stores,
+            spill_loads: cp.spill_loads,
+            rounds: k + 1,
+        }
+    }
+
+    /// Computes one more spill step, committing it only if the whole
+    /// step (victim selection, rewrite, reschedule, requirement)
+    /// succeeds. Returns `Ok(false)` when the descent is exhausted.
+    ///
+    /// A failing step leaves the trajectory exactly as it was — the
+    /// committed prefix stays valid for budgets it already serves, and a
+    /// retry deterministically repeats (and re-fails) the same step,
+    /// matching what a fresh run at the same budget would do.
+    fn advance(
+        &mut self,
+        machine: &Machine,
+        requirement: &mut RequirementFn<'_>,
+    ) -> Result<bool, SpillError> {
+        if self.exhausted {
+            return Ok(false);
+        }
+        if self.steps() >= self.opts.max_spills {
+            self.exhausted = true;
+            return Ok(false);
+        }
+        // Work on copies of the mutable cursor state; commit at the end.
+        let mut rng = self.rng;
+        let step = {
+            let last = self.checkpoints.last().expect("checkpoint 0 exists");
+            let victim = select_victim(
+                &last.l,
+                machine,
+                &last.sched,
+                &self.excluded,
+                self.opts.policy,
+                &mut rng,
+            )?;
+            let Some(victim) = victim else {
+                self.exhausted = true;
+                return Ok(false);
+            };
+            let victim_name = last.l.op(victim).name().to_owned();
+            let (next, reload_names, stats) =
+                spill_value(&last.l, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
+            let mut sched = modulo_schedule_with(&next, machine, self.opts.scheduler)?;
+            let regs = requirement(&next, machine, &mut sched)?;
+            (
+                SpillCheckpoint {
+                    l: next,
+                    sched,
+                    regs,
+                    victim: Some(victim_name.clone()),
+                    spill_stores: last.spill_stores + stats.stores_added,
+                    spill_loads: last.spill_loads + stats.loads_added,
+                },
+                victim_name,
+                reload_names,
+            )
+        };
+        let (checkpoint, victim_name, reload_names) = step;
+        self.rng = rng;
+        self.excluded.insert(victim_name);
+        self.excluded.extend(reload_names);
+        self.checkpoints.push(checkpoint);
+        Ok(true)
+    }
+
+    /// Evaluates `budget`: serves it from the first fitting checkpoint,
+    /// extending the trajectory only as far as this budget needs. When
+    /// the descent exhausts without fitting, the per-budget fallback of
+    /// the fresh driver runs (II escalation under
+    /// [`SpillOptions::escalate_ii`], an honest unfit result otherwise).
+    ///
+    /// The returned [`SpillResult`] is bit-identical to
+    /// [`crate::spill_until_fits_seeded`] with the same base schedule,
+    /// requirement function and options; [`ResumeStats`] reports how many
+    /// steps this call actually computed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors the fresh driver would produce at this budget.
+    /// A failed extension does not invalidate the committed prefix:
+    /// other budgets (and other models' trajectories) are unaffected.
+    pub fn evaluate(
+        &mut self,
+        machine: &Machine,
+        budget: u32,
+        requirement: &mut RequirementFn<'_>,
+    ) -> Result<(SpillResult, ResumeStats), SpillError> {
+        let mut stats = ResumeStats::default();
+        loop {
+            if let Some(k) = self.first_fit(budget) {
+                return Ok((self.result_at(k, budget), stats));
+            }
+            if !self.advance(machine, requirement)? {
+                break;
+            }
+            stats.steps_computed += 1;
+        }
+        // Exhausted and nothing fits: the fresh driver's fallback, run
+        // per budget from the terminal state (budget-dependent, so never
+        // checkpointed).
+        let terminal = self.checkpoints.len() - 1;
+        let last = &self.checkpoints[terminal];
+        if self.opts.escalate_ii {
+            stats.escalated = true;
+            let tally = SpillTally {
+                spilled: self.spilled_names(terminal),
+                spill_stores: last.spill_stores,
+                spill_loads: last.spill_loads,
+                rounds: terminal + 1,
+            };
+            let r = escalate_ii(
+                last.l.clone(),
+                machine,
+                budget,
+                requirement,
+                self.opts,
+                tally,
+            )?;
+            return Ok((r, stats));
+        }
+        Ok((self.result_at(terminal, budget), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{requirement_unified, spill_until_fits_seeded, SpillPolicy};
+    use ncdrf_ddg::{LoopBuilder, Weight};
+    use ncdrf_sched::modulo_schedule;
+
+    /// High-pressure loop (mirrors the spiller's own test kernel).
+    fn pressured() -> Loop {
+        let mut b = LoopBuilder::new("pressured");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let l1 = b.load("L1", x, 0);
+        let l2 = b.load("L2", x, 1);
+        let m1 = b.mul("M1", l1.now(), l2.now());
+        let m2 = b.mul("M2", m1.now(), l1.now());
+        let a1 = b.add("A1", m2.now(), l2.now());
+        let a2 = b.add("A2", a1.now(), l1.now());
+        b.store("S", z, 0, a2.now());
+        b.finish(Weight::new(50, 2)).unwrap()
+    }
+
+    fn traj(l: &Loop, machine: &Machine, opts: SpillOptions) -> SpillTrajectory {
+        let base = modulo_schedule(l, machine).unwrap();
+        SpillTrajectory::from_base(l, machine, base, &mut requirement_unified, opts).unwrap()
+    }
+
+    #[test]
+    fn ladder_matches_fresh_at_every_rung() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions::default();
+        let mut t = traj(&l, &machine, opts);
+        for budget in [64, 12, 8, 6, 4, 2] {
+            let (continued, _) = t
+                .evaluate(&machine, budget, &mut requirement_unified)
+                .unwrap();
+            let base = modulo_schedule(&l, &machine).unwrap();
+            let fresh =
+                spill_until_fits_seeded(&l, &machine, base, budget, &mut requirement_unified, opts)
+                    .unwrap();
+            assert_eq!(continued, fresh, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn ascending_and_descending_orders_agree() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions::default();
+        let budgets = [4, 6, 8, 12, 64];
+        let mut down = traj(&l, &machine, opts);
+        let mut up = traj(&l, &machine, opts);
+        for &b in budgets.iter().rev() {
+            let (rd, _) = down
+                .evaluate(&machine, b, &mut requirement_unified)
+                .unwrap();
+            let (ru, _) = up.evaluate(&machine, b, &mut requirement_unified).unwrap();
+            assert_eq!(rd, ru, "budget {b}");
+        }
+        for &b in &budgets {
+            let (rd, sd) = down
+                .evaluate(&machine, b, &mut requirement_unified)
+                .unwrap();
+            let (ru, su) = up.evaluate(&machine, b, &mut requirement_unified).unwrap();
+            assert_eq!(rd, ru);
+            assert_eq!(sd.steps_computed, 0, "everything already computed");
+            assert_eq!(su.steps_computed, 0);
+        }
+    }
+
+    #[test]
+    fn descending_ladder_computes_each_step_once() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let mut t = traj(&l, &machine, SpillOptions::default());
+        let mut total = 0;
+        for budget in [64, 12, 8, 6] {
+            let (r, s) = t
+                .evaluate(&machine, budget, &mut requirement_unified)
+                .unwrap();
+            total += s.steps_computed;
+            assert_eq!(r.spilled.len(), total, "steps accumulate, never repeat");
+        }
+        assert_eq!(t.steps(), total);
+    }
+
+    #[test]
+    fn random_policy_resumes_the_same_stream() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions {
+            policy: SpillPolicy::Random(0xfeed),
+            ..SpillOptions::default()
+        };
+        let mut t = traj(&l, &machine, opts);
+        for budget in [64, 10, 6, 4] {
+            let (continued, _) = t
+                .evaluate(&machine, budget, &mut requirement_unified)
+                .unwrap();
+            let base = modulo_schedule(&l, &machine).unwrap();
+            let fresh =
+                spill_until_fits_seeded(&l, &machine, base, budget, &mut requirement_unified, opts)
+                    .unwrap();
+            assert_eq!(continued, fresh, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn exhausted_descent_escalates_per_budget() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions::default();
+        let mut t = traj(&l, &machine, opts);
+        let (r, s) = t.evaluate(&machine, 1, &mut requirement_unified).unwrap();
+        assert!(t.is_exhausted() || r.fits);
+        let base = modulo_schedule(&l, &machine).unwrap();
+        let fresh =
+            spill_until_fits_seeded(&l, &machine, base, 1, &mut requirement_unified, opts).unwrap();
+        assert_eq!(r, fresh);
+        // A repeat of the below-floor budget re-runs the escalation scan
+        // and must say so — it is not a checkpoint hit.
+        if t.is_exhausted() {
+            assert!(s.escalated);
+            let (r2, s2) = t.evaluate(&machine, 1, &mut requirement_unified).unwrap();
+            assert_eq!(r2, r);
+            assert!(s2.escalated);
+            assert_eq!(s2.steps_computed, 0);
+        }
+        // A later, larger budget is still served from the checkpoints.
+        let (r64, s64) = t.evaluate(&machine, 64, &mut requirement_unified).unwrap();
+        assert!(r64.fits);
+        assert_eq!(s64.steps_computed, 0);
+        assert!(!s64.escalated);
+    }
+
+    #[test]
+    fn no_escalation_reports_unfit_like_fresh() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions {
+            escalate_ii: false,
+            ..SpillOptions::default()
+        };
+        let mut t = traj(&l, &machine, opts);
+        let (r, _) = t.evaluate(&machine, 1, &mut requirement_unified).unwrap();
+        let base = modulo_schedule(&l, &machine).unwrap();
+        let fresh =
+            spill_until_fits_seeded(&l, &machine, base, 1, &mut requirement_unified, opts).unwrap();
+        assert_eq!(r, fresh);
+        assert!(!r.fits);
+    }
+
+    #[test]
+    fn max_spills_caps_the_trajectory() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions {
+            max_spills: 2,
+            escalate_ii: false,
+            ..SpillOptions::default()
+        };
+        let mut t = traj(&l, &machine, opts);
+        let (r, _) = t.evaluate(&machine, 1, &mut requirement_unified).unwrap();
+        assert!(r.spilled.len() <= 2);
+        assert!(t.steps() <= 2);
+        assert!(t.is_exhausted());
+    }
+}

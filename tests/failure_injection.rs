@@ -160,6 +160,97 @@ fn executor_oracle_catches_undersized_file() {
     assert!(matches!(r, Err(EquivError::Mismatch { .. })));
 }
 
+/// A spill failure at one budget must not poison the cached trajectory:
+/// budgets the committed prefix already serves keep working (and keep
+/// matching the fresh pipeline), other models evaluate untouched, and
+/// the failure itself is deterministic.
+///
+/// The injected fault: cap the scheduler's II search (`max_ii`) at the
+/// II of an early spill checkpoint. Spilling adds memory traffic, so on
+/// a one-port-per-cluster machine a deeper rewrite needs a larger II —
+/// the capped reschedule then fails with `NoSchedule` exactly at that
+/// step, while every earlier step (and the base schedule) is untouched.
+#[test]
+fn spill_failure_at_one_budget_does_not_poison_the_trajectory_cache() {
+    use ncdrf::spill::{requirement_unified, SpillOptions, SpillTrajectory};
+    use ncdrf::{evaluate, Model, PipelineOptions, PipelineStage, Session};
+
+    let l = kernels::blas::axpby();
+    let machine = Machine::clustered(6, 1);
+
+    // Probe the unrestricted descent for a step `fail_at` whose II
+    // exceeds every II before it, with at least one requirement-lowering
+    // step in front — capping `max_ii` just below `fail_at`'s II then
+    // reproduces the healthy prefix exactly and fails exactly there.
+    let base = modulo_schedule(&l, &machine).unwrap();
+    let mut probe = SpillTrajectory::from_base(
+        &l,
+        &machine,
+        base,
+        &mut requirement_unified,
+        SpillOptions::default(),
+    )
+    .unwrap();
+    probe
+        .evaluate(&machine, 2, &mut requirement_unified)
+        .unwrap();
+    let cps = probe.checkpoints();
+    let iis: Vec<u32> = cps.iter().map(|c| c.sched.ii()).collect();
+    let (fail_at, cap) = (2..cps.len())
+        .find_map(|k| {
+            let cap = *iis[..k].iter().max().unwrap();
+            let healthy = cps[1..k].iter().any(|c| c.regs < cps[0].regs);
+            (iis[k] > cap && healthy).then_some((k, cap))
+        })
+        .expect("spilling a mem-bound loop must grow the II past a healthy prefix");
+    // A budget the healthy prefix serves, and one that needs the
+    // now-impossible step.
+    let good = cps[1..fail_at].iter().map(|c| c.regs).min().unwrap();
+    assert!(
+        good < cps[0].regs,
+        "the good budget must force real spilling"
+    );
+    let bad = cps[..fail_at].iter().map(|c| c.regs).min().unwrap() - 1;
+
+    let mut opts = PipelineOptions::default();
+    opts.spill.scheduler.max_ii = Some(cap);
+    let session = Session::new(machine.clone()).options(opts);
+
+    // Healthy prefix first; then the poisoned budget fails...
+    let before = session.evaluate(&l, Model::Unified, good).unwrap();
+    assert_eq!(
+        before,
+        evaluate(&l, &machine, Model::Unified, good, &opts).unwrap()
+    );
+    let err = session.evaluate(&l, Model::Unified, bad).unwrap_err();
+    assert_eq!(err.loop_name, l.name());
+    assert!(matches!(err.stage, PipelineStage::Spill(_)), "{err}");
+    // ...exactly like the uncached pipeline fails.
+    let fresh_err = evaluate(&l, &machine, Model::Unified, bad, &opts).unwrap_err();
+    assert_eq!(
+        err, fresh_err,
+        "the injected fault must be path-independent"
+    );
+
+    // The committed prefix still serves its budgets, bit-identically,
+    // and as a cache *hit* (nothing was recomputed, nothing discarded).
+    let hits_before = session.cache_stats().traj_hits;
+    let after = session.evaluate(&l, Model::Unified, good).unwrap();
+    assert_eq!(after, before);
+    assert_eq!(session.cache_stats().traj_hits, hits_before + 1);
+
+    // Other models are untouched by the unified failure...
+    let other = session
+        .evaluate(&l, Model::Partitioned, cps[0].regs)
+        .unwrap();
+    assert_eq!(
+        other,
+        evaluate(&l, &machine, Model::Partitioned, cps[0].regs, &opts).unwrap()
+    );
+    // ...and the failure stays deterministic on retry.
+    assert_eq!(session.evaluate(&l, Model::Unified, bad).unwrap_err(), err);
+}
+
 #[test]
 fn multi_verifier_catches_corruption() {
     use ncdrf::regalloc::{allocate_multi, classify_multi, verify_multi};

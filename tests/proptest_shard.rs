@@ -75,6 +75,9 @@ fn synth_report(seed: u64) -> SweepReport {
         scheduling: CacheStats {
             hits: mix(state) % 1_000_000,
             misses: mix(state) % 1_000_000,
+            traj_hits: mix(state) % 1_000_000,
+            traj_resumes: mix(state) % 1_000_000,
+            spill_steps: mix(state) % 1_000_000,
         },
     }
 }

@@ -81,7 +81,14 @@ fn repeated_swapped_analyses_pin_the_counters() {
 
     // First swapped analysis: one scheduling run, no reuse yet.
     session.analyze(&l, Model::Swapped).unwrap();
-    assert_eq!(session.cache_stats(), CacheStats { hits: 0, misses: 1 });
+    assert_eq!(
+        session.cache_stats(),
+        CacheStats {
+            hits: 0,
+            misses: 1,
+            ..CacheStats::default()
+        }
+    );
 
     // Every repeated swapped analysis is served from the post-swap cache
     // and must count as a hit (it saves scheduling AND the swap pass);
@@ -92,15 +99,69 @@ fn repeated_swapped_analyses_pin_the_counters() {
             session.cache_stats(),
             CacheStats {
                 hits: round,
-                misses: 1
+                misses: 1,
+                ..CacheStats::default()
             }
         );
     }
 
     // A swapped evaluation whose requirement fits the budget touches the
-    // swapped cache once more — still one scheduling run total.
+    // swapped cache once more — still one scheduling run total, and no
+    // spill trajectory is ever built for a fitting budget.
     session.evaluate(&l, Model::Swapped, 512).unwrap();
-    assert_eq!(session.cache_stats(), CacheStats { hits: 4, misses: 1 });
+    assert_eq!(
+        session.cache_stats(),
+        CacheStats {
+            hits: 4,
+            misses: 1,
+            ..CacheStats::default()
+        }
+    );
+}
+
+/// The trajectory counters, pinned exactly: a three-rung descending
+/// ladder on one spilling `(loop, model)` pair produces one creation
+/// (neither hit nor resume), then — depending on where the checkpoints
+/// land — hits and resumes that must sum to the ladder's remaining
+/// rungs, with `spill_steps` equal to the deepest rung's spill count.
+#[test]
+fn trajectory_counters_are_pinned_for_a_descending_ladder() {
+    use ncdrf::CacheStats;
+    let machine = Machine::clustered(6, 1);
+    let session = Session::new(machine.clone());
+    let l = kernels::blas::axpby();
+    let free = session.analyze(&l, Model::Unified).unwrap().regs;
+    assert_eq!(session.cache_stats().misses, 1);
+
+    // Budgets straddling the descent: free-1 forces spilling, 4 forces
+    // a deep descent, free-1 again is a pure checkpoint hit.
+    let top = session.evaluate(&l, Model::Unified, free - 1).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(
+        (stats.traj_hits, stats.traj_resumes),
+        (0, 0),
+        "creation is neither a hit nor a resume"
+    );
+    assert_eq!(stats.spill_steps, top.spilled as u64);
+
+    let deep = session.evaluate(&l, Model::Unified, 4).unwrap();
+    let repeat = session.evaluate(&l, Model::Unified, free - 1).unwrap();
+    assert_eq!(repeat, top);
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats,
+        CacheStats {
+            hits: stats.hits,
+            misses: 1,
+            traj_hits: 1,
+            traj_resumes: 1,
+            spill_steps: deep.spilled as u64,
+        },
+        "deep rung resumes, repeated rung hits, steps never recompute"
+    );
+    // The uncached pipeline would have paid every rung from scratch.
+    let from_scratch = (top.spilled + deep.spilled + top.spilled) as u64;
+    assert!(stats.spill_steps < from_scratch);
 }
 
 #[test]
