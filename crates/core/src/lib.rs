@@ -105,8 +105,8 @@ pub use report::{
     parse_partial_sweep, parse_sweep_report, parse_sweep_shard, BudgetMetric, BudgetTable,
     DistributionPanel, Render, ReportFormat, ReportParseError,
 };
-pub use session::{BaseSchedule, CacheStats, Session};
-pub use shard::{GridSignature, MachineSig, SweepShard};
+pub use session::{BaseSchedule, CacheStats, Session, TrajectoryExport};
+pub use shard::{CellTrajectory, GridSignature, MachineSig, ShardRole, SweepShard};
 pub use sweep::{shard_tasks, PartialSweep, Sweep, SweepReport};
 
 /// Re-export of the corpus crate.

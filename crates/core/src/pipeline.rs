@@ -97,6 +97,20 @@ pub enum ConfigError {
     /// The merge input does not cover the full grid: no shards at all, a
     /// shard index absent, or a grid cell reported by no shard.
     MissingShards,
+    /// An artifact declares a grid larger than any real corpus sweep
+    /// (`machines × loops` beyond the supported ceiling) — grids that
+    /// size only come from corrupt artifacts, and honouring them would
+    /// mean grid-proportional allocations an attacker controls.
+    OversizedGrid {
+        /// The declared number of grid cells.
+        cells: usize,
+    },
+    /// A cell index passed to `Sweep::reissue` lies outside the sweep's
+    /// grid — the caller's missing-cell list belongs to another grid.
+    UnknownCell {
+        /// The offending flattened task index.
+        task: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -137,6 +151,16 @@ impl fmt::Display for ConfigError {
                 f,
                 "the shard set does not cover the full grid; every shard \
                  index and every grid cell must be present exactly once"
+            ),
+            ConfigError::OversizedGrid { cells } => write!(
+                f,
+                "the artifact declares a {cells}-cell grid, beyond any real \
+                 corpus sweep; refusing a likely-corrupt artifact"
+            ),
+            ConfigError::UnknownCell { task } => write!(
+                f,
+                "cell {task} lies outside the sweep's grid; the reissue \
+                 list belongs to a different grid"
             ),
         }
     }

@@ -20,9 +20,10 @@ use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
 use crate::model::Model;
 use crate::pipeline::{LoopAnalysis, LoopEval, PipelineError, PipelineStage};
 use crate::session::CacheStats;
-use crate::shard::{GridSignature, MachineSig, ShardCell, SweepShard};
+use crate::shard::{CellTrajectory, GridSignature, MachineSig, ShardCell, ShardRole, SweepShard};
 use crate::sweep::{BudgetCell, LoopCell, PartialSweep, SweepReport};
 use ncdrf_regalloc::DualPressure;
+use ncdrf_spill::{SnapshotStep, TrajectorySnapshot};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -376,6 +377,8 @@ impl Render for SweepReport {
             }
             ReportFormat::Json => {
                 let mut o = JsonObject::new();
+                o.string("kind", REPORT_KIND);
+                o.integer("version", REPORT_VERSION);
                 o.raw(
                     "distributions",
                     &self.distributions.as_slice().render(ReportFormat::Json),
@@ -415,6 +418,8 @@ impl Render for PartialSweep {
             ReportFormat::Csv => self.report.render(ReportFormat::Csv),
             ReportFormat::Json => {
                 let mut o = JsonObject::new();
+                o.string("kind", PARTIAL_KIND);
+                o.integer("version", REPORT_VERSION);
                 o.raw("report", &self.report.render(ReportFormat::Json));
                 o.raw(
                     "errors",
@@ -438,8 +443,20 @@ impl Render for PartialSweep {
 /// Artifact type tag of a serialized [`SweepShard`].
 const SHARD_KIND: &str = "ncdrf-sweep-shard";
 /// Artifact format version; bump on layout changes so stale artifacts
-/// fail loudly instead of merging garbage.
-const SHARD_VERSION: u128 = 2;
+/// fail loudly instead of merging garbage. v3 added the artifact role
+/// (shard vs heal), per-cell cache counters, and optional per-cell
+/// spill-trajectory snapshots.
+const SHARD_VERSION: u128 = 3;
+
+/// Artifact type tag of a serialized [`SweepReport`] / [`PartialSweep`].
+/// Report JSON predates versioning, so the parsers accept tag-less
+/// legacy documents (see [`parse_sweep_report`]); tagged documents must
+/// carry a supported version.
+const REPORT_KIND: &str = "ncdrf-sweep-report";
+/// Tag of the [`PartialSweep`] envelope.
+const PARTIAL_KIND: &str = "ncdrf-partial-sweep";
+/// Version written by (and accepted from) this build's report emitters.
+const REPORT_VERSION: u128 = 1;
 
 impl Render for SweepShard {
     /// `Text` is a human summary, `Csv` one record per grid cell, `Json`
@@ -496,17 +513,17 @@ impl Render for SweepShard {
                 let mut o = JsonObject::new();
                 o.string("kind", SHARD_KIND);
                 o.integer("version", SHARD_VERSION);
+                o.string(
+                    "role",
+                    match self.role() {
+                        ShardRole::Shard => "shard",
+                        ShardRole::Heal => "heal",
+                    },
+                );
                 o.integer("index", self.index() as u128);
                 o.integer("count", self.count() as u128);
                 o.raw("signature", &json_signature(self.signature()));
-                let stats = self.scheduling();
-                let mut sched = JsonObject::new();
-                sched.integer("hits", stats.hits as u128);
-                sched.integer("misses", stats.misses as u128);
-                sched.integer("spill_steps", stats.spill_steps as u128);
-                sched.integer("trajectory_hits", stats.traj_hits as u128);
-                sched.integer("trajectory_resumes", stats.traj_resumes as u128);
-                o.raw("scheduling", &sched.finish());
+                o.raw("scheduling", &json_cache_stats(self.scheduling()));
                 o.raw("cells", &json_array(self.cells.iter().map(json_cell)));
                 o.finish()
             }
@@ -538,10 +555,52 @@ fn json_signature(sig: &GridSignature) -> String {
     o.finish()
 }
 
+fn json_cache_stats(stats: CacheStats) -> String {
+    let mut o = JsonObject::new();
+    o.integer("hits", stats.hits as u128);
+    o.integer("misses", stats.misses as u128);
+    o.integer("spill_steps", stats.spill_steps as u128);
+    o.integer("trajectory_hits", stats.traj_hits as u128);
+    o.integer("trajectory_resumes", stats.traj_resumes as u128);
+    o.finish()
+}
+
+fn json_trajectory(t: &CellTrajectory) -> String {
+    let mut o = JsonObject::new();
+    o.string("model", &t.model.to_string());
+    let snap = &t.snapshot;
+    o.integer("base_regs", snap.base_regs as u128);
+    o.integer("base_ii", snap.base_ii as u128);
+    o.integer("base_mem_ops", snap.base_mem_ops as u128);
+    o.boolean("exhausted", snap.exhausted);
+    o.integer("rng", snap.rng as u128);
+    o.raw(
+        "steps",
+        &json_array(snap.steps.iter().map(|s| {
+            let mut j = JsonObject::new();
+            j.string("victim", &s.victim);
+            j.integer("regs", s.regs as u128);
+            j.integer("ii", s.ii as u128);
+            j.integer("mem_ops", s.mem_ops as u128);
+            j.integer("spill_stores", s.spill_stores as u128);
+            j.integer("spill_loads", s.spill_loads as u128);
+            j.finish()
+        })),
+    );
+    o.finish()
+}
+
 fn json_cell(c: &ShardCell) -> String {
     let mut o = JsonObject::new();
     o.integer("task", c.task as u128);
     o.string("loop", &c.loop_name);
+    o.raw("scheduling", &json_cache_stats(c.scheduling));
+    if !c.trajectories.is_empty() {
+        o.raw(
+            "trajectories",
+            &json_array(c.trajectories.iter().map(json_trajectory)),
+        );
+    }
     match &c.outcome {
         Ok(cell) => {
             o.raw(
@@ -924,6 +983,31 @@ fn sweep_report_from(v: &Value) -> Parsed<SweepReport> {
     })
 }
 
+/// Validates a report-family document's `kind`/`version` tags. Report
+/// JSON predates versioning, so a document with **no** `kind` is
+/// accepted as legacy (its absent trajectory counters back-parse as
+/// zero, see [`u64_member_or_zero`]); a tagged document must carry the
+/// expected kind and a version this build reads, so a future layout
+/// change fails loudly instead of parsing garbage.
+fn check_report_envelope(v: &Value, expected_kind: &str) -> Parsed<()> {
+    if v.get("kind").is_none() {
+        return Ok(()); // legacy, pre-versioning document
+    }
+    let kind = str_member(v, "kind")?;
+    if kind != expected_kind {
+        return Err(ReportParseError::new(format!(
+            "not a {expected_kind} document (kind `{kind}`)"
+        )));
+    }
+    let version = u128_member(v, "version")?;
+    if version != REPORT_VERSION {
+        return Err(ReportParseError::new(format!(
+            "unsupported report format version {version} (this build reads {REPORT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 /// Parses the JSON emitted by `SweepReport`'s [`Render`] backend back
 /// into the typed report.
 ///
@@ -932,13 +1016,22 @@ fn sweep_report_from(v: &Value) -> Parsed<SweepReport> {
 /// `{}` float formatting is shortest-round-trip), so
 /// `parse_sweep_report(&r.render(ReportFormat::Json)) == r` for any
 /// report with finite floats — property-tested in
-/// `tests/proptest_shard.rs`.
+/// `tests/proptest_shard.rs`. The one non-finite value a report can
+/// hold — the impossible-quadrant `+∞` `relative_performance` — emits
+/// as `null` and parses back to `+∞`, so even those reports round-trip
+/// to equality.
+///
+/// Reports are versioned ([`REPORT_KIND`]); untagged legacy documents
+/// still parse, with the counters they predate zeroed.
 ///
 /// # Errors
 ///
-/// A [`ReportParseError`] naming the first malformed or missing key.
+/// A [`ReportParseError`] naming the first malformed or missing key, or
+/// an unsupported kind/version tag.
 pub fn parse_sweep_report(json: &str) -> Parsed<SweepReport> {
-    sweep_report_from(&serde_json::from_str(json)?)
+    let v = serde_json::from_str(json)?;
+    check_report_envelope(&v, REPORT_KIND)?;
+    sweep_report_from(&v)
 }
 
 /// Parses the JSON emitted by `PartialSweep`'s [`Render`] backend.
@@ -954,8 +1047,11 @@ pub fn parse_sweep_report(json: &str) -> Parsed<SweepReport> {
 /// A [`ReportParseError`] naming the first malformed or missing key.
 pub fn parse_partial_sweep(json: &str) -> Parsed<PartialSweep> {
     let v = serde_json::from_str(json)?;
+    check_report_envelope(&v, PARTIAL_KIND)?;
+    let report = member(&v, "report")?;
+    check_report_envelope(report, REPORT_KIND)?;
     Ok(PartialSweep {
-        report: sweep_report_from(member(&v, "report")?)?,
+        report: sweep_report_from(report)?,
         errors: array_member(&v, "errors")?
             .iter()
             .map(|e| {
@@ -1007,6 +1103,42 @@ fn eval_from(v: &Value) -> Parsed<LoopEval> {
     })
 }
 
+fn cache_stats_from(v: &Value) -> Parsed<CacheStats> {
+    Ok(CacheStats {
+        hits: u64_member(v, "hits")?,
+        misses: u64_member(v, "misses")?,
+        spill_steps: u64_member(v, "spill_steps")?,
+        traj_hits: u64_member(v, "trajectory_hits")?,
+        traj_resumes: u64_member(v, "trajectory_resumes")?,
+    })
+}
+
+fn trajectory_from(v: &Value) -> Parsed<CellTrajectory> {
+    Ok(CellTrajectory {
+        model: model_member(v, "model")?,
+        snapshot: TrajectorySnapshot {
+            base_regs: u32_member(v, "base_regs")?,
+            base_ii: u32_member(v, "base_ii")?,
+            base_mem_ops: usize_member(v, "base_mem_ops")?,
+            steps: array_member(v, "steps")?
+                .iter()
+                .map(|s| {
+                    Ok(SnapshotStep {
+                        victim: str_member(s, "victim")?,
+                        regs: u32_member(s, "regs")?,
+                        ii: u32_member(s, "ii")?,
+                        mem_ops: usize_member(s, "mem_ops")?,
+                        spill_stores: usize_member(s, "spill_stores")?,
+                        spill_loads: usize_member(s, "spill_loads")?,
+                    })
+                })
+                .collect::<Parsed<_>>()?,
+            exhausted: bool_member(v, "exhausted")?,
+            rng: u64_member(v, "rng")?,
+        },
+    })
+}
+
 fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
     let loop_name = str_member(v, "loop")?;
     let outcome = if let Some(err) = v.get("error") {
@@ -1037,10 +1169,20 @@ fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
                 .collect::<Parsed<_>>()?,
         })
     };
+    let trajectories = if v.get("trajectories").is_none() {
+        Vec::new()
+    } else {
+        array_member(v, "trajectories")?
+            .iter()
+            .map(trajectory_from)
+            .collect::<Parsed<_>>()?
+    };
     Ok(ShardCell {
         task: u64_member(v, "task")?,
         loop_name,
+        scheduling: cache_stats_from(member(v, "scheduling")?)?,
         outcome,
+        trajectories,
     })
 }
 
@@ -1069,6 +1211,15 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
             "unsupported shard format version {version} (this build reads {SHARD_VERSION})"
         )));
     }
+    let role = match str_member(&v, "role")?.as_str() {
+        "shard" => ShardRole::Shard,
+        "heal" => ShardRole::Heal,
+        other => {
+            return Err(ReportParseError::new(format!(
+                "`role` is neither `shard` nor `heal`: `{other}`"
+            )))
+        }
+    };
     let sig = member(&v, "signature")?;
     let machines = array_member(sig, "machines")?
         .iter()
@@ -1096,22 +1247,30 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
         budgets: u32_array_member(sig, "budgets")?,
         options: str_member(sig, "options")?,
     };
-    let scheduling = member(&v, "scheduling")?;
+    let scheduling = cache_stats_from(member(&v, "scheduling")?)?;
+    let cells: Vec<ShardCell> = array_member(&v, "cells")?
+        .iter()
+        .map(shard_cell_from)
+        .collect::<Parsed<_>>()?;
+    // The shard-level counters are the per-cell sums by construction;
+    // an artifact where they disagree was hand-edited or corrupted, and
+    // a merge would silently misreport work — refuse it instead.
+    let mut cell_sum = CacheStats::default();
+    for c in &cells {
+        cell_sum.absorb(c.scheduling);
+    }
+    if cell_sum != scheduling {
+        return Err(ReportParseError::new(
+            "shard-level cache counters disagree with the per-cell sums",
+        ));
+    }
     Ok(SweepShard::assemble_parts(
         signature,
         u32_member(&v, "index")?,
         u32_member(&v, "count")?,
-        CacheStats {
-            hits: u64_member(scheduling, "hits")?,
-            misses: u64_member(scheduling, "misses")?,
-            spill_steps: u64_member(scheduling, "spill_steps")?,
-            traj_hits: u64_member(scheduling, "trajectory_hits")?,
-            traj_resumes: u64_member(scheduling, "trajectory_resumes")?,
-        },
-        array_member(&v, "cells")?
-            .iter()
-            .map(shard_cell_from)
-            .collect::<Parsed<_>>()?,
+        role,
+        scheduling,
+        cells,
     ))
 }
 
@@ -1277,9 +1436,9 @@ mod tests {
 
     #[test]
     fn report_json_without_trajectory_counters_parses_with_zeroes() {
-        // Report JSON is unversioned and artifacts predating the
-        // trajectory counters exist; they must parse (counters zeroed),
-        // not die on a bare missing-member error.
+        // Untagged legacy reports predate both the version tag and the
+        // trajectory counters; they must parse (counters zeroed), not
+        // die on a bare missing-member error.
         let report = SweepReport {
             distributions: sample_curves(),
             outcomes: sample_outcomes(),
@@ -1290,13 +1449,86 @@ mod tests {
             },
         };
         let json = report.render(ReportFormat::Json);
-        let legacy = json.replace(
-            ",\"spill_steps\":0,\"trajectory_hits\":0,\"trajectory_resumes\":0",
-            "",
-        );
+        let legacy = json
+            .replace(
+                ",\"spill_steps\":0,\"trajectory_hits\":0,\"trajectory_resumes\":0",
+                "",
+            )
+            .replace("\"kind\":\"ncdrf-sweep-report\",\"version\":1,", "");
         assert_ne!(legacy, json, "the legacy rewrite must strip the keys");
         let parsed = crate::report::parse_sweep_report(&legacy).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_rejects_foreign_documents() {
+        let report = SweepReport {
+            distributions: sample_curves(),
+            outcomes: sample_outcomes(),
+            scheduling: crate::session::CacheStats::default(),
+        };
+        let json = report.render(ReportFormat::Json);
+        assert!(json.starts_with("{\"kind\":\"ncdrf-sweep-report\",\"version\":1,"));
+        assert_eq!(crate::report::parse_sweep_report(&json).unwrap(), report);
+
+        // A tagged document of the wrong kind or a future version must
+        // fail loudly, not parse garbage.
+        let wrong_kind = json.replace("ncdrf-sweep-report", "ncdrf-sweep-shard");
+        let err = crate::report::parse_sweep_report(&wrong_kind).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+        let future = json.replace("\"version\":1,", "\"version\":999,");
+        let err = crate::report::parse_sweep_report(&future).unwrap_err();
+        assert!(err.to_string().contains("version 999"), "{err}");
+
+        // The partial-sweep envelope is tagged the same way.
+        let partial = PartialSweep {
+            report,
+            errors: Vec::new(),
+        };
+        let pjson = partial.render(ReportFormat::Json);
+        assert!(pjson.starts_with("{\"kind\":\"ncdrf-partial-sweep\",\"version\":1,"));
+        assert_eq!(crate::report::parse_partial_sweep(&pjson).unwrap(), partial);
+        let err = crate::report::parse_partial_sweep(
+            &pjson.replace("ncdrf-partial-sweep", "something-else"),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_relative_performance_round_trips_as_null() {
+        // PR 1's cycles==0 guard makes `relative_performance` +∞ in the
+        // impossible quadrant; JSON has no literal for it, so the
+        // emitter writes `null` and the parsers read it back as +∞ —
+        // the report round-trips to equality, not to a parse error.
+        let mut outcomes = sample_outcomes();
+        outcomes[0].relative_performance = f64::INFINITY;
+        let report = SweepReport {
+            distributions: Vec::new(),
+            outcomes,
+            scheduling: crate::session::CacheStats::default(),
+        };
+        let json = report.render(ReportFormat::Json);
+        assert!(
+            json.contains("\"relative_performance\":null"),
+            "non-finite floats must emit as null: {json}"
+        );
+        let parsed = crate::report::parse_sweep_report(&json).unwrap();
+        assert!(parsed.outcomes[0].relative_performance.is_infinite());
+        assert_eq!(parsed, report);
+        // And the re-rendered bytes are identical (the round trip is a
+        // fixed point, so artifacts can be re-emitted safely).
+        assert_eq!(parsed.render(ReportFormat::Json), json);
+
+        // The partial-sweep envelope carries the same value unscathed.
+        let partial = PartialSweep {
+            report: report.clone(),
+            errors: vec![crate::PipelineError::panic("hydro", "boom")],
+        };
+        let parsed =
+            crate::report::parse_partial_sweep(&partial.render(ReportFormat::Json)).unwrap();
+        assert!(parsed.report.outcomes[0].relative_performance.is_infinite());
+        assert_eq!(parsed.report, report);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use ncdrf_ddg::Loop;
 use ncdrf_machine::{Machine, MachineError};
 use ncdrf_regalloc::{allocate_dual, allocate_unified, classify, lifetimes, max_live, Lifetime};
 use ncdrf_sched::{modulo_schedule_with, Schedule};
-use ncdrf_spill::SpillTrajectory;
+use ncdrf_spill::{SpillTrajectory, TrajectorySnapshot};
 use ncdrf_swap::swap_pass_with;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -48,6 +48,32 @@ use std::sync::Arc;
 /// Per-(loop, model) spill trajectories, individually locked so distinct
 /// pairs extend concurrently while same-pair evaluations serialise.
 type TrajectoryCache = Mutex<HashMap<(String, Model), Arc<Mutex<SpillTrajectory>>>>;
+
+/// Persisted trajectory snapshots imported from shard artifacts, served
+/// lazily (see [`Session::evaluate`]).
+type SnapshotCache = Mutex<HashMap<(String, Model), Arc<TrajectorySnapshot>>>;
+
+/// One `(loop, model)` spill trajectory exported from — or to be
+/// imported into — a session's trajectory cache. This is the unit a
+/// `SweepShard` (format v3) persists so re-runs at new budgets resume
+/// the recorded descents across processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryExport {
+    /// Name of the loop the trajectory belongs to.
+    pub loop_name: String,
+    /// The model whose requirement function drove the descent.
+    pub model: Model,
+    /// The serializable checkpoint record.
+    pub snapshot: TrajectorySnapshot,
+}
+
+/// Stable model order for deterministic export listings.
+fn model_rank(model: Model) -> usize {
+    Model::all()
+        .iter()
+        .position(|&m| m == model)
+        .expect("every model is in Model::all()")
+}
 
 /// A loop's cached model-independent artifacts: the base modulo schedule
 /// and its lifetimes.
@@ -133,6 +159,11 @@ pub struct Session {
     /// (see [`Session::evaluate`]). The two-level locking lets distinct
     /// `(loop, model)` pairs extend their trajectories concurrently.
     trajectories: TrajectoryCache,
+    /// Imported (persisted) trajectory snapshots, keyed like the live
+    /// cache. Served directly while a recorded checkpoint answers the
+    /// budget; *materialised* into `trajectories` (verified replay) the
+    /// first time a budget needs the descent extended.
+    imported: SnapshotCache,
     hits: AtomicU64,
     misses: AtomicU64,
     traj_hits: AtomicU64,
@@ -150,6 +181,7 @@ impl Session {
             swapped: Mutex::new(HashMap::new()),
             reqs: Mutex::new(HashMap::new()),
             trajectories: Mutex::new(HashMap::new()),
+            imported: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             traj_hits: AtomicU64::new(0),
@@ -187,12 +219,68 @@ impl Session {
     }
 
     /// Drops every cached schedule **and** every cached spill trajectory
-    /// (counters are kept).
+    /// (live and imported; counters are kept).
     pub fn clear_cache(&self) {
         self.cache.lock().clear();
         self.swapped.lock().clear();
         self.reqs.lock().clear();
         self.trajectories.lock().clear();
+        self.imported.lock().clear();
+    }
+
+    /// Serializes the session's spill-trajectory cache: every live
+    /// trajectory's checkpoint record plus every imported snapshot not
+    /// yet shadowed by a live descent, sorted by `(loop, model)` so
+    /// artifacts carrying the export are byte-stable.
+    ///
+    /// Importing the result into a fresh session (of the same machine
+    /// and options) makes that session resume the recorded descents —
+    /// across budgets and across processes — instead of respilling from
+    /// zero; see [`Session::import_trajectories`].
+    pub fn export_trajectories(&self) -> Vec<TrajectoryExport> {
+        let mut by_key: HashMap<(String, Model), TrajectorySnapshot> = self
+            .imported
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), (**v).clone()))
+            .collect();
+        for (k, v) in self.trajectories.lock().iter() {
+            by_key.insert(k.clone(), v.lock().snapshot());
+        }
+        let mut out: Vec<TrajectoryExport> = by_key
+            .into_iter()
+            .map(|((loop_name, model), snapshot)| TrajectoryExport {
+                loop_name,
+                model,
+                snapshot,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.loop_name.as_str(), model_rank(a.model))
+                .cmp(&(b.loop_name.as_str(), model_rank(b.model)))
+        });
+        out
+    }
+
+    /// Seeds the session's trajectory cache with persisted snapshots
+    /// (typically parsed out of a shard artifact). Snapshots are served
+    /// lazily: a budget a recorded checkpoint fits is answered from the
+    /// record alone, and the first budget that needs the descent
+    /// extended triggers a verified replay (see
+    /// [`SpillTrajectory::replay`]) before resuming — so a stale or
+    /// foreign snapshot fails loudly at that point instead of silently
+    /// changing results. Live trajectories always take precedence over
+    /// imports for the same `(loop, model)`.
+    ///
+    /// Snapshots are budget-independent; the caller is responsible for
+    /// importing only snapshots recorded on this session's machine and
+    /// pipeline options (`Sweep::reissue` checks this at the artifact
+    /// level).
+    pub fn import_trajectories<I: IntoIterator<Item = TrajectoryExport>>(&self, imports: I) {
+        let mut map = self.imported.lock();
+        for t in imports {
+            map.insert((t.loop_name, t.model), Arc::new(t.snapshot));
+        }
     }
 
     fn fail(l: &Loop, stage: impl Into<PipelineStage>) -> PipelineError {
@@ -372,6 +460,81 @@ impl Session {
         Ok((map.entry(key).or_insert(entry).clone(), created))
     }
 
+    /// Materialises an imported snapshot into a live trajectory: a
+    /// verified replay of the recorded descent (see
+    /// [`SpillTrajectory::replay`]), committed to the live cache and
+    /// removed from the import map. Two racing materialisations replay
+    /// identically; first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay failures — including snapshot-mismatch errors
+    /// for stale or foreign records — naming the loop.
+    fn materialize(
+        &self,
+        l: &Loop,
+        model: Model,
+        snap: &TrajectorySnapshot,
+    ) -> Result<Arc<Mutex<SpillTrajectory>>, PipelineError> {
+        let key = (l.name().to_owned(), model);
+        let seed = self.base(l)?;
+        let opts = self.opts;
+        let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
+            requirement(l, m, s, model, &opts)
+        };
+        let traj = SpillTrajectory::replay(
+            l,
+            &self.machine,
+            seed.sched.clone(),
+            snap,
+            &mut req,
+            self.opts.spill,
+        )
+        .map_err(|e| Self::fail(l, e))?;
+        let entry = Arc::new(Mutex::new(traj));
+        let entry = self
+            .trajectories
+            .lock()
+            .entry(key.clone())
+            .or_insert(entry)
+            .clone();
+        self.imported.lock().remove(&key);
+        Ok(entry)
+    }
+
+    /// The evaluation a recorded snapshot checkpoint reproduces:
+    /// checkpoint `k` (0 = base) carries exactly the scalars
+    /// [`crate::pipeline::eval_from_spill`] reads off a real
+    /// [`ncdrf_spill::SpillResult`], so the result is bit-identical to
+    /// evaluating the materialised trajectory — without rebuilding it.
+    fn eval_from_snapshot(
+        &self,
+        l: &Loop,
+        model: Model,
+        budget: u32,
+        snap: &TrajectorySnapshot,
+        k: usize,
+    ) -> LoopEval {
+        let (regs, ii, mem_ops) = if k == 0 {
+            (snap.base_regs, snap.base_ii, snap.base_mem_ops)
+        } else {
+            let s = &snap.steps[k - 1];
+            (s.regs, s.ii, s.mem_ops)
+        };
+        LoopEval {
+            name: l.name().to_owned(),
+            model,
+            budget,
+            ii,
+            regs,
+            fits: regs <= budget,
+            spilled: k,
+            mem_ops,
+            ports: self.machine.memory_ports() as u32,
+            iterations: l.weight().iterations(),
+        }
+    }
+
     /// Evaluates `l` under `model` with a `budget`-register file.
     ///
     /// Loops whose cached-schedule requirement already fits the budget —
@@ -423,8 +586,75 @@ impl Session {
         // its swap from the base, exactly as the uncached pipeline
         // does). The entry lock serialises same-pair evaluations; the
         // grid executor never co-schedules those, so sweeps don't
-        // contend here.
-        let (traj, created) = self.trajectory(l, model)?;
+        // contend here. An *imported* snapshot (persisted by a prior
+        // run's shard artifact) serves budgets its recorded checkpoints
+        // fit without recomputing anything, and is replayed into a live
+        // trajectory the first time a budget needs the descent resumed.
+        let key = (l.name().to_owned(), model);
+        let live = self.trajectories.lock().get(&key).cloned();
+        // Bound lookups (guards dropped immediately): `materialize`
+        // re-locks the import map to retire the snapshot it consumed.
+        let snap = match &live {
+            Some(_) => None,
+            None => self.imported.lock().get(&key).cloned(),
+        };
+        let (traj, created) = match live {
+            Some(t) => (t, false),
+            None => match snap {
+                Some(snap) => {
+                    // Integrity anchor before trusting any recorded
+                    // scalar: the snapshot's base checkpoint must
+                    // reproduce this session's own (just-computed) base
+                    // requirement, II and memory-op count. This rejects
+                    // foreign snapshots — wrong machine, options or
+                    // spill heuristic — loudly and for free; tampering
+                    // *within* a matching base is only caught when the
+                    // record is replayed (or by the merge-level
+                    // `--verify-against-sequential` gate).
+                    if snap.base_regs != regs
+                        || snap.base_ii != req_base.sched.ii()
+                        || snap.base_mem_ops != l.memory_ops()
+                    {
+                        return Err(Self::fail(
+                            l,
+                            ncdrf_spill::SpillError::Snapshot(format!(
+                                "imported base checkpoint records regs {} / II {} / {} mem \
+                                 ops, this session computes {} / {} / {}",
+                                snap.base_regs,
+                                snap.base_ii,
+                                snap.base_mem_ops,
+                                regs,
+                                req_base.sched.ii(),
+                                l.memory_ops()
+                            )),
+                        ));
+                    }
+                    if let Some(k) = snap.first_fit(budget) {
+                        self.traj_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(self.eval_from_snapshot(l, model, budget, &snap, k));
+                    }
+                    if snap.exhausted && !self.opts.spill.escalate_ii {
+                        // The recorded descent ended without fitting and
+                        // there is no fallback: the terminal checkpoint
+                        // is the honest (unfit) answer, exactly as the
+                        // live path serves it.
+                        self.traj_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(self.eval_from_snapshot(
+                            l,
+                            model,
+                            budget,
+                            &snap,
+                            snap.steps_recorded(),
+                        ));
+                    }
+                    // This budget needs the descent extended (or the
+                    // per-budget escalation fallback): replay the record
+                    // into a live trajectory and resume below.
+                    (self.materialize(l, model, &snap)?, false)
+                }
+                None => self.trajectory(l, model)?,
+            },
+        };
         let opts = self.opts;
         let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
             requirement(l, m, s, model, &opts)
@@ -646,6 +876,113 @@ mod tests {
         let hits = session.cache_stats().traj_hits;
         session.evaluate(&l, Model::Unified, free - 1).unwrap();
         assert_eq!(session.cache_stats().traj_hits, hits + 1);
+    }
+
+    #[test]
+    fn imported_snapshots_serve_and_resume_across_sessions() {
+        let machine = Machine::clustered(6, 1);
+        let opts = PipelineOptions::default();
+        let first = Session::new(machine.clone());
+        let l = kernels::recurrences::chain8();
+        let free = first.analyze(&l, Model::Unified).unwrap().regs;
+        assert!(free > 5, "chain8 should be pressured");
+        let top = first.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert!(top.spilled > 0);
+        let exported = first.export_trajectories();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].loop_name, "chain8");
+        assert_eq!(exported[0].model, Model::Unified);
+
+        // A fresh session importing the record serves the recorded
+        // budget from the checkpoint scalars alone: bit-identical, no
+        // spill step recomputed, counted as a trajectory hit.
+        let second = Session::new(machine.clone());
+        second.import_trajectories(exported.clone());
+        let served = second.evaluate(&l, Model::Unified, free - 1).unwrap();
+        assert_eq!(served, top);
+        let stats = second.cache_stats();
+        assert_eq!(stats.spill_steps, 0);
+        assert_eq!(stats.traj_hits, 1);
+        assert_eq!(stats.traj_resumes, 0);
+
+        // A deeper budget resumes the persisted descent: the replayed
+        // prefix is not recounted, so the whole ladder costs fewer
+        // steps than a from-scratch evaluation.
+        let deep = second.evaluate(&l, Model::Unified, 4).unwrap();
+        let fresh = crate::pipeline::evaluate(&l, &machine, Model::Unified, 4, &opts).unwrap();
+        assert_eq!(deep, fresh);
+        let stats = second.cache_stats();
+        assert_eq!(stats.traj_resumes, 1);
+        assert!(stats.spill_steps > 0);
+        assert!(
+            (stats.spill_steps as usize) < fresh.spilled,
+            "resume must cost only the extension ({} vs {} from scratch)",
+            stats.spill_steps,
+            fresh.spilled
+        );
+
+        // The extended descent exports again; a third session serves
+        // any budget the record reaches as a pure hit (zero recomputed
+        // steps)...
+        let third = Session::new(machine.clone());
+        let exported = second.export_trajectories();
+        let floor = exported[0].snapshot.min_regs();
+        third.import_trajectories(exported);
+        let at_floor = third.evaluate(&l, Model::Unified, floor).unwrap();
+        assert_eq!(
+            at_floor,
+            crate::pipeline::evaluate(&l, &machine, Model::Unified, floor, &opts).unwrap()
+        );
+        assert_eq!(third.cache_stats().spill_steps, 0);
+        assert_eq!(third.cache_stats().traj_hits, 1);
+        // ...and a below-floor budget still answers bit-identically:
+        // the imported record is materialised and the per-budget
+        // escalation fallback recomputes, which — exactly like the live
+        // path — is neither a hit nor a resume.
+        assert_eq!(third.evaluate(&l, Model::Unified, 4).unwrap(), fresh);
+        assert_eq!(third.cache_stats().spill_steps, 0);
+        assert_eq!(third.cache_stats().traj_hits, 1);
+        assert_eq!(third.cache_stats().traj_resumes, 0);
+    }
+
+    #[test]
+    fn corrupt_imported_snapshots_fail_loudly_on_materialisation() {
+        let machine = Machine::clustered(6, 1);
+        let first = Session::new(machine.clone());
+        let l = kernels::recurrences::chain8();
+        let free = first.analyze(&l, Model::Unified).unwrap().regs;
+        first.evaluate(&l, Model::Unified, free - 1).unwrap();
+        let mut exported = first.export_trajectories();
+        for step in &mut exported[0].snapshot.steps {
+            step.regs = step.regs.saturating_add(13);
+        }
+
+        let second = Session::new(machine.clone());
+        second.import_trajectories(exported.clone());
+        // Budget 4 fits no (doctored) checkpoint, so the session must
+        // replay — and the replay must catch the corruption.
+        let err = second.evaluate(&l, Model::Unified, 4).unwrap_err();
+        assert_eq!(err.loop_name, "chain8");
+        assert!(
+            err.to_string().contains("does not replay"),
+            "snapshot corruption must be named: {err}"
+        );
+
+        // A foreign *base* checkpoint is rejected before any recorded
+        // scalar is served, even for budgets a (doctored) step would
+        // have answered without a replay.
+        let mut foreign = exported;
+        for t in &mut foreign {
+            t.snapshot.base_regs += 1;
+        }
+        let third = Session::new(machine);
+        third.import_trajectories(foreign);
+        let err = third.evaluate(&l, Model::Unified, free - 1).unwrap_err();
+        assert_eq!(err.loop_name, "chain8");
+        assert!(
+            err.to_string().contains("base checkpoint"),
+            "foreign base must be rejected at serve time: {err}"
+        );
     }
 
     #[test]

@@ -38,6 +38,9 @@ use crate::model::Model;
 use crate::pipeline::{ConfigError, PipelineError};
 use crate::session::CacheStats;
 use crate::sweep::{assemble_cells, LoopCell, PartialSweep, SweepReport};
+use ncdrf_spill::TrajectorySnapshot;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// The aspects of a machine the report assembly depends on. Shards carry
 /// these instead of full machine descriptions: merging only needs to
@@ -82,26 +85,79 @@ impl GridSignature {
     pub fn total_tasks(&self) -> usize {
         self.machines.len() * self.loops.len()
     }
+
+    /// Whether trajectories persisted under `seed` resume on this grid.
+    ///
+    /// Spill descents depend on the machine, loop, model and pipeline
+    /// options — **not** on the sample points or register budgets (the
+    /// budget only picks the stop point along the descent). Two grids
+    /// are therefore resume-compatible when their corpora, machines and
+    /// options agree, even if their points/budgets (and model sets)
+    /// differ — that is exactly what lets a re-run at *new* budgets
+    /// resume trajectories a previous artifact persisted.
+    pub fn resumes(&self, seed: &GridSignature) -> bool {
+        self.corpus == seed.corpus
+            && self.loops == seed.loops
+            && self.machines == seed.machines
+            && self.options == seed.options
+    }
+}
+
+/// Whether an artifact is a primary shard of a partitioned run or a
+/// **heal** artifact produced by [`crate::Sweep::reissue`], covering
+/// exactly the cells a prior merge reported failed or missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRole {
+    /// A primary shard: one of `count` round-robin partitions of the
+    /// grid.
+    Shard,
+    /// A heal (retry) artifact: its cells *complement* a prior shard
+    /// set — [`SweepShard::merge`] lets them fill gaps and supersede
+    /// failed cells without tripping the overlap check.
+    Heal,
+}
+
+/// Persisted spill-trajectory state of one `(cell, model)` pair: the
+/// checkpoint record [`crate::Session::export_trajectories`] produced
+/// for the cell's loop under `model`. Carried (optionally) by format-v3
+/// shard artifacts so re-runs resume the descent across processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrajectory {
+    /// The model whose requirement drove the descent (the loop is the
+    /// cell's).
+    pub model: Model,
+    /// The serializable checkpoint record.
+    pub snapshot: TrajectorySnapshot,
 }
 
 /// One evaluated cell of a shard: the flattened task index, the loop's
-/// name (for error reporting without the corpus at hand), and either the
-/// raw results or the per-pair failure.
+/// name (for error reporting without the corpus at hand), the cell's
+/// own cache counters, either the raw results or the per-pair failure,
+/// and (optionally) the cell's persisted spill trajectories.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ShardCell {
     /// Flattened machine-major task index (`machine * loops + loop`).
     pub(crate) task: u64,
     /// Name of the cell's loop.
     pub(crate) loop_name: String,
+    /// Cache counters of the work this cell performed. All cache reuse
+    /// is per-cell, so summing these over any resolution of the grid
+    /// reproduces the unsharded run's counters — and dropping a failed
+    /// cell in favour of its heal replacement drops exactly its work.
+    pub(crate) scheduling: CacheStats,
     /// The cell's results, or why it has none.
     pub(crate) outcome: Result<LoopCell, PipelineError>,
+    /// Persisted spill-trajectory state, when the producing sweep
+    /// enabled [`crate::Sweep::persist_trajectories`] (empty otherwise).
+    pub(crate) trajectories: Vec<CellTrajectory>,
 }
 
 /// One shard of a sweep's task grid: raw per-cell results plus the
 /// [`GridSignature`] needed to validate and reassemble a merge.
 ///
-/// Produced by [`crate::Sweep::shard`] in-process, or parsed back from
-/// the JSON emitted by [`crate::Render`] (see
+/// Produced by [`crate::Sweep::shard`] (role [`ShardRole::Shard`]) or
+/// [`crate::Sweep::reissue`] (role [`ShardRole::Heal`]) in-process, or
+/// parsed back from the JSON emitted by [`crate::Render`] (see
 /// [`crate::parse_sweep_shard`]) when shards cross process or
 /// host boundaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,9 +165,18 @@ pub struct SweepShard {
     pub(crate) signature: GridSignature,
     pub(crate) index: u32,
     pub(crate) count: u32,
+    pub(crate) role: ShardRole,
     pub(crate) scheduling: CacheStats,
     pub(crate) cells: Vec<ShardCell>,
 }
+
+/// Ceiling on `machines × loops` accepted from artifacts. Each factor is
+/// an honestly-parsed array length, but their *product* need not be
+/// bounded by the input size, so grid-proportional work (slot vectors,
+/// missing-cell scans) must refuse absurd declarations by name instead
+/// of attempting a gigantic allocation. No real corpus grid comes
+/// within two orders of magnitude of this.
+const MAX_GRID_CELLS: usize = 1 << 24;
 
 impl SweepShard {
     /// Internal constructor shared by [`crate::Sweep::shard`] and the
@@ -120,6 +185,7 @@ impl SweepShard {
         signature: GridSignature,
         index: u32,
         count: u32,
+        role: ShardRole,
         scheduling: CacheStats,
         cells: Vec<ShardCell>,
     ) -> SweepShard {
@@ -127,6 +193,7 @@ impl SweepShard {
             signature,
             index,
             count,
+            role,
             scheduling,
             cells,
         }
@@ -137,19 +204,27 @@ impl SweepShard {
         &self.signature
     }
 
-    /// This shard's index (`0..count`).
+    /// This shard's index (`0..count`; `0` for heal artifacts, whose
+    /// cells are not an index-addressed partition).
     pub fn index(&self) -> u32 {
         self.index
     }
 
-    /// Total number of shards the grid was cut into.
+    /// Total number of shards the grid was cut into (`0` for heal
+    /// artifacts).
     pub fn count(&self) -> u32 {
         self.count
     }
 
-    /// Schedule-cache counters of this shard's sessions. Cells partition
-    /// across shards and all cache reuse is per-cell, so these sum to
-    /// the unsharded run's counters.
+    /// Whether this is a primary shard or a heal (reissue) artifact.
+    pub fn role(&self) -> ShardRole {
+        self.role
+    }
+
+    /// Schedule-cache counters of this shard's cells (their sum; each
+    /// cell also carries its own). Cells partition across shards and all
+    /// cache reuse is per-cell, so these sum to the unsharded run's
+    /// counters.
     pub fn scheduling(&self) -> CacheStats {
         self.scheduling
     }
@@ -164,110 +239,82 @@ impl SweepShard {
         self.cells.iter().filter(|c| c.outcome.is_err()).count()
     }
 
-    /// Reassembles a full sweep from its shards, in any order.
+    /// Number of `(cell, model)` spill trajectories this shard persists.
+    pub fn trajectory_count(&self) -> usize {
+        self.cells.iter().map(|c| c.trajectories.len()).sum()
+    }
+
+    /// The flattened task indices of this shard's cells, in artifact
+    /// order.
+    pub fn tasks(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.task).collect()
+    }
+
+    /// Reassembles a full sweep from its shards — heal artifacts
+    /// included — in any order.
     ///
     /// Validates, then rebuilds: cells return to grid (machine-major,
     /// corpus) order, each machine's survivors are aggregated by the
     /// same code as [`crate::Sweep::run_sequential`], failures become the
-    /// error list in grid order, and cache counters sum in shard-index
-    /// order. The result is **bit-identical** to
+    /// error list in grid order, and cache counters sum per winning
+    /// cell in grid order. The result is **bit-identical** to
     /// [`crate::Sweep::run_partial`] on the whole grid — and, when
-    /// complete, its report equals `run_sequential`'s. Because the merge
-    /// sorts by task index, it is invariant under permutation of
-    /// `shards` (property-tested in `tests/proptest_shard.rs`).
+    /// complete, its report equals `run_sequential`'s. Resolution is
+    /// order-independent, so the merge is invariant under permutation
+    /// of `shards` (property-tested in `tests/proptest_shard.rs`).
     ///
     /// Counters and failures are attributed per **cell**, so a machine
     /// whose loops were split across several shards — the normal case —
     /// contributes each failed pair once and its cache counters once,
     /// never per shard.
     ///
+    /// [`ShardRole::Heal`] artifacts (from [`crate::Sweep::reissue`])
+    /// are *complements*: their cells fill grid slots no primary shard
+    /// reported (a lost artifact) and supersede cells that **failed** —
+    /// without tripping the overlap check and without double-counting
+    /// the superseded cell's `CacheStats`, so a healed merge of a
+    /// faulted run is byte-identical to a run that never failed. A heal
+    /// cell covering a *healthy* cell is still an overlap error.
+    ///
     /// # Errors
     ///
-    /// * [`ConfigError::MissingShards`] — `shards` is empty, a shard
-    ///   index is absent, or a grid cell was reported by no shard;
-    /// * [`ConfigError::OverlappingShards`] — a shard index or grid cell
-    ///   appears twice;
+    /// * [`ConfigError::MissingShards`] — `shards` is empty, or a grid
+    ///   cell was reported by no shard (and healed by none);
+    /// * [`ConfigError::OverlappingShards`] — a primary-shard index or
+    ///   cell appears twice, a heal cell covers a healthy cell, or two
+    ///   heal cells cover the same cell;
     /// * [`ConfigError::IncompatibleShards`] — signatures or shard
     ///   counts disagree, or a cell lies outside the signature's grid;
-    /// * [`ConfigError::InvalidShard`] — a shard's index is not below
-    ///   its count.
+    /// * [`ConfigError::InvalidShard`] — a primary shard's index is not
+    ///   below its count;
+    /// * [`ConfigError::OversizedGrid`] — the declared grid is beyond
+    ///   any real corpus (a corrupt artifact).
     pub fn merge(shards: &[SweepShard]) -> Result<PartialSweep, PipelineError> {
         let config = |e: ConfigError| PipelineError::config(e);
-        let first = shards.first().ok_or(config(ConfigError::MissingShards))?;
-        let count = first.count;
-        let signature = &first.signature;
-        for s in shards {
-            if s.count != count || s.signature != *signature {
-                return Err(config(ConfigError::IncompatibleShards));
-            }
-            if s.index >= count {
-                return Err(config(ConfigError::InvalidShard {
-                    index: s.index,
-                    count,
-                }));
-            }
-        }
-        // Size sanity before any declared-size-proportional allocation:
-        // artifacts come from disk, so a corrupt `count` or grid
-        // declaration must fail with a named error, not an abort inside
-        // a huge `vec!`. A valid set has exactly one shard per index and
-        // exactly one cell per grid slot, so the declared sizes must
-        // match what is actually present.
-        if (count as usize) > shards.len() {
-            return Err(config(ConfigError::MissingShards));
-        }
-        if (count as usize) < shards.len() {
-            return Err(config(ConfigError::OverlappingShards));
-        }
+        let (signature, slots) = resolve(shards)?;
         let total = signature.total_tasks();
-        let present: usize = shards.iter().map(SweepShard::cell_count).sum();
-        if present < total {
-            return Err(config(ConfigError::MissingShards));
-        }
-        if present > total {
-            return Err(config(ConfigError::OverlappingShards));
-        }
-        // Both allocations below are now bounded by the bytes actually
-        // parsed: `count == shards.len()` and `total == Σ cells`.
-        let mut seen = vec![false; count as usize];
-        for s in shards {
-            if std::mem::replace(&mut seen[s.index as usize], true) {
-                return Err(config(ConfigError::OverlappingShards));
-            }
-        }
-
-        // Cells back into grid order, each exactly once.
-        let mut slots: Vec<Option<&ShardCell>> = vec![None; total];
-        // Shard order must not matter: visit shards by index.
-        let mut by_index: Vec<&SweepShard> = shards.iter().collect();
-        by_index.sort_by_key(|s| s.index);
-        let mut scheduling = CacheStats::default();
-        for s in &by_index {
-            scheduling.absorb(s.scheduling);
-            for cell in &s.cells {
-                let t = usize::try_from(cell.task)
-                    .ok()
-                    .filter(|&t| t < total)
-                    .ok_or(config(ConfigError::IncompatibleShards))?;
-                if slots[t].replace(cell).is_some() {
-                    return Err(config(ConfigError::OverlappingShards));
-                }
-            }
-        }
-        if slots.iter().any(|s| s.is_none()) {
+        if slots.len() < total {
             return Err(config(ConfigError::MissingShards));
         }
 
         // Reassemble exactly as `run_partial` over the full grid does:
         // per machine, survivors aggregate and failures list, both in
-        // corpus order.
+        // corpus order. Counters sum over the *winning* cells only, so
+        // a failed cell a heal artifact superseded contributes neither
+        // results nor work — the healed merge is bit-identical to a run
+        // that never failed.
         let n = signature.loops.len();
         let mut report = SweepReport::default();
         let mut errors = Vec::new();
+        let mut scheduling = CacheStats::default();
         for (mi, machine) in signature.machines.iter().enumerate() {
             let mut ok = Vec::new();
             for li in 0..n {
-                let cell = slots[mi * n + li].expect("all slots verified filled");
+                let cell = slots
+                    .get(&((mi * n + li) as u64))
+                    .expect("resolution covers the grid")
+                    .cell;
+                scheduling.absorb(cell.scheduling);
                 match &cell.outcome {
                     Ok(c) => ok.push(c.clone()),
                     Err(e) => errors.push(e.clone()),
@@ -288,4 +335,170 @@ impl SweepShard {
         report.scheduling = scheduling;
         Ok(PartialSweep { report, errors })
     }
+
+    /// The flattened task indices a merge of `shards` could not serve a
+    /// healthy result for — cells whose outcome is a failure plus cells
+    /// no shard reported at all (for example because a whole shard
+    /// artifact was lost) — in grid order. This is exactly the set
+    /// [`crate::Sweep::reissue`] re-runs to heal the grid; an empty
+    /// result means [`SweepShard::merge`] would be complete.
+    ///
+    /// Unlike [`SweepShard::merge`], missing cells are a *result* here,
+    /// not an error; the validation errors are otherwise the same.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepShard::merge`], minus [`ConfigError::MissingShards`]
+    /// for coverage gaps (an empty `shards` still reports it — there is
+    /// no grid to inspect).
+    pub fn unresolved(shards: &[SweepShard]) -> Result<Vec<u64>, PipelineError> {
+        let (signature, slots) = resolve(shards)?;
+        Ok((0..signature.total_tasks() as u64)
+            .filter(|t| match slots.get(t) {
+                None => true,
+                Some(slot) => slot.cell.outcome.is_err(),
+            })
+            .collect())
+    }
+
+    /// Resolves `shards` (heal artifacts included, with the same
+    /// precedence rules as [`SweepShard::merge`]) into a single
+    /// consolidated artifact: one `1/1` shard carrying every winning
+    /// cell — results, per-cell counters and persisted trajectories —
+    /// in grid order. Unlike `merge`, gaps are allowed: the
+    /// consolidated artifact of an incomplete set simply omits the
+    /// missing cells, which keeps it usable as the `--from` input of a
+    /// reissue *and* as a merge input once a heal artifact covers the
+    /// gaps.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`SweepShard::unresolved`].
+    pub fn consolidate(shards: &[SweepShard]) -> Result<SweepShard, PipelineError> {
+        let (signature, slots) = resolve(shards)?;
+        let mut tasks: Vec<u64> = slots.keys().copied().collect();
+        tasks.sort_unstable();
+        let cells: Vec<ShardCell> = tasks.into_iter().map(|t| slots[&t].cell.clone()).collect();
+        let mut scheduling = CacheStats::default();
+        for c in &cells {
+            scheduling.absorb(c.scheduling);
+        }
+        Ok(SweepShard {
+            signature: signature.clone(),
+            index: 0,
+            count: 1,
+            role: ShardRole::Shard,
+            scheduling,
+            cells,
+        })
+    }
+}
+
+/// A resolved grid slot: the winning cell and whether a heal artifact
+/// provided it.
+struct Slot<'a> {
+    cell: &'a ShardCell,
+    healed: bool,
+}
+
+/// Validates a shard set (heal artifacts included) and resolves every
+/// reported cell to one winner per grid slot:
+///
+/// * primary shards must agree on signature and count, carry unique
+///   in-range indices, and may not claim a slot twice;
+/// * heal cells fill empty slots or supersede **failed** cells — a heal
+///   cell over a healthy cell, or two heal cells on one slot, trips
+///   [`ConfigError::OverlappingShards`] (a heal covers exactly what a
+///   prior merge reported failed/missing; layered heals consolidate
+///   between rounds).
+///
+/// Resolution is permutation-invariant: base-vs-base and heal-vs-heal
+/// conflicts are errors regardless of order, and heal-supersedes-failed
+/// does not depend on input order because heal cells are applied after
+/// every primary cell.
+fn resolve(
+    shards: &[SweepShard],
+) -> Result<(&GridSignature, HashMap<u64, Slot<'_>>), PipelineError> {
+    let config = |e: ConfigError| PipelineError::config(e);
+    let first = shards.first().ok_or(config(ConfigError::MissingShards))?;
+    let signature = &first.signature;
+    for s in shards {
+        if s.signature != *signature {
+            return Err(config(ConfigError::IncompatibleShards));
+        }
+    }
+    let total = signature.total_tasks();
+    if total > MAX_GRID_CELLS {
+        return Err(config(ConfigError::OversizedGrid { cells: total }));
+    }
+    let base: Vec<&SweepShard> = shards
+        .iter()
+        .filter(|s| s.role == ShardRole::Shard)
+        .collect();
+    let heals: Vec<&SweepShard> = shards
+        .iter()
+        .filter(|s| s.role == ShardRole::Heal)
+        .collect();
+    if let Some(count) = base.first().map(|s| s.count) {
+        let mut seen: HashSet<u32> = HashSet::with_capacity(base.len());
+        for s in &base {
+            if s.count != count {
+                return Err(config(ConfigError::IncompatibleShards));
+            }
+            if s.index >= count {
+                return Err(config(ConfigError::InvalidShard {
+                    index: s.index,
+                    count,
+                }));
+            }
+            if !seen.insert(s.index) {
+                return Err(config(ConfigError::OverlappingShards));
+            }
+        }
+    }
+
+    let in_grid = |cell: &ShardCell| {
+        usize::try_from(cell.task)
+            .ok()
+            .filter(|&t| t < total)
+            .map(|_| cell.task)
+            .ok_or(config(ConfigError::IncompatibleShards))
+    };
+    let mut slots: HashMap<u64, Slot<'_>> =
+        HashMap::with_capacity(shards.iter().map(SweepShard::cell_count).sum());
+    for s in &base {
+        for cell in &s.cells {
+            let t = in_grid(cell)?;
+            if slots
+                .insert(
+                    t,
+                    Slot {
+                        cell,
+                        healed: false,
+                    },
+                )
+                .is_some()
+            {
+                return Err(config(ConfigError::OverlappingShards));
+            }
+        }
+    }
+    for s in &heals {
+        for cell in &s.cells {
+            let t = in_grid(cell)?;
+            match slots.entry(t) {
+                Entry::Vacant(e) => {
+                    e.insert(Slot { cell, healed: true });
+                }
+                Entry::Occupied(mut e) => {
+                    let held = e.get();
+                    if held.healed || held.cell.outcome.is_ok() {
+                        return Err(config(ConfigError::OverlappingShards));
+                    }
+                    e.insert(Slot { cell, healed: true });
+                }
+            }
+        }
+    }
+    Ok((signature, slots))
 }

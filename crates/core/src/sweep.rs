@@ -37,12 +37,14 @@ use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
 use crate::experiment::{relative_performance, BudgetOutcome, DistributionCurve, Table1Row};
 use crate::model::Model;
 use crate::pipeline::{ConfigError, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
-use crate::session::{CacheStats, Session};
+use crate::session::{CacheStats, Session, TrajectoryExport};
+use crate::shard::{CellTrajectory, ShardCell, ShardRole};
 use ncdrf_corpus::Corpus;
 use ncdrf_ddg::Loop;
 use ncdrf_exec::Pool;
 use ncdrf_machine::Machine;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -65,6 +67,7 @@ pub struct Sweep<'c> {
     opts: PipelineOptions,
     workers: Option<usize>,
     pool: Option<Arc<Pool>>,
+    persist: bool,
 }
 
 impl<'c> Sweep<'c> {
@@ -80,6 +83,7 @@ impl<'c> Sweep<'c> {
             opts: PipelineOptions::default(),
             workers: None,
             pool: None,
+            persist: false,
         }
     }
 
@@ -158,6 +162,20 @@ impl<'c> Sweep<'c> {
     /// either way.
     pub fn pool(mut self, pool: Arc<Pool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Persist each cell's spill-trajectory checkpoints (victim
+    /// choices, served requirements — not the rewritten loops) into the
+    /// shard artifacts this sweep produces, so a later
+    /// [`Sweep::reissue`] — possibly at smaller budgets — resumes the
+    /// recorded descents across processes instead of respilling from
+    /// zero. Off by default: artifacts stay minimal, and a heal of a
+    /// trajectory-free artifact re-evaluates cells exactly as an
+    /// unfaulted run would (which is what keeps healed merges
+    /// byte-identical to the sequential reference, counters included).
+    pub fn persist_trajectories(mut self, persist: bool) -> Self {
+        self.persist = persist;
         self
     }
 
@@ -380,6 +398,32 @@ impl<'c> Sweep<'c> {
     /// [`ConfigError::InvalidShard`] when `count` is zero or `index` is
     /// not below `count`.
     pub fn shard(&self, index: u32, count: u32) -> Result<crate::SweepShard, PipelineError> {
+        self.shard_with_faults(index, count, &[])
+    }
+
+    /// [`Sweep::shard`] with **fault injection**: the cells whose
+    /// flattened task indices appear in `faults` are not evaluated at
+    /// all — they are recorded as failed (a contained "injected fault"
+    /// panic) with zeroed cache counters, exactly as if their worker had
+    /// crashed before starting. Task indices outside this shard's slice
+    /// (including outside the grid) are ignored, so one fault list can
+    /// be passed to every runner of a matrix.
+    ///
+    /// This is the deliberate-failure half of the heal pipeline: CI (and
+    /// `tests/failure_injection.rs`) injects per-cell failures here,
+    /// heals them via [`Sweep::reissue`] + [`crate::SweepShard::merge`],
+    /// and asserts the healed report is byte-identical to
+    /// [`Sweep::run_sequential`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Sweep::shard`].
+    pub fn shard_with_faults(
+        &self,
+        index: u32,
+        count: u32,
+        faults: &[u64],
+    ) -> Result<crate::SweepShard, PipelineError> {
         self.validate()?;
         if count == 0 || index >= count {
             return Err(PipelineError::config(ConfigError::InvalidShard {
@@ -387,59 +431,179 @@ impl<'c> Sweep<'c> {
                 count,
             }));
         }
-        let loops = self.corpus.loops();
-        let n = loops.len();
-        let tasks: Vec<usize> = shard_tasks(self.machines.len() * n, index, count).collect();
-        let sessions: Vec<Session> = self
-            .machines
-            .iter()
-            .map(|m| Session::new(m.clone()).options(self.opts))
-            .collect();
-        let want_points = !self.points.is_empty();
-        let raw = if tasks.is_empty() {
-            Vec::new()
-        } else {
-            let pool = self.executor();
-            pool.run(tasks.len(), |k| {
-                let t = tasks[k];
-                let (mi, li) = (t / n, t % n);
-                eval_cell(
-                    &sessions[mi],
-                    &loops[li],
-                    &self.models,
-                    &self.budgets,
-                    want_points,
-                )
-            })
-        };
-        let cells = raw
-            .into_iter()
-            .zip(&tasks)
-            .map(|(r, &t)| {
-                let loop_name = loops[t % n].name().to_owned();
-                let outcome = match r {
-                    Ok(Ok(cell)) => Ok(cell),
-                    Ok(Err(e)) => Err(e),
-                    Err(p) => Err(PipelineError::panic(&loop_name, p.message)),
-                };
-                crate::shard::ShardCell {
-                    task: t as u64,
-                    loop_name,
-                    outcome,
-                }
-            })
-            .collect();
+        let total = self.machines.len() * self.corpus.len();
+        let tasks: Vec<u64> = shard_tasks(total, index, count).map(|t| t as u64).collect();
+        let faults: HashSet<u64> = faults.iter().copied().collect();
+        let cells = self.run_cells(&tasks, &faults, &HashMap::new());
         let mut scheduling = CacheStats::default();
-        for s in &sessions {
-            scheduling.absorb(s.cache_stats());
+        for c in &cells {
+            scheduling.absorb(c.scheduling);
         }
         Ok(crate::SweepShard::assemble_parts(
             self.signature(),
             index,
             count,
+            ShardRole::Shard,
             scheduling,
             cells,
         ))
+    }
+
+    /// Re-runs exactly the given grid cells — the failed/missing set a
+    /// prior merge reported (see [`crate::SweepShard::unresolved`]) —
+    /// and returns them as a **heal artifact**
+    /// ([`crate::ShardRole::Heal`]) that
+    /// [`crate::SweepShard::merge`] accepts as a complement of the
+    /// faulted shard set: its cells fill the gaps and supersede the
+    /// failures, and the healed merge is byte-identical to a run that
+    /// never failed.
+    ///
+    /// Cells run on the sweep's executor ([`Sweep::pool`] when set, so
+    /// a scheduler healing many grids reuses one pool). When the `seeds`
+    /// artifacts carry persisted trajectories for a reissued cell
+    /// (see [`Sweep::persist_trajectories`]), they are imported into the
+    /// cell's session first: budgets a recorded checkpoint serves cost
+    /// nothing, and deeper budgets *resume* the recorded descent — this
+    /// is what makes a reissue of a previously-evaluated grid at
+    /// **smaller budgets** cheaper than re-spilling from scratch
+    /// (visible as `traj_resumes > 0` and fewer `spill_steps` in the
+    /// heal artifact's counters). Seeds must cover the same corpus,
+    /// machines and options ([`crate::GridSignature::resumes`]); their
+    /// points, budgets and model sets are free to differ, because spill
+    /// descents are budget-independent.
+    ///
+    /// # Errors
+    ///
+    /// The usual grid [`ConfigError`]s, plus
+    /// [`ConfigError::UnknownCell`] when `missing` names a cell outside
+    /// this grid and [`ConfigError::IncompatibleShards`] when a seed
+    /// artifact is not resume-compatible.
+    pub fn reissue(
+        &self,
+        missing: &[u64],
+        seeds: &[crate::SweepShard],
+    ) -> Result<crate::SweepShard, PipelineError> {
+        self.validate()?;
+        let signature = self.signature();
+        for s in seeds {
+            if !signature.resumes(s.signature()) {
+                return Err(PipelineError::config(ConfigError::IncompatibleShards));
+            }
+        }
+        let total = signature.total_tasks() as u64;
+        let mut tasks: Vec<u64> = missing.to_vec();
+        tasks.sort_unstable();
+        tasks.dedup();
+        if let Some(&task) = tasks.iter().find(|&&t| t >= total) {
+            return Err(PipelineError::config(ConfigError::UnknownCell { task }));
+        }
+        // First seed naming a task wins (callers pass artifacts in
+        // provenance order); a cell's own trajectories beat nothing.
+        let mut imports: HashMap<u64, &Vec<CellTrajectory>> = HashMap::new();
+        for s in seeds {
+            for cell in &s.cells {
+                if !cell.trajectories.is_empty() {
+                    imports.entry(cell.task).or_insert(&cell.trajectories);
+                }
+            }
+        }
+        let cells = self.run_cells(&tasks, &HashSet::new(), &imports);
+        let mut scheduling = CacheStats::default();
+        for c in &cells {
+            scheduling.absorb(c.scheduling);
+        }
+        Ok(crate::SweepShard::assemble_parts(
+            signature,
+            0,
+            0,
+            ShardRole::Heal,
+            scheduling,
+            cells,
+        ))
+    }
+
+    /// Evaluates the given grid cells on the executor, one [`Session`]
+    /// per cell. Cache reuse is entirely per-cell (caches key on the
+    /// cell's own loop), so per-cell sessions are bit-identical to the
+    /// shared-session grid run *and* give each [`ShardCell`] its own
+    /// honest counters — which is what lets a merge drop a superseded
+    /// cell's work without arithmetic. Faulted cells are not evaluated
+    /// (zeroed counters, injected-fault error); imported trajectories
+    /// seed the cell's session before evaluation.
+    fn run_cells(
+        &self,
+        tasks: &[u64],
+        faults: &HashSet<u64>,
+        imports: &HashMap<u64, &Vec<CellTrajectory>>,
+    ) -> Vec<ShardCell> {
+        let loops = self.corpus.loops();
+        let n = loops.len();
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let want_points = !self.points.is_empty();
+        let pool = self.executor();
+        type CellRun = (
+            CacheStats,
+            Result<LoopCell, PipelineError>,
+            Vec<CellTrajectory>,
+        );
+        let raw = pool.run(tasks.len(), |k| -> CellRun {
+            let t = tasks[k];
+            let (mi, li) = (t as usize / n, t as usize % n);
+            let l = &loops[li];
+            if faults.contains(&t) {
+                let err = PipelineError::panic(l.name(), "injected fault");
+                return (CacheStats::default(), Err(err), Vec::new());
+            }
+            let session = Session::new(self.machines[mi].clone()).options(self.opts);
+            if let Some(trajectories) = imports.get(&t) {
+                session.import_trajectories(trajectories.iter().map(|ct| TrajectoryExport {
+                    loop_name: l.name().to_owned(),
+                    model: ct.model,
+                    snapshot: ct.snapshot.clone(),
+                }));
+            }
+            let outcome = eval_cell(&session, l, &self.models, &self.budgets, want_points);
+            let trajectories = if self.persist {
+                session
+                    .export_trajectories()
+                    .into_iter()
+                    .map(|t| CellTrajectory {
+                        model: t.model,
+                        snapshot: t.snapshot,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (session.cache_stats(), outcome, trajectories)
+        });
+        raw.into_iter()
+            .zip(tasks)
+            .map(|(r, &t)| {
+                let loop_name = loops[t as usize % n].name().to_owned();
+                match r {
+                    Ok((scheduling, outcome, trajectories)) => ShardCell {
+                        task: t,
+                        loop_name,
+                        scheduling,
+                        outcome,
+                        trajectories,
+                    },
+                    // A panicked cell's session unwound with its
+                    // counters: the cell reports the contained panic and
+                    // no work, like a crashed runner.
+                    Err(p) => ShardCell {
+                        task: t,
+                        loop_name: loop_name.clone(),
+                        scheduling: CacheStats::default(),
+                        outcome: Err(PipelineError::panic(&loop_name, p.message)),
+                        trajectories: Vec::new(),
+                    },
+                }
+            })
+            .collect()
     }
 
     /// The grid signature shards carry so a merge can prove they came

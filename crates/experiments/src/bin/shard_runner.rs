@@ -1,24 +1,41 @@
-//! Multi-process sharded sweep driver.
+//! Multi-process sharded sweep driver with heal-and-resume support.
 //!
 //! `shard_runner run` evaluates one shard of a fixed experiment grid and
 //! writes a mergeable JSON artifact; `shard_runner merge` reassembles
 //! any complete set of such artifacts into the full report and can
-//! verify the result against an in-process sequential run. This is how
-//! the CI matrix splits the experiment grid over four runners (on the
-//! fast `small` corpus; pass `--standard` for the 795-loop population)
-//! and proves the merged report **bit-identical** to an unsharded
-//! `Sweep::run_sequential`.
+//! verify the result against an in-process sequential run;
+//! `shard_runner reissue` re-runs exactly the cells a shard set failed
+//! to deliver (failed outcomes and lost shards alike) and writes a
+//! **heal artifact** that `merge` accepts as a complement — so a
+//! partially-failed grid is healed cell-by-cell instead of re-run from
+//! scratch. This is how the CI matrix splits the experiment grid over
+//! four runners (on the fast `small` corpus; pass `--standard` for the
+//! 795-loop population), proves the merged report **bit-identical** to
+//! an unsharded `Sweep::run_sequential`, and — in the `heal-verify`
+//! job — proves the same for a run with deliberately injected per-cell
+//! failures after healing.
 //!
 //! ```text
 //! shard_runner run --shard <i>/<n> [--out FILE.json] [--grid GRID] [--standard]
-//! shard_runner merge [--verify-against-sequential] [--out FILE.json] FILE.json...
+//!                  [--take N] [--persist-trajectories] [--inject-fail T1,T2,..]
+//! shard_runner merge [--verify-against-sequential] [--out FILE.json]
+//!                    [--out-artifact FILE.json] FILE.json...
+//! shard_runner reissue --from FILE.json... --out HEAL.json [--persist-trajectories]
 //! ```
 //!
 //! Grids: `full` (default; Figure 6–9 machines, models, points and
 //! budgets in one sweep), `fig67`, `fig89`, `table1`.
 //!
+//! `--persist-trajectories` records each cell's spill-trajectory
+//! checkpoints in the artifact (shard format v3), so a later `reissue`
+//! resumes the descents instead of respilling from zero; `--inject-fail`
+//! marks the named grid cells failed without evaluating them (the
+//! deliberate-failure half of the heal CI gate; indices outside the
+//! runner's shard are ignored, so every runner of a matrix can take the
+//! same list).
+//!
 //! Exit codes: `0` success, `1` verification mismatch, `2` usage or
-//! configuration error.
+//! configuration error, `3` unreadable/corrupt/incompatible artifact.
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
@@ -31,12 +48,24 @@ use std::process::exit;
 
 const USAGE: &str = "usage:
   shard_runner run --shard <i>/<n> [--out FILE.json] [--grid full|fig67|fig89|table1] [--standard]
-  shard_runner merge [--verify-against-sequential] [--out FILE.json] FILE.json...";
+                   [--take N] [--persist-trajectories] [--inject-fail T1,T2,..]
+  shard_runner merge [--verify-against-sequential] [--out FILE.json] [--out-artifact FILE.json] FILE.json...
+  shard_runner reissue --from FILE.json... --out HEAL.json [--persist-trajectories]
+exit codes: 0 ok, 1 verification mismatch, 2 usage error, 3 bad artifact";
 
+/// Usage / configuration error: exit 2.
 fn die(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("{USAGE}");
     exit(2);
+}
+
+/// Unreadable, corrupt or incompatible artifact: exit 3. Distinct from
+/// usage errors so a scheduler retrying shards can tell "operator typo"
+/// from "re-fetch / re-run this artifact".
+fn die_artifact(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(3);
 }
 
 fn main() {
@@ -44,6 +73,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("merge") => merge(&args[1..]),
+        Some("reissue") => reissue(&args[1..]),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
         None => die("missing subcommand"),
     }
@@ -86,97 +116,176 @@ fn build_sweep<'c>(corpus: &'c Corpus, grid: &str) -> Sweep<'c> {
     }
 }
 
+/// Writes `contents` to `path`, creating parent directories.
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create `{path}`: {e}")));
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| die(&format!("write `{path}`: {e}")));
+    println!("[wrote {path}]");
+}
+
 fn run(args: &[String]) {
     let (index, count) = match flag_value(args, "--shard") {
         Some(spec) => parse_shard_spec(spec).unwrap_or_else(|e| die(&e)),
         None => die("`run` needs `--shard <i>/<n>`"),
     };
     let grid = flag_value(args, "--grid").unwrap_or("full");
-    let corpus = if args.iter().any(|a| a == "--standard") {
+    let mut corpus = if args.iter().any(|a| a == "--standard") {
         Corpus::standard()
     } else {
         Corpus::small()
+    };
+    if let Some(n) = flag_value(args, "--take") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| die(&format!("`--take` needs a count, got `{n}`")));
+        corpus = corpus.take(n);
+    }
+    let faults: Vec<u64> = match flag_value(args, "--inject-fail") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("`--inject-fail` holds a non-index: `{t}`")))
+            })
+            .collect(),
     };
     let out = flag_value(args, "--out")
         .map(str::to_owned)
         .unwrap_or_else(|| format!("shard-{index}-of-{count}.json"));
 
-    let sweep = build_sweep(&corpus, grid);
+    let sweep = build_sweep(&corpus, grid)
+        .persist_trajectories(args.iter().any(|a| a == "--persist-trajectories"));
     let shard = sweep
-        .shard(index, count)
+        .shard_with_faults(index, count, &faults)
         .unwrap_or_else(|e| die(&e.to_string()));
     print!("{}", shard.render(ReportFormat::Text));
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create `{out}`: {e}")));
-        }
+    if !faults.is_empty() {
+        println!("[injected {} cell failure(s)]", shard.failure_count());
     }
-    std::fs::write(&out, shard.render(ReportFormat::Json))
-        .unwrap_or_else(|e| die(&format!("write `{out}`: {e}")));
-    println!("[wrote {out}]");
+    write_file(&out, &shard.render(ReportFormat::Json));
 }
 
-fn merge(args: &[String]) {
-    let verify = args.iter().any(|a| a == "--verify-against-sequential");
-    let out = flag_value(args, "--out");
+fn read_shards(files: &[&str]) -> Vec<SweepShard> {
+    files
+        .iter()
+        .map(|f| {
+            let json = std::fs::read_to_string(f)
+                .unwrap_or_else(|e| die_artifact(&format!("read `{f}`: {e}")));
+            parse_sweep_shard(&json).unwrap_or_else(|e| die_artifact(&format!("parse `{f}`: {e}")))
+        })
+        .collect()
+}
+
+/// The positional (non-flag) arguments: `value_flags` consume the
+/// following argument, `bool_flags` stand alone, anything else starting
+/// with `--` is a usage error.
+fn positional_args<'a>(
+    args: &'a [String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Vec<&'a str> {
     let mut files = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip {
             skip = false;
             continue;
         }
         match a.as_str() {
-            "--verify-against-sequential" => {}
-            "--out" => skip = true,
+            flag if value_flags.contains(&flag) => skip = true,
+            flag if bool_flags.contains(&flag) => {}
             flag if flag.starts_with("--") => die(&format!("unknown flag `{flag}`")),
-            file => {
-                // `--out`'s value never lands here (skipped above).
-                let _ = i;
-                files.push(file);
-            }
+            file => files.push(file),
         }
     }
+    files
+}
+
+fn merge(args: &[String]) {
+    let verify = args.iter().any(|a| a == "--verify-against-sequential");
+    let out = flag_value(args, "--out");
+    let out_artifact = flag_value(args, "--out-artifact");
+    let files = positional_args(
+        args,
+        &["--out", "--out-artifact"],
+        &["--verify-against-sequential"],
+    );
     if files.is_empty() {
         die("`merge` needs at least one shard file");
     }
 
-    let shards: Vec<SweepShard> = files
-        .iter()
-        .map(|f| {
-            let json =
-                std::fs::read_to_string(f).unwrap_or_else(|e| die(&format!("read `{f}`: {e}")));
-            parse_sweep_shard(&json).unwrap_or_else(|e| die(&format!("parse `{f}`: {e}")))
-        })
-        .collect();
+    let shards = read_shards(&files);
     println!(
-        "[merging {} shard file(s) covering {} grid cells]",
+        "[merging {} artifact(s) covering {} grid cells]",
         shards.len(),
         shards.iter().map(SweepShard::cell_count).sum::<usize>()
     );
-    let merged = SweepShard::merge(&shards).unwrap_or_else(|e| die(&e.to_string()));
+    let merged = SweepShard::merge(&shards).unwrap_or_else(|e| die_artifact(&e.to_string()));
     print!("{}", merged.render(ReportFormat::Text));
     if let Some(path) = out {
-        std::fs::write(path, merged.render(ReportFormat::Json))
-            .unwrap_or_else(|e| die(&format!("write `{path}`: {e}")));
-        println!("[wrote {path}]");
+        write_file(path, &merged.render(ReportFormat::Json));
+    }
+    if let Some(path) = out_artifact {
+        // The consolidated cell-level artifact: one 1/1 shard carrying
+        // every resolved cell (and its persisted trajectories), usable
+        // both as a future merge input and as `reissue --from`.
+        let consolidated =
+            SweepShard::consolidate(&shards).unwrap_or_else(|e| die_artifact(&e.to_string()));
+        write_file(path, &consolidated.render(ReportFormat::Json));
     }
     if verify {
         verify_against_sequential(&merged, shards[0].signature());
     }
 }
 
-/// Recomputes the merged grid sequentially in this process and asserts
-/// the merged report is bit-identical (value equality *and* identical
-/// serialized bytes). Exits `1` on mismatch.
-fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
-    let corpus = rebuild_corpus(sig).unwrap_or_else(|e| die(&e));
+fn reissue(args: &[String]) {
+    let persist = args.iter().any(|a| a == "--persist-trajectories");
+    let out = flag_value(args, "--out").unwrap_or("heal.json");
+    let files = positional_args(args, &["--out"], &["--from", "--persist-trajectories"]);
+    if files.is_empty() {
+        die("`reissue` needs `--from FILE.json...`");
+    }
+
+    let shards = read_shards(&files);
+    let missing = SweepShard::unresolved(&shards).unwrap_or_else(|e| die_artifact(&e.to_string()));
+    let sig = shards[0].signature();
+    println!(
+        "[{} of {} grid cells failed or missing]",
+        missing.len(),
+        sig.total_tasks()
+    );
+
+    let (corpus, machines) = rebuild_grid(sig);
+    let sweep = Sweep::new(&corpus)
+        .machines(machines)
+        .models(sig.models.iter().copied())
+        .points(sig.points.iter().copied())
+        .budgets(sig.budgets.iter().copied())
+        .persist_trajectories(persist);
+    let heal = sweep
+        .reissue(&missing, &shards)
+        .unwrap_or_else(|e| die_artifact(&e.to_string()));
+    print!("{}", heal.render(ReportFormat::Text));
+    write_file(out, &heal.render(ReportFormat::Json));
+}
+
+/// Rebuilds the corpus and machine grid a signature names, refusing
+/// silently-different grids; exits 3 when this build cannot reproduce
+/// them.
+fn rebuild_grid(sig: &GridSignature) -> (Corpus, Vec<Machine>) {
+    let corpus = rebuild_corpus(sig).unwrap_or_else(|e| die_artifact(&e));
     let machines: Vec<Machine> = sig
         .machines
         .iter()
         .map(|m| {
             let machine = machine_from_name(&m.name)
-                .unwrap_or_else(|| die(&format!("cannot rebuild machine `{}`", m.name)));
+                .unwrap_or_else(|| die_artifact(&format!("cannot rebuild machine `{}`", m.name)));
             // The name alone does not pin the datapath (it omits e.g.
             // load/store units per cluster), so cross-check the rebuilt
             // machine against the signature instead of letting a
@@ -190,7 +299,7 @@ fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
                 .unwrap_or(0);
             let ports = machine.memory_ports() as u32;
             if latency != m.latency || ports != m.ports {
-                die(&format!(
+                die_artifact(&format!(
                     "cannot rebuild machine `{}`: this build reconstructs latency {latency} / \
                      {ports} ports, the shards declare latency {} / {} ports",
                     m.name, m.latency, m.ports
@@ -200,8 +309,18 @@ fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
         })
         .collect();
     if sig.options != format!("{:?}", PipelineOptions::default()) {
-        die("the shards were produced with non-default pipeline options; cannot rebuild the reference run");
+        die_artifact(
+            "the shards were produced with non-default pipeline options; cannot rebuild the grid",
+        );
     }
+    (corpus, machines)
+}
+
+/// Recomputes the merged grid sequentially in this process and asserts
+/// the merged report is bit-identical (value equality *and* identical
+/// serialized bytes). Exits `1` on mismatch.
+fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
+    let (corpus, machines) = rebuild_grid(sig);
     let sweep = Sweep::new(&corpus)
         .machines(machines)
         .models(sig.models.iter().copied())
@@ -214,7 +333,7 @@ fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
                 report,
                 errors: Vec::new(),
             },
-            Err(e) => die(&format!("sequential reference run failed: {e}")),
+            Err(e) => die_artifact(&format!("sequential reference run failed: {e}")),
         }
     } else {
         // The merged run recorded failures; the all-or-nothing
@@ -257,17 +376,24 @@ fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
 }
 
 /// Rebuilds the corpus a signature names, refusing silently-different
-/// grids (the loop list must match this build exactly).
+/// grids (the loop list must match this build exactly). `--take`
+/// subsets serialize as `<base>-take<N>` and rebuild the same way.
 fn rebuild_corpus(sig: &GridSignature) -> Result<Corpus, String> {
-    let corpus = match sig.corpus.as_str() {
-        "small" => Corpus::small(),
-        "standard" => Corpus::standard(),
-        other => {
-            return Err(format!(
-                "cannot rebuild corpus `{other}` (only `small`/`standard` are reproducible here); \
-                 merge without --verify-against-sequential"
-            ))
-        }
+    let base = |name: &str| match name {
+        "small" => Some(Corpus::small()),
+        "standard" => Some(Corpus::standard()),
+        _ => None,
+    };
+    let corpus = base(&sig.corpus).or_else(|| {
+        let (stem, n) = sig.corpus.rsplit_once("-take")?;
+        Some(base(stem)?.take(n.parse().ok()?))
+    });
+    let Some(corpus) = corpus else {
+        return Err(format!(
+            "cannot rebuild corpus `{}` (only `small`/`standard` and their -takeN subsets are \
+             reproducible here); merge without --verify-against-sequential",
+            sig.corpus
+        ));
     };
     let matches = corpus.len() == sig.loops.len()
         && corpus

@@ -64,4 +64,6 @@ pub use spiller::{
     requirement_unified, spill_until_fits, spill_until_fits_seeded, RequirementFn, SpillError,
     SpillOptions, SpillPolicy, SpillResult,
 };
-pub use trajectory::{ResumeStats, SpillCheckpoint, SpillTrajectory};
+pub use trajectory::{
+    ResumeStats, SnapshotStep, SpillCheckpoint, SpillTrajectory, TrajectorySnapshot,
+};

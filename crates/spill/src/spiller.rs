@@ -96,6 +96,11 @@ pub enum SpillError {
     /// The spill rewriter produced an invalid graph (a bug; surfaced for
     /// diagnosis rather than panicking deep inside a corpus sweep).
     Rewrite(String),
+    /// A persisted [`crate::TrajectorySnapshot`] does not replay on this
+    /// loop/machine/options combination: a recorded victim no longer
+    /// exists, or a replayed step's requirement/II/memory-op count
+    /// disagrees with the recorded value (a stale or foreign artifact).
+    Snapshot(String),
 }
 
 impl fmt::Display for SpillError {
@@ -104,6 +109,9 @@ impl fmt::Display for SpillError {
             SpillError::Schedule(e) => write!(f, "rescheduling failed: {e}"),
             SpillError::Machine(e) => write!(f, "requirement evaluation failed: {e}"),
             SpillError::Rewrite(e) => write!(f, "spill rewrite produced an invalid graph: {e}"),
+            SpillError::Snapshot(e) => {
+                write!(f, "persisted spill trajectory does not replay: {e}")
+            }
         }
     }
 }

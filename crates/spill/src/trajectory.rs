@@ -81,6 +81,91 @@ pub struct SpillCheckpoint {
     pub spill_loads: usize,
 }
 
+/// One step of a serialized trajectory: the victim choice plus the
+/// scalar observations needed to *serve* the checkpoint (and to verify a
+/// replay) without carrying the rewritten loop or its schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotStep {
+    /// Name of the value spilled at this step.
+    pub victim: String,
+    /// Register requirement after the step.
+    pub regs: u32,
+    /// Initiation interval of the step's (post-requirement) schedule.
+    pub ii: u32,
+    /// Memory operations per iteration of the rewritten loop body.
+    pub mem_ops: usize,
+    /// Cumulative spill stores added up to and including this step.
+    pub spill_stores: usize,
+    /// Cumulative reload loads added up to and including this step.
+    pub spill_loads: usize,
+}
+
+/// A serializable checkpoint record of a [`SpillTrajectory`]: the victim
+/// choices, served requirements and per-step scalars — **not** the
+/// rewritten loops or schedules. Enough to
+///
+/// * answer any budget a recorded checkpoint fits, without recomputing
+///   anything ([`TrajectorySnapshot::first_fit`] plus the step scalars
+///   reproduce the evaluation result exactly), and
+/// * resume the descent: [`SpillTrajectory::replay`] re-derives the full
+///   checkpoint states by replaying the recorded victims (skipping
+///   victim selection), verifying each step against the recorded
+///   requirement, so deeper budgets extend instead of respilling from
+///   zero.
+///
+/// The descent is budget-independent, so a snapshot taken under one
+/// budget set serves any other; it is only tied to the loop, machine,
+/// requirement model and [`SpillOptions`] it was recorded under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectorySnapshot {
+    /// Requirement of checkpoint 0 (the unspilled loop on the base
+    /// schedule).
+    pub base_regs: u32,
+    /// II of the base checkpoint's (post-requirement) schedule.
+    pub base_ii: u32,
+    /// Memory operations per iteration of the unspilled loop.
+    pub base_mem_ops: usize,
+    /// The committed spill steps, in descent order.
+    pub steps: Vec<SnapshotStep>,
+    /// Whether the descent had exhausted (no further victim, or
+    /// `max_spills` reached) when the snapshot was taken.
+    pub exhausted: bool,
+    /// PRNG state after the last committed victim selection, so a
+    /// resumed [`crate::SpillPolicy::Random`] descent draws the same
+    /// stream a fresh run would.
+    pub rng: u64,
+}
+
+impl TrajectorySnapshot {
+    /// The first recorded checkpoint whose requirement fits `budget`
+    /// (`0` is the base checkpoint, `k > 0` the `k`-th spill step) — the
+    /// state a fresh spill run at that budget would stop at.
+    pub fn first_fit(&self, budget: u32) -> Option<usize> {
+        if self.base_regs <= budget {
+            return Some(0);
+        }
+        self.steps
+            .iter()
+            .position(|s| s.regs <= budget)
+            .map(|i| i + 1)
+    }
+
+    /// Number of recorded spill steps.
+    pub fn steps_recorded(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The smallest register requirement any recorded checkpoint
+    /// reached.
+    pub fn min_regs(&self) -> u32 {
+        self.steps
+            .iter()
+            .map(|s| s.regs)
+            .min()
+            .map_or(self.base_regs, |m| m.min(self.base_regs))
+    }
+}
+
 /// What a [`SpillTrajectory::evaluate`] call cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResumeStats {
@@ -152,6 +237,124 @@ impl SpillTrajectory {
             rng: Xorshift64::for_policy(opts.policy),
             exhausted: false,
         })
+    }
+
+    /// Serializes this trajectory's committed state into its
+    /// checkpoint record: victim choices, served requirements and the
+    /// per-step scalars — not the rewritten loops or schedules (see
+    /// [`TrajectorySnapshot`]).
+    pub fn snapshot(&self) -> TrajectorySnapshot {
+        let base = &self.checkpoints[0];
+        TrajectorySnapshot {
+            base_regs: base.regs,
+            base_ii: base.sched.ii(),
+            base_mem_ops: base.l.memory_ops(),
+            steps: self.checkpoints[1..]
+                .iter()
+                .map(|c| SnapshotStep {
+                    victim: c.victim.clone().expect("steps past 0 have victims"),
+                    regs: c.regs,
+                    ii: c.sched.ii(),
+                    mem_ops: c.l.memory_ops(),
+                    spill_stores: c.spill_stores,
+                    spill_loads: c.spill_loads,
+                })
+                .collect(),
+            exhausted: self.exhausted,
+            rng: self.rng.0,
+        }
+    }
+
+    /// Rebuilds a live trajectory from a persisted snapshot by
+    /// *replaying* the recorded victims: each step re-runs the rewrite,
+    /// reschedule and requirement — but not victim selection — and is
+    /// verified against the recorded requirement/II/memory-op scalars,
+    /// so a stale or foreign snapshot fails loudly instead of silently
+    /// diverging. The restored trajectory is bit-identical to the one
+    /// the snapshot was taken from and can be extended to deeper budgets
+    /// exactly where the recorded descent left off.
+    ///
+    /// `l`, `base` and `opts` follow the [`SpillTrajectory::from_base`]
+    /// seeding contract and must match what the snapshot was recorded
+    /// under.
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Snapshot`] when the snapshot does not replay on
+    /// this loop (wrong base requirement, a recorded victim that no
+    /// longer exists, or a step whose replayed scalars disagree);
+    /// otherwise the usual scheduling/requirement errors of the replayed
+    /// steps.
+    pub fn replay(
+        l: &Loop,
+        machine: &Machine,
+        base: Schedule,
+        snapshot: &TrajectorySnapshot,
+        requirement: &mut RequirementFn<'_>,
+        opts: SpillOptions,
+    ) -> Result<SpillTrajectory, SpillError> {
+        let mut traj = SpillTrajectory::from_base(l, machine, base, requirement, opts)?;
+        let base_cp = &traj.checkpoints[0];
+        if base_cp.regs != snapshot.base_regs {
+            return Err(SpillError::Snapshot(format!(
+                "base requirement is {}, the snapshot recorded {}",
+                base_cp.regs, snapshot.base_regs
+            )));
+        }
+        for (i, step) in snapshot.steps.iter().enumerate() {
+            let (checkpoint, reload_names) = {
+                let last = traj.checkpoints.last().expect("checkpoint 0 exists");
+                let victim = last
+                    .l
+                    .iter_ops()
+                    .find(|(_, op)| op.name() == step.victim)
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| {
+                        SpillError::Snapshot(format!(
+                            "step {}: no value named `{}` to respill",
+                            i + 1,
+                            step.victim
+                        ))
+                    })?;
+                let (next, reload_names, stats) =
+                    spill_value(&last.l, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
+                let mut sched = modulo_schedule_with(&next, machine, opts.scheduler)?;
+                let regs = requirement(&next, machine, &mut sched)?;
+                if regs != step.regs || sched.ii() != step.ii || next.memory_ops() != step.mem_ops {
+                    return Err(SpillError::Snapshot(format!(
+                        "step {} replays to regs {} / II {} / {} mem ops, the snapshot \
+                         recorded {} / {} / {}",
+                        i + 1,
+                        regs,
+                        sched.ii(),
+                        next.memory_ops(),
+                        step.regs,
+                        step.ii,
+                        step.mem_ops
+                    )));
+                }
+                (
+                    SpillCheckpoint {
+                        l: next,
+                        sched,
+                        regs,
+                        victim: Some(step.victim.clone()),
+                        spill_stores: last.spill_stores + stats.stores_added,
+                        spill_loads: last.spill_loads + stats.loads_added,
+                    },
+                    reload_names,
+                )
+            };
+            traj.excluded.insert(step.victim.clone());
+            traj.excluded.extend(reload_names);
+            traj.checkpoints.push(checkpoint);
+        }
+        // The PRNG advanced once per committed selection in the recorded
+        // run; the replay skipped selection, so restore the stream
+        // directly. The exhausted flag is state, not derivable.
+        traj.rng = Xorshift64(snapshot.rng);
+        traj.exhausted = snapshot.exhausted;
+        Ok(traj)
     }
 
     /// The committed checkpoints, from the unspilled loop onward.
@@ -488,6 +691,130 @@ mod tests {
             spill_until_fits_seeded(&l, &machine, base, 1, &mut requirement_unified, opts).unwrap();
         assert_eq!(r, fresh);
         assert!(!r.fits);
+    }
+
+    #[test]
+    fn snapshot_replays_to_a_bit_identical_trajectory() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions::default();
+        let mut t = traj(&l, &machine, opts);
+        t.evaluate(&machine, 6, &mut requirement_unified).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.steps.len(), t.steps());
+        assert_eq!(snap.min_regs(), t.min_regs());
+
+        let base = modulo_schedule(&l, &machine).unwrap();
+        let restored =
+            SpillTrajectory::replay(&l, &machine, base, &snap, &mut requirement_unified, opts)
+                .unwrap();
+        assert_eq!(restored.checkpoints(), t.checkpoints());
+        assert_eq!(restored.is_exhausted(), t.is_exhausted());
+        // The restored descent serves and extends exactly like the
+        // original: every rung matches a fresh run.
+        let mut restored = restored;
+        for budget in [12, 6, 4, 2] {
+            let (continued, _) = restored
+                .evaluate(&machine, budget, &mut requirement_unified)
+                .unwrap();
+            let seed = modulo_schedule(&l, &machine).unwrap();
+            let fresh =
+                spill_until_fits_seeded(&l, &machine, seed, budget, &mut requirement_unified, opts)
+                    .unwrap();
+            assert_eq!(continued, fresh, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn replay_resumes_the_random_policy_stream() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions {
+            policy: SpillPolicy::Random(0xbead),
+            ..SpillOptions::default()
+        };
+        let mut t = traj(&l, &machine, opts);
+        t.evaluate(&machine, 8, &mut requirement_unified).unwrap();
+        let snap = t.snapshot();
+        let base = modulo_schedule(&l, &machine).unwrap();
+        let mut restored =
+            SpillTrajectory::replay(&l, &machine, base, &snap, &mut requirement_unified, opts)
+                .unwrap();
+        // Extending past the snapshot draws the same random victims a
+        // fresh run would.
+        let (continued, _) = restored
+            .evaluate(&machine, 2, &mut requirement_unified)
+            .unwrap();
+        let seed = modulo_schedule(&l, &machine).unwrap();
+        let fresh =
+            spill_until_fits_seeded(&l, &machine, seed, 2, &mut requirement_unified, opts).unwrap();
+        assert_eq!(continued, fresh);
+    }
+
+    #[test]
+    fn first_fit_on_the_snapshot_matches_the_trajectory() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let mut t = traj(&l, &machine, SpillOptions::default());
+        t.evaluate(&machine, 4, &mut requirement_unified).unwrap();
+        let snap = t.snapshot();
+        for budget in [0, 2, 4, 6, 8, 12, 64] {
+            assert_eq!(snap.first_fit(budget), t.first_fit(budget), "{budget}");
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_replay_loudly() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let opts = SpillOptions::default();
+        let mut t = traj(&l, &machine, opts);
+        t.evaluate(&machine, 6, &mut requirement_unified).unwrap();
+        let snap = t.snapshot();
+        assert!(!snap.steps.is_empty());
+        let base = || modulo_schedule(&l, &machine).unwrap();
+
+        // A foreign base requirement.
+        let mut wrong_base = snap.clone();
+        wrong_base.base_regs += 1;
+        let err = SpillTrajectory::replay(
+            &l,
+            &machine,
+            base(),
+            &wrong_base,
+            &mut requirement_unified,
+            opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpillError::Snapshot(_)), "{err}");
+
+        // A victim that does not exist.
+        let mut wrong_victim = snap.clone();
+        wrong_victim.steps[0].victim = "NOPE".into();
+        let err = SpillTrajectory::replay(
+            &l,
+            &machine,
+            base(),
+            &wrong_victim,
+            &mut requirement_unified,
+            opts,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("NOPE"), "{err}");
+
+        // A step whose recorded requirement disagrees with the replay.
+        let mut wrong_regs = snap.clone();
+        wrong_regs.steps[0].regs += 7;
+        let err = SpillTrajectory::replay(
+            &l,
+            &machine,
+            base(),
+            &wrong_regs,
+            &mut requirement_unified,
+            opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpillError::Snapshot(_)), "{err}");
     }
 
     #[test]

@@ -251,6 +251,197 @@ fn spill_failure_at_one_budget_does_not_poison_the_trajectory_cache() {
     assert_eq!(session.evaluate(&l, Model::Unified, bad).unwrap_err(), err);
 }
 
+/// The heal pipeline end to end, in process: a 4-way sharded run with
+/// injected per-cell failures, healed by `Sweep::reissue` +
+/// `SweepShard::merge`, must produce a report **byte-identical** to the
+/// sequential reference — results, failure list (empty) and summed
+/// `CacheStats` alike. The injected cells contribute zero counters and
+/// their heal replacements contribute exactly what the sequential run
+/// attributes to those cells, so no double counting can hide in the
+/// sums.
+#[test]
+fn injected_cell_failures_heal_to_the_sequential_reference() {
+    use ncdrf::corpus::Corpus;
+    use ncdrf::{parse_sweep_shard, Model, Render, ReportFormat, ShardRole, Sweep, SweepShard};
+
+    let corpus = Corpus::small().take(8);
+    let sweep = Sweep::new(&corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::all())
+        .points([16, 32])
+        .budgets([32, 12]);
+    let seq = sweep.run_sequential().unwrap();
+
+    // Four shards over the 16-cell grid, four cells injected to fail
+    // (spread over several shards; round-robin puts task t in shard
+    // t % 4). The same fault list goes to every runner — cells outside
+    // a runner's shard are ignored.
+    let faults = [1u64, 6, 11, 12];
+    let shards: Vec<SweepShard> = (0..4)
+        .map(|i| sweep.shard_with_faults(i, 4, &faults).unwrap())
+        .collect();
+    let injected: usize = shards.iter().map(SweepShard::failure_count).sum();
+    assert_eq!(injected, faults.len(), "every fault lands in one shard");
+
+    // The faulted merge reports the failures (and is NOT the reference).
+    let broken = SweepShard::merge(&shards).unwrap();
+    assert_eq!(broken.errors.len(), faults.len());
+    assert_ne!(broken.report, seq);
+
+    // `unresolved` names exactly the injected cells; `reissue` re-runs
+    // them as a heal artifact.
+    let missing = SweepShard::unresolved(&shards).unwrap();
+    assert_eq!(missing, faults);
+    let heal = sweep.reissue(&missing, &shards).unwrap();
+    assert_eq!(heal.role(), ShardRole::Heal);
+    assert_eq!(heal.cell_count(), faults.len());
+    assert_eq!(heal.failure_count(), 0);
+
+    // Healed merge: byte-identical to the sequential reference,
+    // including the summed cache counters.
+    let mut all = shards.clone();
+    all.push(heal);
+    let healed = SweepShard::merge(&all).unwrap();
+    assert!(healed.is_complete());
+    assert_eq!(healed.report, seq);
+    assert_eq!(
+        healed.report.render(ReportFormat::Json),
+        seq.render(ReportFormat::Json),
+        "healed merge must be byte-identical, counters included"
+    );
+    assert!(SweepShard::unresolved(&all).unwrap().is_empty());
+
+    // And the same holds across the artifact JSON round trip (the
+    // cross-process path the CI heal-verify job drives). Failure-free
+    // artifacts round-trip to equality; faulted ones differ only in
+    // the error's stage representation (structured `Panic` becomes
+    // text-verbatim `Remote`), which the healed merge drops anyway.
+    let parsed: Vec<SweepShard> = all
+        .iter()
+        .map(|s| {
+            let round = parse_sweep_shard(&s.render(ReportFormat::Json)).unwrap();
+            if s.failure_count() == 0 {
+                assert_eq!(&round, s);
+            }
+            round
+        })
+        .collect();
+    assert_eq!(
+        SweepShard::merge(&parsed)
+            .unwrap()
+            .report
+            .render(ReportFormat::Json),
+        seq.render(ReportFormat::Json)
+    );
+
+    // A consolidated artifact stands in for the original set: healing
+    // it gives the same bytes (this is what `shard_runner merge
+    // --out-artifact` + `reissue --from MERGED.json` do).
+    let consolidated = SweepShard::consolidate(&shards).unwrap();
+    let missing = SweepShard::unresolved(std::slice::from_ref(&consolidated)).unwrap();
+    assert_eq!(missing, faults);
+    let heal2 = sweep
+        .reissue(&missing, std::slice::from_ref(&consolidated))
+        .unwrap();
+    let healed2 = SweepShard::merge(&[consolidated, heal2]).unwrap();
+    assert_eq!(
+        healed2.report.render(ReportFormat::Json),
+        seq.render(ReportFormat::Json)
+    );
+}
+
+/// A reissue of an already-evaluated grid at a **smaller budget**
+/// resumes the trajectories the artifact persisted: the results are
+/// identical to a from-scratch run, but the recorded descent prefix is
+/// never respilled — counter-asserted as `traj_resumes > 0` and fewer
+/// `spill_steps` than the sequential reference pays.
+#[test]
+fn reissue_at_a_smaller_budget_resumes_persisted_trajectories() {
+    use ncdrf::corpus::Corpus;
+    use ncdrf::{parse_sweep_shard, Model, Render, ReportFormat, Session, Sweep, SweepShard};
+
+    let corpus = Corpus::from_loops(
+        "pressured",
+        vec![
+            kernels::recurrences::chain8(),
+            kernels::recurrences::wide8(),
+        ],
+    );
+    let machine = Machine::clustered(6, 1);
+    let free = corpus
+        .iter()
+        .map(|l| {
+            Session::new(machine.clone())
+                .analyze(l, Model::Unified)
+                .unwrap()
+                .regs
+        })
+        .min()
+        .unwrap();
+    assert!(free > 5, "the corpus must be register-pressured");
+
+    // First run: budget just under the requirement, descents persisted
+    // into the artifact (and through its JSON round trip).
+    let first = Sweep::new(&corpus)
+        .machine(machine.clone())
+        .models([Model::Unified])
+        .budget(free - 1)
+        .persist_trajectories(true);
+    let artifact = first.shard(0, 1).unwrap();
+    assert!(
+        artifact.trajectory_count() > 0,
+        "spilling cells must persist their descents"
+    );
+    let artifact = parse_sweep_shard(&artifact.render(ReportFormat::Json)).unwrap();
+
+    // Second run, smaller budget: a different grid (budgets differ),
+    // but resume-compatible (same corpus, machine, options). Reissue
+    // the whole grid, seeding from the first artifact.
+    let deeper = Sweep::new(&corpus)
+        .machine(machine.clone())
+        .models([Model::Unified])
+        .budget(4);
+    let seq = deeper.run_sequential().unwrap();
+    let every_cell: Vec<u64> = (0..corpus.len() as u64).collect();
+    let heal = deeper
+        .reissue(&every_cell, std::slice::from_ref(&artifact))
+        .unwrap();
+
+    // Results identical to from-scratch...
+    let healed = SweepShard::merge(std::slice::from_ref(&heal)).unwrap();
+    assert!(healed.is_complete());
+    assert_eq!(healed.report.outcomes, seq.outcomes);
+    assert_eq!(healed.report.distributions, seq.distributions);
+
+    // ...but the work is not: the persisted prefix was replayed, not
+    // respilled, so only the extension's steps were computed.
+    let resumed = heal.scheduling();
+    assert!(resumed.traj_resumes > 0, "no descent resumed: {resumed:?}");
+    assert!(
+        resumed.spill_steps < seq.scheduling.spill_steps,
+        "resume must cost fewer spill steps ({} vs {} from scratch)",
+        resumed.spill_steps,
+        seq.scheduling.spill_steps
+    );
+
+    // A reissue at the *recorded* budget is served from the checkpoint
+    // record alone: zero spill steps, pure trajectory hits.
+    let replay = Sweep::new(&corpus)
+        .machine(machine)
+        .models([Model::Unified])
+        .budget(free - 1);
+    let served = replay.reissue(&every_cell, &[artifact]).unwrap();
+    assert_eq!(
+        SweepShard::merge(std::slice::from_ref(&served))
+            .unwrap()
+            .report
+            .outcomes,
+        first.run_sequential().unwrap().outcomes
+    );
+    assert_eq!(served.scheduling().spill_steps, 0);
+    assert!(served.scheduling().traj_hits > 0);
+}
+
 #[test]
 fn multi_verifier_catches_corruption() {
     use ncdrf::regalloc::{allocate_multi, classify_multi, verify_multi};

@@ -288,3 +288,108 @@ fn failures_survive_the_json_round_trip_verbatim() {
         "rendered artifacts are byte-identical"
     );
 }
+
+/// A heal artifact is a *complement*: it may fill the cells of a shard
+/// that was lost entirely — the merge that would otherwise report
+/// `MissingShards` completes, bit-identically to the intact set.
+#[test]
+fn complement_heal_covers_a_lost_shard() {
+    let corpus = Corpus::small().take(6);
+    let sweep = grid_sweep(&corpus);
+    let shards = shards_of(&sweep, 4);
+    let reference = SweepShard::merge(&shards).unwrap();
+
+    // Shard 1's artifact is lost; without a heal the merge is missing.
+    let survivors = vec![shards[0].clone(), shards[2].clone(), shards[3].clone()];
+    let err = SweepShard::merge(&survivors).unwrap_err();
+    assert_eq!(config_of(&err), ConfigError::MissingShards);
+
+    // `unresolved` names exactly the lost shard's cells; the reissued
+    // heal completes the merge bit-identically.
+    let missing = SweepShard::unresolved(&survivors).unwrap();
+    assert_eq!(missing, shards[1].tasks());
+    let heal = sweep.reissue(&missing, &survivors).unwrap();
+    let mut healed_set = survivors;
+    healed_set.push(heal);
+    let healed = SweepShard::merge(&healed_set).unwrap();
+    assert!(healed.is_complete());
+    assert_eq!(healed, reference);
+    assert_eq!(
+        healed.report.render(ReportFormat::Json),
+        reference.report.render(ReportFormat::Json)
+    );
+}
+
+/// A heal may only cover what a merge reported failed or missing: a
+/// heal cell over a *healthy* cell — and two heal cells on one slot —
+/// trip the overlap check.
+#[test]
+fn heal_artifacts_may_not_cover_healthy_cells() {
+    let corpus = Corpus::small().take(5);
+    let sweep = Sweep::new(&corpus)
+        .machine(Machine::clustered(3, 1))
+        .models([Model::Unified])
+        .budget(16);
+    let shards = shards_of(&sweep, 2);
+    assert!(SweepShard::unresolved(&shards).unwrap().is_empty());
+
+    // Reissue a cell that is perfectly healthy in shard 0...
+    let heal = sweep.reissue(&[0], &shards).unwrap();
+    let mut set = shards.clone();
+    set.push(heal.clone());
+    let err = SweepShard::merge(&set).unwrap_err();
+    assert_eq!(config_of(&err), ConfigError::OverlappingShards);
+
+    // ...and two heals for one slot are ambiguous, even next to a
+    // faulted primary.
+    let faulted: Vec<SweepShard> = (0..2)
+        .map(|i| sweep.shard_with_faults(i, 2, &[0]).unwrap())
+        .collect();
+    let err = SweepShard::merge(&[
+        faulted[0].clone(),
+        faulted[1].clone(),
+        heal.clone(),
+        heal.clone(),
+    ])
+    .unwrap_err();
+    assert_eq!(config_of(&err), ConfigError::OverlappingShards);
+
+    // A single heal over the faulted cell is exactly right.
+    let healed = SweepShard::merge(&[faulted[0].clone(), faulted[1].clone(), heal]).unwrap();
+    assert!(healed.is_complete());
+    assert_eq!(
+        healed.report,
+        SweepShard::merge(&shards).unwrap().report,
+        "healed faulted set equals the unfaulted merge"
+    );
+}
+
+/// Reissue rejects grids it cannot serve: cells outside the grid and
+/// seeds from a different (non-resume-compatible) grid.
+#[test]
+fn reissue_validates_cells_and_seeds() {
+    let corpus = Corpus::small().take(4);
+    let sweep = Sweep::new(&corpus)
+        .machine(Machine::clustered(3, 1))
+        .models([Model::Unified])
+        .budget(16);
+    let err = sweep.reissue(&[99], &[]).unwrap_err();
+    assert_eq!(config_of(&err), ConfigError::UnknownCell { task: 99 });
+    assert!(err.to_string().contains("cell 99"), "{err}");
+
+    // A seed from a different machine grid is not resume-compatible
+    // (budget differences are fine — descents are budget-independent).
+    let other_machines = Sweep::new(&corpus)
+        .machine(Machine::clustered(6, 1))
+        .models([Model::Unified])
+        .budget(16);
+    let foreign = other_machines.shard(0, 1).unwrap();
+    let err = sweep.reissue(&[0], &[foreign]).unwrap_err();
+    assert_eq!(config_of(&err), ConfigError::IncompatibleShards);
+    let other_budget = Sweep::new(&corpus)
+        .machine(Machine::clustered(3, 1))
+        .models([Model::Unified])
+        .budget(64);
+    let budget_seed = other_budget.shard(0, 1).unwrap();
+    assert!(sweep.reissue(&[0], &[budget_seed]).is_ok());
+}
