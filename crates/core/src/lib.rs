@@ -74,6 +74,7 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod distribution;
 mod experiment;
 mod model;
@@ -83,6 +84,10 @@ mod session;
 mod shard;
 mod sweep;
 
+pub use artifact::{
+    machine_from_name, preset_sweep, read_shard, read_shards, rebuild_corpus, rebuild_grid,
+    scan_artifacts, sweep_for_signature, write_artifact, ArtifactError,
+};
 pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
 #[allow(deprecated)]
 pub use experiment::par_map;
@@ -102,11 +107,12 @@ pub use report::{
     render_table1,
 };
 pub use report::{
-    parse_partial_sweep, parse_sweep_report, parse_sweep_shard, BudgetMetric, BudgetTable,
-    DistributionPanel, Render, ReportFormat, ReportParseError,
+    parse_grid_signature, parse_partial_sweep, parse_sweep_report, parse_sweep_shard,
+    render_grid_signature, BudgetMetric, BudgetTable, DistributionPanel, Render, ReportFormat,
+    ReportParseError,
 };
 pub use session::{BaseSchedule, CacheStats, Session, TrajectoryExport};
-pub use shard::{CellTrajectory, GridSignature, MachineSig, ShardRole, SweepShard};
+pub use shard::{CellTrajectory, GridSignature, MachineSig, Provenance, ShardRole, SweepShard};
 pub use sweep::{shard_tasks, PartialSweep, Sweep, SweepReport};
 
 /// Re-export of the corpus crate.

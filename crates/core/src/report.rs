@@ -20,7 +20,9 @@ use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
 use crate::model::Model;
 use crate::pipeline::{LoopAnalysis, LoopEval, PipelineError, PipelineStage};
 use crate::session::CacheStats;
-use crate::shard::{CellTrajectory, GridSignature, MachineSig, ShardCell, ShardRole, SweepShard};
+use crate::shard::{
+    CellTrajectory, GridSignature, MachineSig, Provenance, ShardCell, ShardRole, SweepShard,
+};
 use crate::sweep::{BudgetCell, LoopCell, PartialSweep, SweepReport};
 use ncdrf_regalloc::DualPressure;
 use ncdrf_spill::{SnapshotStep, TrajectorySnapshot};
@@ -522,6 +524,10 @@ impl Render for SweepShard {
                 );
                 o.integer("index", self.index() as u128);
                 o.integer("count", self.count() as u128);
+                if let Some(p) = self.provenance() {
+                    o.string("job", &p.job);
+                    o.integer("lease", p.lease as u128);
+                }
                 o.raw("signature", &json_signature(self.signature()));
                 o.raw("scheduling", &json_cache_stats(self.scheduling()));
                 o.raw("cells", &json_array(self.cells.iter().map(json_cell)));
@@ -1220,32 +1226,16 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
             )))
         }
     };
-    let sig = member(&v, "signature")?;
-    let machines = array_member(sig, "machines")?
-        .iter()
-        .map(|m| {
-            Ok(MachineSig {
-                name: str_member(m, "name")?,
-                latency: u32_member(m, "latency")?,
-                ports: u32_member(m, "ports")?,
-            })
-        })
-        .collect::<Parsed<_>>()?;
-    let models = string_array_member(sig, "models")?
-        .iter()
-        .map(|name| {
-            Model::from_name(name)
-                .ok_or_else(|| ReportParseError::new(format!("`models` names no model: `{name}`")))
-        })
-        .collect::<Parsed<_>>()?;
-    let signature = GridSignature {
-        corpus: str_member(sig, "corpus")?,
-        loops: string_array_member(sig, "loops")?,
-        machines,
-        models,
-        points: u32_array_member(sig, "points")?,
-        budgets: u32_array_member(sig, "budgets")?,
-        options: str_member(sig, "options")?,
+    let signature = grid_signature_from(member(&v, "signature")?)?;
+    // Provenance (farm job + lease ids) is optional metadata stamped by
+    // the daemon's workers; plain `shard_runner` artifacts omit it, so
+    // absence is not an error and the shard version is unchanged.
+    let provenance = match v.get("job") {
+        None => None,
+        Some(_) => Some(Provenance {
+            job: str_member(&v, "job")?,
+            lease: u64_member(&v, "lease")?,
+        }),
     };
     let scheduling = cache_stats_from(member(&v, "scheduling")?)?;
     let cells: Vec<ShardCell> = array_member(&v, "cells")?
@@ -1264,14 +1254,65 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
             "shard-level cache counters disagree with the per-cell sums",
         ));
     }
-    Ok(SweepShard::assemble_parts(
+    let mut shard = SweepShard::assemble_parts(
         signature,
         u32_member(&v, "index")?,
         u32_member(&v, "count")?,
         role,
         scheduling,
         cells,
-    ))
+    );
+    if let Some(p) = provenance {
+        shard = shard.with_provenance(p);
+    }
+    Ok(shard)
+}
+
+/// Parses a [`GridSignature`] from the JSON object layout shard
+/// artifacts embed under their `signature` key — the standalone wire
+/// form the farm daemon ships in lease offers.
+///
+/// # Errors
+///
+/// A [`ReportParseError`] on malformed JSON or the first malformed key.
+pub fn parse_grid_signature(json: &str) -> Parsed<GridSignature> {
+    grid_signature_from(&serde_json::from_str(json)?)
+}
+
+/// Renders a [`GridSignature`] as the JSON object
+/// [`parse_grid_signature`] reads back — byte-identical to the
+/// `signature` member of a shard artifact.
+pub fn render_grid_signature(sig: &GridSignature) -> String {
+    json_signature(sig)
+}
+
+fn grid_signature_from(sig: &Value) -> Parsed<GridSignature> {
+    let machines = array_member(sig, "machines")?
+        .iter()
+        .map(|m| {
+            Ok(MachineSig {
+                name: str_member(m, "name")?,
+                latency: u32_member(m, "latency")?,
+                ports: u32_member(m, "ports")?,
+            })
+        })
+        .collect::<Parsed<_>>()?;
+    let models = string_array_member(sig, "models")?
+        .iter()
+        .map(|name| {
+            Model::from_name(name)
+                .ok_or_else(|| ReportParseError::new(format!("`models` names no model: `{name}`")))
+        })
+        .collect::<Parsed<_>>()?;
+    Ok(GridSignature {
+        corpus: str_member(sig, "corpus")?,
+        loops: string_array_member(sig, "loops")?,
+        machines,
+        models,
+        points: u32_array_member(sig, "points")?,
+        budgets: u32_array_member(sig, "budgets")?,
+        options: str_member(sig, "options")?,
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -152,6 +152,20 @@ pub(crate) struct ShardCell {
     pub(crate) trajectories: Vec<CellTrajectory>,
 }
 
+/// Farm provenance of a worker-produced artifact: which job and lease
+/// it answers. Stamped by `ncdrf-farm` workers so the daemon can match
+/// an artifact found in the watch directory back to the lease that
+/// requested it; plain `shard_runner` artifacts carry none. Serialized
+/// as optional JSON keys, so the shard format version is unchanged and
+/// provenance-free parsers are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// The farm job id the artifact belongs to.
+    pub job: String,
+    /// The lease id it answers.
+    pub lease: u64,
+}
+
 /// One shard of a sweep's task grid: raw per-cell results plus the
 /// [`GridSignature`] needed to validate and reassemble a merge.
 ///
@@ -168,6 +182,7 @@ pub struct SweepShard {
     pub(crate) role: ShardRole,
     pub(crate) scheduling: CacheStats,
     pub(crate) cells: Vec<ShardCell>,
+    pub(crate) provenance: Option<Provenance>,
 }
 
 /// Ceiling on `machines × loops` accepted from artifacts. Each factor is
@@ -196,7 +211,19 @@ impl SweepShard {
             role,
             scheduling,
             cells,
+            provenance: None,
         }
+    }
+
+    /// Stamps farm provenance (job + lease ids) on the artifact.
+    pub fn with_provenance(mut self, provenance: Provenance) -> SweepShard {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// Farm provenance, when a worker stamped it.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
     }
 
     /// The grid this shard was cut from.
@@ -390,7 +417,96 @@ impl SweepShard {
             role: ShardRole::Shard,
             scheduling,
             cells,
+            provenance: None,
         })
+    }
+
+    /// Resolves artifacts delivered **at-least-once** into a single
+    /// consolidated `1/1` artifact — the duplicate-tolerant sibling of
+    /// [`SweepShard::consolidate`] for lease-based delivery, where the
+    /// same grid cell can legitimately arrive more than once: a lease
+    /// expires, its cells are re-leased, and then *both* workers
+    /// deliver.
+    ///
+    /// Where `merge`/`consolidate` treat a twice-reported cell as
+    /// [`ConfigError::OverlappingShards`], `reconcile` picks one winner
+    /// per slot under a total order — a healthy outcome beats a failed
+    /// one, and ties fall to the smaller `Debug` rendering — so the
+    /// result is **permutation-invariant** over delivery order and each
+    /// cell's `CacheStats` is counted exactly once, no matter how many
+    /// duplicates arrived. Shard roles and indices are ignored: every
+    /// delivered cell is a candidate. Gaps are allowed, as in
+    /// `consolidate`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::MissingShards`] — `shards` is empty;
+    /// * [`ConfigError::IncompatibleShards`] — signatures disagree, or a
+    ///   cell lies outside the signature's grid;
+    /// * [`ConfigError::OversizedGrid`] — the declared grid is beyond
+    ///   any real corpus (a corrupt artifact).
+    pub fn reconcile(shards: &[SweepShard]) -> Result<SweepShard, PipelineError> {
+        let config = |e: ConfigError| PipelineError::config(e);
+        let first = shards.first().ok_or(config(ConfigError::MissingShards))?;
+        let signature = &first.signature;
+        for s in shards {
+            if s.signature != *signature {
+                return Err(config(ConfigError::IncompatibleShards));
+            }
+        }
+        let total = signature.total_tasks();
+        if total > MAX_GRID_CELLS {
+            return Err(config(ConfigError::OversizedGrid { cells: total }));
+        }
+        let mut slots: HashMap<u64, &ShardCell> = HashMap::new();
+        for s in shards {
+            for cell in &s.cells {
+                let t = usize::try_from(cell.task)
+                    .ok()
+                    .filter(|&t| t < total)
+                    .map(|_| cell.task)
+                    .ok_or(config(ConfigError::IncompatibleShards))?;
+                match slots.entry(t) {
+                    Entry::Vacant(e) => {
+                        e.insert(cell);
+                    }
+                    Entry::Occupied(mut e) => {
+                        if prefer_cell(cell, e.get()) {
+                            e.insert(cell);
+                        }
+                    }
+                }
+            }
+        }
+        let mut tasks: Vec<u64> = slots.keys().copied().collect();
+        tasks.sort_unstable();
+        let cells: Vec<ShardCell> = tasks.into_iter().map(|t| slots[&t].clone()).collect();
+        let mut scheduling = CacheStats::default();
+        for c in &cells {
+            scheduling.absorb(c.scheduling);
+        }
+        Ok(SweepShard {
+            signature: signature.clone(),
+            index: 0,
+            count: 1,
+            role: ShardRole::Shard,
+            scheduling,
+            cells,
+            provenance: None,
+        })
+    }
+}
+
+/// The [`SweepShard::reconcile`] winner rule: `a` strictly beats `b`
+/// when `a` is healthy and `b` failed, or — at equal health — when `a`'s
+/// `Debug` rendering is lexicographically smaller. A total order over
+/// cell payloads, so the winner of any multiset of deliveries is
+/// independent of arrival order.
+fn prefer_cell(a: &ShardCell, b: &ShardCell) -> bool {
+    match (a.outcome.is_ok(), b.outcome.is_ok()) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => format!("{a:?}") < format!("{b:?}"),
     }
 }
 

@@ -140,6 +140,15 @@ impl<'c> Sweep<'c> {
         self
     }
 
+    /// Replaces the budget set wholesale ([`Sweep::budget`] and
+    /// [`Sweep::budgets`] *append*). For callers that start from a
+    /// preset grid and need to override — not extend — its ladder, e.g.
+    /// a farm job resubmitted with new budgets.
+    pub fn replace_budgets<I: IntoIterator<Item = u32>>(mut self, budgets: I) -> Self {
+        self.budgets = budgets.into_iter().collect();
+        self
+    }
+
     /// Replaces the pipeline options.
     pub fn options(mut self, opts: PipelineOptions) -> Self {
         self.opts = opts;
@@ -483,6 +492,33 @@ impl<'c> Sweep<'c> {
         missing: &[u64],
         seeds: &[crate::SweepShard],
     ) -> Result<crate::SweepShard, PipelineError> {
+        self.issue_cells(missing, &[], seeds)
+    }
+
+    /// [`Sweep::reissue`] generalized to arbitrary cell issues with
+    /// **fault injection**: evaluates exactly the cells in `tasks` and
+    /// returns them as a heal artifact, recording the cells whose
+    /// indices also appear in `faults` as failed without evaluating
+    /// them (as [`Sweep::shard_with_faults`] does for a primary shard;
+    /// fault indices outside `tasks` are ignored). This is the farm
+    /// daemon's worker entry point — a lease is an arbitrary task list,
+    /// not an `i/n` round-robin slice, and the daemon injects faults
+    /// only on a job's *initial* issue so its heal cadence has
+    /// something real to recover.
+    ///
+    /// Trajectory seeding and all guarantees are exactly as
+    /// [`Sweep::reissue`]; `reissue(missing, seeds)` is
+    /// `issue_cells(missing, &[], seeds)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Sweep::reissue`].
+    pub fn issue_cells(
+        &self,
+        tasks: &[u64],
+        faults: &[u64],
+        seeds: &[crate::SweepShard],
+    ) -> Result<crate::SweepShard, PipelineError> {
         self.validate()?;
         let signature = self.signature();
         for s in seeds {
@@ -491,12 +527,17 @@ impl<'c> Sweep<'c> {
             }
         }
         let total = signature.total_tasks() as u64;
-        let mut tasks: Vec<u64> = missing.to_vec();
+        let mut tasks: Vec<u64> = tasks.to_vec();
         tasks.sort_unstable();
         tasks.dedup();
         if let Some(&task) = tasks.iter().find(|&&t| t >= total) {
             return Err(PipelineError::config(ConfigError::UnknownCell { task }));
         }
+        let faults: HashSet<u64> = faults
+            .iter()
+            .copied()
+            .filter(|t| tasks.contains(t))
+            .collect();
         // First seed naming a task wins (callers pass artifacts in
         // provenance order); a cell's own trajectories beat nothing.
         let mut imports: HashMap<u64, &Vec<CellTrajectory>> = HashMap::new();
@@ -507,7 +548,7 @@ impl<'c> Sweep<'c> {
                 }
             }
         }
-        let cells = self.run_cells(&tasks, &HashSet::new(), &imports);
+        let cells = self.run_cells(&tasks, &faults, &imports);
         let mut scheduling = CacheStats::default();
         for c in &cells {
             scheduling.absorb(c.scheduling);
@@ -607,8 +648,9 @@ impl<'c> Sweep<'c> {
     }
 
     /// The grid signature shards carry so a merge can prove they came
-    /// from the same sweep.
-    fn signature(&self) -> crate::GridSignature {
+    /// from the same sweep. Public so a scheduler (the farm daemon) can
+    /// identify, cache and lease a grid without evaluating any of it.
+    pub fn signature(&self) -> crate::GridSignature {
         crate::GridSignature {
             corpus: self.corpus.name().to_owned(),
             loops: self.corpus.iter().map(|l| l.name().to_owned()).collect(),

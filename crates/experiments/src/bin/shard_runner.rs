@@ -21,10 +21,19 @@
 //! shard_runner merge [--verify-against-sequential] [--out FILE.json]
 //!                    [--out-artifact FILE.json] FILE.json...
 //! shard_runner reissue --from FILE.json... --out HEAL.json [--persist-trajectories]
+//! shard_runner worker --farm HOST:PORT [--poll-ms MS] [--workers N] [--exit-when-idle]
 //! ```
 //!
 //! Grids: `full` (default; Figure 6–9 machines, models, points and
 //! budgets in one sweep), `fig67`, `fig89`, `table1`.
+//!
+//! `worker` turns this binary into a farm worker: it pulls cell leases
+//! from a running `farm_daemon` over HTTP, evaluates them on a shared
+//! in-process pool (rebuilding the sweep from the lease's grid
+//! signature, injecting any requested faults, importing any seed
+//! trajectories) and delivers the resulting shard artifacts back.
+//! `--exit-when-idle` makes it drain the queue and exit — the shape the
+//! CI farm gate uses.
 //!
 //! `--persist-trajectories` records each cell's spill-trajectory
 //! checkpoints in the artifact (shard format v3), so a later `reissue`
@@ -39,10 +48,7 @@
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::{
-    default_points, parse_sweep_shard, GridSignature, Model, PartialSweep, PipelineOptions, Render,
-    ReportFormat, Sweep, SweepShard, TABLE1_POINTS,
-};
+use ncdrf::{GridSignature, PartialSweep, Render, ReportFormat, Sweep, SweepShard};
 use ncdrf_experiments::parse_shard_spec;
 use std::process::exit;
 
@@ -51,6 +57,7 @@ const USAGE: &str = "usage:
                    [--take N] [--persist-trajectories] [--inject-fail T1,T2,..]
   shard_runner merge [--verify-against-sequential] [--out FILE.json] [--out-artifact FILE.json] FILE.json...
   shard_runner reissue --from FILE.json... --out HEAL.json [--persist-trajectories]
+  shard_runner worker --farm HOST:PORT [--poll-ms MS] [--workers N] [--exit-when-idle]
 exit codes: 0 ok, 1 verification mismatch, 2 usage error, 3 bad artifact";
 
 /// Usage / configuration error: exit 2.
@@ -74,6 +81,7 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("merge") => merge(&args[1..]),
         Some("reissue") => reissue(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
         None => die("missing subcommand"),
     }
@@ -89,41 +97,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         })
 }
 
-/// Builds the named experiment grid over `corpus`. The grid must be
-/// identical in every `run` invocation being merged — it is pinned here,
-/// not on the command line, so two runners can only disagree by naming
+/// Builds the named experiment grid over `corpus`. The grid presets are
+/// pinned in [`ncdrf::preset_sweep`] — shared with the farm daemon, not
+/// on any command line — so two runners can only disagree by naming
 /// different presets, which the merge's signature check catches.
 fn build_sweep<'c>(corpus: &'c Corpus, grid: &str) -> Sweep<'c> {
-    match grid {
-        "full" => Sweep::new(corpus)
-            .clustered_latencies([3, 6])
-            .models(Model::all())
-            .points(default_points())
-            .budgets([32, 64]),
-        "fig67" => Sweep::new(corpus)
-            .clustered_latencies([3, 6])
-            .models(Model::finite())
-            .points(default_points()),
-        "fig89" => Sweep::new(corpus)
-            .clustered_latencies([3, 6])
-            .models(Model::all())
-            .budgets([32, 64]),
-        "table1" => Sweep::new(corpus)
-            .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
-            .models([Model::Unified])
-            .points(TABLE1_POINTS),
-        other => die(&format!("unknown grid `{other}`")),
-    }
+    ncdrf::preset_sweep(corpus, grid).unwrap_or_else(|| die(&format!("unknown grid `{grid}`")))
 }
 
 /// Writes `contents` to `path`, creating parent directories.
 fn write_file(path: &str, contents: &str) {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create `{path}`: {e}")));
-        }
-    }
-    std::fs::write(path, contents).unwrap_or_else(|e| die(&format!("write `{path}`: {e}")));
+    ncdrf::write_artifact(path, contents).unwrap_or_else(|e| die(&e.to_string()));
     println!("[wrote {path}]");
 }
 
@@ -172,14 +156,7 @@ fn run(args: &[String]) {
 }
 
 fn read_shards(files: &[&str]) -> Vec<SweepShard> {
-    files
-        .iter()
-        .map(|f| {
-            let json = std::fs::read_to_string(f)
-                .unwrap_or_else(|e| die_artifact(&format!("read `{f}`: {e}")));
-            parse_sweep_shard(&json).unwrap_or_else(|e| die_artifact(&format!("parse `{f}`: {e}")))
-        })
-        .collect()
+    ncdrf::read_shards(files).unwrap_or_else(|e| die_artifact(&e.to_string()))
 }
 
 /// The positional (non-flag) arguments: `value_flags` consume the
@@ -262,12 +239,7 @@ fn reissue(args: &[String]) {
     );
 
     let (corpus, machines) = rebuild_grid(sig);
-    let sweep = Sweep::new(&corpus)
-        .machines(machines)
-        .models(sig.models.iter().copied())
-        .points(sig.points.iter().copied())
-        .budgets(sig.budgets.iter().copied())
-        .persist_trajectories(persist);
+    let sweep = ncdrf::sweep_for_signature(sig, &corpus, machines).persist_trajectories(persist);
     let heal = sweep
         .reissue(&missing, &shards)
         .unwrap_or_else(|e| die_artifact(&e.to_string()));
@@ -275,45 +247,77 @@ fn reissue(args: &[String]) {
     write_file(out, &heal.render(ReportFormat::Json));
 }
 
+fn worker(args: &[String]) {
+    let farm =
+        flag_value(args, "--farm").unwrap_or_else(|| die("`worker` needs `--farm HOST:PORT`"));
+    let farm = farm.strip_prefix("http://").unwrap_or(farm);
+    let addr: std::net::SocketAddr = {
+        use std::net::ToSocketAddrs;
+        farm.to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .unwrap_or_else(|| die(&format!("cannot resolve farm address `{farm}`")))
+    };
+    let poll_ms: u64 = flag_value(args, "--poll-ms")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("`--poll-ms` needs milliseconds, got `{v}`")))
+        })
+        .unwrap_or(200);
+    let pool = std::sync::Arc::new(match flag_value(args, "--workers") {
+        Some(n) => ncdrf_exec::Pool::with_workers(
+            n.parse()
+                .unwrap_or_else(|_| die(&format!("`--workers` needs a count, got `{n}`"))),
+        ),
+        None => ncdrf_exec::Pool::new(),
+    });
+    let exit_when_idle = args.iter().any(|a| a == "--exit-when-idle");
+    let name = format!("shard_runner-{}", std::process::id());
+
+    let mut delivered = 0usize;
+    loop {
+        let (status, body) = match ncdrf_farm::request(addr, "POST", "/leases", &name) {
+            Ok(reply) => reply,
+            Err(e) => die(&format!("farm unreachable: {e}")),
+        };
+        match status {
+            200 => {}
+            204 => {
+                if exit_when_idle {
+                    println!("[farm idle; delivered {delivered} artifact(s)]");
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                continue;
+            }
+            other => die(&format!("farm refused the claim: HTTP {other}: {body}")),
+        }
+        let offer = ncdrf_farm::LeaseOffer::from_json(&body)
+            .unwrap_or_else(|e| die_artifact(&format!("lease offer: {e}")));
+        let lease = offer.lease;
+        println!(
+            "[lease {lease}: {} cell(s) of {} for {}]",
+            offer.tasks.len(),
+            offer.signature.total_tasks(),
+            offer.job
+        );
+        let artifact = ncdrf_farm::evaluate_lease(&offer, Some(std::sync::Arc::clone(&pool)))
+            .unwrap_or_else(|e| die_artifact(&e));
+        let path = format!("/leases/{lease}/artifact");
+        match ncdrf_farm::request(addr, "POST", &path, &artifact.render(ReportFormat::Json)) {
+            Ok((200, _)) => delivered += 1,
+            Ok((status, body)) => die(&format!("farm refused the delivery: HTTP {status}: {body}")),
+            Err(e) => die(&format!("farm unreachable: {e}")),
+        }
+    }
+}
+
 /// Rebuilds the corpus and machine grid a signature names, refusing
 /// silently-different grids; exits 3 when this build cannot reproduce
-/// them.
+/// them. (The shared logic — including the latency/port cross-check —
+/// lives in [`ncdrf::rebuild_grid`].)
 fn rebuild_grid(sig: &GridSignature) -> (Corpus, Vec<Machine>) {
-    let corpus = rebuild_corpus(sig).unwrap_or_else(|e| die_artifact(&e));
-    let machines: Vec<Machine> = sig
-        .machines
-        .iter()
-        .map(|m| {
-            let machine = machine_from_name(&m.name)
-                .unwrap_or_else(|| die_artifact(&format!("cannot rebuild machine `{}`", m.name)));
-            // The name alone does not pin the datapath (it omits e.g.
-            // load/store units per cluster), so cross-check the rebuilt
-            // machine against the signature instead of letting a
-            // name-colliding variant masquerade as a verification
-            // failure.
-            let latency = machine
-                .groups()
-                .iter()
-                .map(|g| g.latency)
-                .max()
-                .unwrap_or(0);
-            let ports = machine.memory_ports() as u32;
-            if latency != m.latency || ports != m.ports {
-                die_artifact(&format!(
-                    "cannot rebuild machine `{}`: this build reconstructs latency {latency} / \
-                     {ports} ports, the shards declare latency {} / {} ports",
-                    m.name, m.latency, m.ports
-                ));
-            }
-            machine
-        })
-        .collect();
-    if sig.options != format!("{:?}", PipelineOptions::default()) {
-        die_artifact(
-            "the shards were produced with non-default pipeline options; cannot rebuild the grid",
-        );
-    }
-    (corpus, machines)
+    ncdrf::rebuild_grid(sig).unwrap_or_else(|e| die_artifact(&e.to_string()))
 }
 
 /// Recomputes the merged grid sequentially in this process and asserts
@@ -321,11 +325,7 @@ fn rebuild_grid(sig: &GridSignature) -> (Corpus, Vec<Machine>) {
 /// serialized bytes). Exits `1` on mismatch.
 fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
     let (corpus, machines) = rebuild_grid(sig);
-    let sweep = Sweep::new(&corpus)
-        .machines(machines)
-        .models(sig.models.iter().copied())
-        .points(sig.points.iter().copied())
-        .budgets(sig.budgets.iter().copied());
+    let sweep = ncdrf::sweep_for_signature(sig, &corpus, machines);
 
     let reference = if merged.is_complete() {
         match sweep.run_sequential() {
@@ -373,49 +373,4 @@ fn verify_against_sequential(merged: &PartialSweep, sig: &GridSignature) {
         eprintln!("verification FAILED: {}", mismatches.join("; "));
         exit(1);
     }
-}
-
-/// Rebuilds the corpus a signature names, refusing silently-different
-/// grids (the loop list must match this build exactly). `--take`
-/// subsets serialize as `<base>-take<N>` and rebuild the same way.
-fn rebuild_corpus(sig: &GridSignature) -> Result<Corpus, String> {
-    let base = |name: &str| match name {
-        "small" => Some(Corpus::small()),
-        "standard" => Some(Corpus::standard()),
-        _ => None,
-    };
-    let corpus = base(&sig.corpus).or_else(|| {
-        let (stem, n) = sig.corpus.rsplit_once("-take")?;
-        Some(base(stem)?.take(n.parse().ok()?))
-    });
-    let Some(corpus) = corpus else {
-        return Err(format!(
-            "cannot rebuild corpus `{}` (only `small`/`standard` and their -takeN subsets are \
-             reproducible here); merge without --verify-against-sequential",
-            sig.corpus
-        ));
-    };
-    let matches = corpus.len() == sig.loops.len()
-        && corpus
-            .iter()
-            .zip(&sig.loops)
-            .all(|(l, name)| l.name() == name);
-    if !matches {
-        return Err(format!(
-            "the shards' `{}` corpus has a different loop list than this build",
-            sig.corpus
-        ));
-    }
-    Ok(corpus)
-}
-
-/// Rebuilds a preset machine from its name (`C2L<lat>` clustered,
-/// `P<x>L<lat>` unified) — the only machines `shard_runner run` emits.
-fn machine_from_name(name: &str) -> Option<Machine> {
-    if let Some(lat) = name.strip_prefix("C2L").and_then(|s| s.parse().ok()) {
-        return Some(Machine::clustered(lat, 1));
-    }
-    let rest = name.strip_prefix('P')?;
-    let (x, lat) = rest.split_once('L')?;
-    Some(Machine::pxly(x.parse().ok()?, lat.parse().ok()?))
 }

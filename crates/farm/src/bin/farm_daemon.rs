@@ -1,0 +1,149 @@
+//! The resident sweep-farm daemon.
+//!
+//! ```text
+//! farm_daemon [--addr HOST:PORT] [--artifact-dir DIR] [--queue-cap N]
+//!             [--max-cells N] [--lease-ms MS] [--lease-cells N]
+//!             [--tick-ms MS] [--local-backend] [--workers N]
+//! ```
+//!
+//! Serves the farm API (see `ncdrf_farm::api`), runs the scheduler
+//! tick (lease expiry, artifact watcher, heal cadence) on a cadence,
+//! and — with `--local-backend` — evaluates leases in-process on a
+//! shared `ncdrf_exec::Pool`, so a single binary is a complete farm.
+//! Without it, external workers (`shard_runner worker --farm URL`)
+//! pull the leases instead.
+
+use ncdrf_exec::Pool;
+use ncdrf_farm::worker::{evaluate_lease, now_millis, LeaseOffer};
+use ncdrf_farm::{api, serve, Farm, FarmConfig};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("farm_daemon: {msg}");
+    eprintln!(
+        "usage: farm_daemon [--addr HOST:PORT] [--artifact-dir DIR] [--queue-cap N] \
+         [--max-cells N] [--lease-ms MS] [--lease-cells N] [--tick-ms MS] \
+         [--local-backend] [--workers N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:7420");
+    let mut config = FarmConfig::default();
+    let mut tick_ms: u64 = 250;
+    let mut local_backend = false;
+    let mut workers: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--artifact-dir" => config.artifact_dir = Some(PathBuf::from(value("--artifact-dir"))),
+            "--queue-cap" => {
+                config.queue_cap = value("--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| die("--queue-cap needs a count"));
+            }
+            "--max-cells" => {
+                config.max_cells = value("--max-cells")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-cells needs a count"));
+            }
+            "--lease-ms" => {
+                config.lease_ms = value("--lease-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--lease-ms needs milliseconds"));
+            }
+            "--lease-cells" => {
+                config.lease_cells = value("--lease-cells")
+                    .parse()
+                    .unwrap_or_else(|_| die("--lease-cells needs a count"));
+            }
+            "--tick-ms" => {
+                tick_ms = value("--tick-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--tick-ms needs milliseconds"));
+            }
+            "--local-backend" => local_backend = true,
+            "--workers" => {
+                workers = Some(
+                    value("--workers")
+                        .parse()
+                        .unwrap_or_else(|_| die("--workers needs a count")),
+                );
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    let tick_ms = tick_ms.max(1);
+
+    let farm = Arc::new(Farm::new(config));
+    let server = match serve(Arc::clone(&farm), &addr) {
+        Ok(server) => server,
+        Err(e) => die(&e),
+    };
+    println!("[farm listening on {}]", server.addr());
+
+    // Scheduler tick: lease expiry, artifact watcher, heal cadence.
+    {
+        let farm = Arc::clone(&farm);
+        thread::spawn(move || loop {
+            let report = farm.tick(now_millis());
+            if report.expired + report.healed + report.ingested > 0 {
+                println!(
+                    "[tick: {} leases expired, {} jobs healed, {} artifacts ingested]",
+                    report.expired, report.healed, report.ingested
+                );
+            }
+            thread::sleep(Duration::from_millis(tick_ms));
+        });
+    }
+
+    // Local worker backend: claim → evaluate → deliver, in-process,
+    // sharing one persistent pool across leases. The claim/deliver
+    // calls go through the same `api::route` the HTTP surface uses.
+    if local_backend {
+        let pool = Arc::new(match workers {
+            Some(n) => Pool::with_workers(n),
+            None => Pool::new(),
+        });
+        let farm = Arc::clone(&farm);
+        thread::spawn(move || loop {
+            let (status, body) = api::route(&farm, "POST", "/leases", "local", now_millis());
+            if status != 200 {
+                thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+            let offer = match LeaseOffer::from_json(&body) {
+                Ok(offer) => offer,
+                Err(e) => {
+                    eprintln!("[local backend: bad offer: {e}]");
+                    continue;
+                }
+            };
+            let lease = offer.lease;
+            match evaluate_lease(&offer, Some(Arc::clone(&pool))) {
+                Ok(artifact) => {
+                    if let Err(e) = farm.deliver(lease, artifact, now_millis()) {
+                        eprintln!("[local backend: deliver lease {lease}: {e}]");
+                    }
+                }
+                Err(e) => eprintln!("[local backend: lease {lease}: {e}]"),
+            }
+        });
+    }
+
+    // The accept loop runs on its own thread; park this one forever.
+    loop {
+        thread::sleep(Duration::from_secs(3600));
+    }
+}

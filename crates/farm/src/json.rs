@@ -1,0 +1,98 @@
+//! Minimal JSON emission for the farm's wire format. The vendored
+//! `serde_json` stand-in is a parser only, so responses are written by
+//! hand — the same approach (and emitter shape) as the core report
+//! module, kept local because the farm's payloads are tiny.
+
+use std::fmt::Write as _;
+
+/// Incremental `{...}` writer.
+pub(crate) struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    pub(crate) fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", json_escape(key));
+    }
+
+    pub(crate) fn string(&mut self, key: &str, value: &str) {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", json_escape(value));
+    }
+
+    pub(crate) fn integer(&mut self, key: &str, value: u128) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    pub(crate) fn boolean(&mut self, key: &str, value: bool) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Inserts already-serialized JSON under `key`.
+    pub(crate) fn raw(&mut self, key: &str, json: &str) {
+        self.key(key);
+        self.buf.push_str(json);
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// `[...]` of already-serialized items.
+pub(crate) fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// `[...]` of integers.
+pub(crate) fn u64_array(items: &[u64]) -> String {
+    json_array(items.iter().map(|v| v.to_string()))
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A `{"error": "..."}` body.
+pub(crate) fn error_body(message: &str) -> String {
+    let mut o = JsonObject::new();
+    o.string("error", message);
+    o.finish()
+}

@@ -59,19 +59,45 @@ use ncdrf_machine::Machine;
 use ncdrf_sched::{modulo_schedule_with, Schedule};
 use std::collections::HashSet;
 
-/// One committed step of a spill trajectory: the loop after `k` spills,
-/// its schedule, and the register requirement the driver saw there.
+/// The heavy state of a checkpoint: the rewritten loop and its schedule.
+/// Retained only on the **record-minima frontier** (see
+/// [`SpillCheckpoint::loop_state`]); every other checkpoint keeps just
+/// its scalars.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SpillCheckpoint {
+struct CheckpointState {
     /// The (rewritten) loop at this point of the descent.
-    pub l: Loop,
+    l: Loop,
     /// Its schedule, **after** the requirement function ran (the swapped
     /// model's requirement applies the swap pass as a side effect, and
     /// victim selection reads this post-requirement schedule — exactly
     /// as each round of the fresh driver does).
-    pub sched: Schedule,
+    sched: Schedule,
+}
+
+/// One committed step of a spill trajectory: the scalar record of the
+/// loop after `k` spills, plus — on the record-minima frontier only —
+/// the rewritten loop and schedule themselves.
+///
+/// The first-fit scan serves a budget from the *first* checkpoint whose
+/// requirement fits, so any servable checkpoint is a **strict record
+/// minimum** of the requirement sequence (every earlier checkpoint
+/// demanded strictly more registers). Checkpoints off that frontier can
+/// never be served; they drop their loop/schedule as soon as the descent
+/// moves past them and keep only the scalars (which the snapshot format,
+/// replay verification and per-step accounting still need). The
+/// *terminal* checkpoint always retains state — it is the resume point
+/// for deeper budgets and the base of the II-escalation fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillCheckpoint {
+    /// Rewritten loop + schedule, on the frontier; pruned elsewhere.
+    state: Option<CheckpointState>,
     /// Register requirement at this checkpoint.
     pub regs: u32,
+    /// Initiation interval of this checkpoint's (post-requirement)
+    /// schedule.
+    pub ii: u32,
+    /// Memory operations per iteration of the (rewritten) loop body.
+    pub mem_ops: usize,
     /// The value spilled to reach this checkpoint (`None` for checkpoint
     /// zero, which is the unspilled loop).
     pub victim: Option<String>,
@@ -79,6 +105,27 @@ pub struct SpillCheckpoint {
     pub spill_stores: usize,
     /// Cumulative reload loads added up to and including this step.
     pub spill_loads: usize,
+}
+
+impl SpillCheckpoint {
+    /// The rewritten loop, when this checkpoint retains it: checkpoints
+    /// on the record-minima frontier (strict new lows the first-fit scan
+    /// can serve — checkpoint 0 included) and the terminal checkpoint.
+    /// `None` for interior checkpoints the scan can never serve.
+    pub fn loop_state(&self) -> Option<&Loop> {
+        self.state.as_ref().map(|s| &s.l)
+    }
+
+    /// The checkpoint's (post-requirement) schedule, under the same
+    /// retention rule as [`SpillCheckpoint::loop_state`].
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.state.as_ref().map(|s| &s.sched)
+    }
+
+    /// Whether this checkpoint retains its loop/schedule state.
+    pub fn is_frontier(&self) -> bool {
+        self.state.is_some()
+    }
 }
 
 /// One step of a serialized trajectory: the victim choice plus the
@@ -223,15 +270,20 @@ impl SpillTrajectory {
     ) -> Result<SpillTrajectory, SpillError> {
         let mut sched = base;
         let regs = requirement(l, machine, &mut sched)?;
+        let ii = sched.ii();
         Ok(SpillTrajectory {
             opts,
             checkpoints: vec![SpillCheckpoint {
-                l: l.clone(),
-                sched,
                 regs,
+                ii,
+                mem_ops: l.memory_ops(),
                 victim: None,
                 spill_stores: 0,
                 spill_loads: 0,
+                state: Some(CheckpointState {
+                    l: l.clone(),
+                    sched,
+                }),
             }],
             excluded: HashSet::new(),
             rng: Xorshift64::for_policy(opts.policy),
@@ -247,15 +299,15 @@ impl SpillTrajectory {
         let base = &self.checkpoints[0];
         TrajectorySnapshot {
             base_regs: base.regs,
-            base_ii: base.sched.ii(),
-            base_mem_ops: base.l.memory_ops(),
+            base_ii: base.ii,
+            base_mem_ops: base.mem_ops,
             steps: self.checkpoints[1..]
                 .iter()
                 .map(|c| SnapshotStep {
                     victim: c.victim.clone().expect("steps past 0 have victims"),
                     regs: c.regs,
-                    ii: c.sched.ii(),
-                    mem_ops: c.l.memory_ops(),
+                    ii: c.ii,
+                    mem_ops: c.mem_ops,
                     spill_stores: c.spill_stores,
                     spill_loads: c.spill_loads,
                 })
@@ -304,7 +356,11 @@ impl SpillTrajectory {
         for (i, step) in snapshot.steps.iter().enumerate() {
             let (checkpoint, reload_names) = {
                 let last = traj.checkpoints.last().expect("checkpoint 0 exists");
-                let victim = last
+                let last_state = last
+                    .state
+                    .as_ref()
+                    .expect("the terminal checkpoint retains its state");
+                let victim = last_state
                     .l
                     .iter_ops()
                     .find(|(_, op)| op.name() == step.victim)
@@ -316,8 +372,8 @@ impl SpillTrajectory {
                             step.victim
                         ))
                     })?;
-                let (next, reload_names, stats) =
-                    spill_value(&last.l, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
+                let (next, reload_names, stats) = spill_value(&last_state.l, victim)
+                    .map_err(|e| SpillError::Rewrite(e.to_string()))?;
                 let mut sched = modulo_schedule_with(&next, machine, opts.scheduler)?;
                 let regs = requirement(&next, machine, &mut sched)?;
                 if regs != step.regs || sched.ii() != step.ii || next.memory_ops() != step.mem_ops {
@@ -335,12 +391,13 @@ impl SpillTrajectory {
                 }
                 (
                     SpillCheckpoint {
-                        l: next,
-                        sched,
                         regs,
+                        ii: sched.ii(),
+                        mem_ops: next.memory_ops(),
                         victim: Some(step.victim.clone()),
                         spill_stores: last.spill_stores + stats.stores_added,
                         spill_loads: last.spill_loads + stats.loads_added,
+                        state: Some(CheckpointState { l: next, sched }),
                     },
                     reload_names,
                 )
@@ -348,6 +405,10 @@ impl SpillTrajectory {
             traj.excluded.insert(step.victim.clone());
             traj.excluded.extend(reload_names);
             traj.checkpoints.push(checkpoint);
+            // Replay prunes exactly as the original descent did (the
+            // rule depends only on the requirement prefix), so the
+            // restored trajectory is bit-identical, retention included.
+            traj.prune_interior();
         }
         // The PRNG advanced once per committed selection in the recorded
         // run; the replay skipped selection, so restore the stream
@@ -405,11 +466,17 @@ impl SpillTrajectory {
     /// Materialises the [`SpillResult`] a fresh run stopping at
     /// checkpoint `k` would return. `rounds` is `k + 1`: the fresh
     /// driver runs one schedule/allocate round per state it visits.
+    /// `k` is always a first-fit hit or the terminal checkpoint, both of
+    /// which retain their state (see [`SpillCheckpoint::loop_state`]).
     fn result_at(&self, k: usize, budget: u32) -> SpillResult {
         let cp = &self.checkpoints[k];
+        let state = cp
+            .state
+            .as_ref()
+            .expect("served checkpoints are on the record-minima frontier and retain state");
         SpillResult {
-            l: cp.l.clone(),
-            sched: cp.sched.clone(),
+            l: state.l.clone(),
+            sched: state.sched.clone(),
             regs: cp.regs,
             fits: cp.regs <= budget,
             spilled: self.spilled_names(k),
@@ -443,10 +510,14 @@ impl SpillTrajectory {
         let mut rng = self.rng;
         let step = {
             let last = self.checkpoints.last().expect("checkpoint 0 exists");
+            let last_state = last
+                .state
+                .as_ref()
+                .expect("the terminal checkpoint retains its state");
             let victim = select_victim(
-                &last.l,
+                &last_state.l,
                 machine,
-                &last.sched,
+                &last_state.sched,
                 &self.excluded,
                 self.opts.policy,
                 &mut rng,
@@ -455,19 +526,20 @@ impl SpillTrajectory {
                 self.exhausted = true;
                 return Ok(false);
             };
-            let victim_name = last.l.op(victim).name().to_owned();
-            let (next, reload_names, stats) =
-                spill_value(&last.l, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
+            let victim_name = last_state.l.op(victim).name().to_owned();
+            let (next, reload_names, stats) = spill_value(&last_state.l, victim)
+                .map_err(|e| SpillError::Rewrite(e.to_string()))?;
             let mut sched = modulo_schedule_with(&next, machine, self.opts.scheduler)?;
             let regs = requirement(&next, machine, &mut sched)?;
             (
                 SpillCheckpoint {
-                    l: next,
-                    sched,
                     regs,
+                    ii: sched.ii(),
+                    mem_ops: next.memory_ops(),
                     victim: Some(victim_name.clone()),
                     spill_stores: last.spill_stores + stats.stores_added,
                     spill_loads: last.spill_loads + stats.loads_added,
+                    state: Some(CheckpointState { l: next, sched }),
                 },
                 victim_name,
                 reload_names,
@@ -478,7 +550,29 @@ impl SpillTrajectory {
         self.excluded.insert(victim_name);
         self.excluded.extend(reload_names);
         self.checkpoints.push(checkpoint);
+        self.prune_interior();
         Ok(true)
+    }
+
+    /// Applies the retention rule to the checkpoint that just stopped
+    /// being terminal: it keeps its loop/schedule only if it set a
+    /// **strict** new requirement low (the first-fit scan picks the
+    /// *first* fitting checkpoint, so a non-strict low can never be
+    /// served — an earlier, equally-low checkpoint shadows it).
+    /// Checkpoint 0 is always its own record minimum.
+    fn prune_interior(&mut self) {
+        let idx = self.checkpoints.len() - 2;
+        if idx == 0 {
+            return;
+        }
+        let prior_min = self.checkpoints[..idx]
+            .iter()
+            .map(|c| c.regs)
+            .min()
+            .expect("checkpoint 0 exists");
+        if self.checkpoints[idx].regs >= prior_min {
+            self.checkpoints[idx].state = None;
+        }
     }
 
     /// Evaluates `budget`: serves it from the first fitting checkpoint,
@@ -527,7 +621,11 @@ impl SpillTrajectory {
                 rounds: terminal + 1,
             };
             let r = escalate_ii(
-                last.l.clone(),
+                last.state
+                    .as_ref()
+                    .expect("the terminal checkpoint retains its state")
+                    .l
+                    .clone(),
                 machine,
                 budget,
                 requirement,
@@ -815,6 +913,42 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SpillError::Snapshot(_)), "{err}");
+    }
+
+    #[test]
+    fn only_the_frontier_retains_loop_state() {
+        let l = pressured();
+        let machine = Machine::clustered(6, 1);
+        let mut t = traj(&l, &machine, SpillOptions::default());
+        t.evaluate(&machine, 2, &mut requirement_unified).unwrap();
+        let cps = t.checkpoints();
+        let mut min = u32::MAX;
+        for (k, c) in cps.iter().enumerate() {
+            let record = c.regs < min;
+            min = min.min(c.regs);
+            let terminal = k == cps.len() - 1;
+            assert_eq!(
+                c.is_frontier(),
+                record || terminal,
+                "checkpoint {k}: regs {} against prior min",
+                c.regs
+            );
+            assert_eq!(c.loop_state().is_some(), c.is_frontier());
+            assert_eq!(c.schedule().is_some(), c.is_frontier());
+        }
+        // Every budget is still served bit-identically from the pruned
+        // trajectory (first-fit only ever lands on the frontier).
+        let opts = SpillOptions::default();
+        for budget in [64, 12, 8, 6, 4, 2] {
+            let (continued, _) = t
+                .evaluate(&machine, budget, &mut requirement_unified)
+                .unwrap();
+            let base = modulo_schedule(&l, &machine).unwrap();
+            let fresh =
+                spill_until_fits_seeded(&l, &machine, base, budget, &mut requirement_unified, opts)
+                    .unwrap();
+            assert_eq!(continued, fresh, "budget {budget}");
+        }
     }
 
     #[test]

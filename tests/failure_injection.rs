@@ -195,7 +195,7 @@ fn spill_failure_at_one_budget_does_not_poison_the_trajectory_cache() {
         .evaluate(&machine, 2, &mut requirement_unified)
         .unwrap();
     let cps = probe.checkpoints();
-    let iis: Vec<u32> = cps.iter().map(|c| c.sched.ii()).collect();
+    let iis: Vec<u32> = cps.iter().map(|c| c.ii).collect();
     let (fail_at, cap) = (2..cps.len())
         .find_map(|k| {
             let cap = *iis[..k].iter().max().unwrap();

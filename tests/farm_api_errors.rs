@@ -1,0 +1,269 @@
+//! The farm API's refusal paths, exercised through the same pure
+//! `route()` the HTTP server wraps: malformed job JSON, unknown ids,
+//! oversized grids and a full queue each produce their own status code
+//! — and none of them mutates queue state. Plus the re-merge cache:
+//! exact resubmits complete instantly with identical bytes, and
+//! budget-extension resubmits seed their spill descents from the
+//! cached trajectories.
+
+use ncdrf_farm::api::route;
+use ncdrf_farm::{evaluate_lease, Farm, FarmConfig, JobState, LeaseOffer};
+
+fn farm() -> Farm {
+    Farm::new(FarmConfig {
+        queue_cap: 1,
+        max_cells: 16,
+        lease_ms: 1_000,
+        lease_cells: 64,
+        artifact_dir: None,
+    })
+}
+
+/// `(jobs, unfinished, live leases, cached grids)` — the mutation
+/// canary: refusals must leave it untouched.
+fn stats(farm: &Farm) -> (usize, usize, usize, usize) {
+    farm.stats()
+}
+
+const SPEC: &str = r#"{"grid":"full","corpus":"small","take":2}"#;
+
+/// Runs every pending lease of the farm to completion, ticking the heal
+/// cadence until the job count stabilises.
+fn drain(farm: &Farm, mut now: u64) -> u64 {
+    for _ in 0..16 {
+        now += 1;
+        farm.tick(now);
+        let mut worked = false;
+        while let Some(offer) = farm.claim("drain", now) {
+            let artifact = evaluate_lease(&offer, None).unwrap();
+            farm.deliver(offer.lease, artifact, now).unwrap();
+            worked = true;
+        }
+        if !worked && farm.jobs().iter().all(|j| j.state == JobState::Complete) {
+            break;
+        }
+    }
+    now
+}
+
+#[test]
+fn malformed_job_json_is_400_and_mutates_nothing() {
+    let farm = farm();
+    let before = stats(&farm);
+    for body in [
+        "",
+        "not json",
+        "{\"grid\":",
+        "[1,2,3]",
+        r#"{"grid":42}"#,
+        r#"{"grid":"full","take":"three"}"#,
+        r#"{"grid":"full","budgets":[]}"#,
+        r#"{"grid":"full","budgets":["a"]}"#,
+        r#"{"grid":"no-such-grid"}"#,
+        r#"{"corpus":"no-such-corpus"}"#,
+        r#"{"grid":"full","corpus":"small","take":2,"inject_fail":[99]}"#,
+        r#"{"grid":"full","corpus":"small","take":2,"persist_trajectories":"yes"}"#,
+    ] {
+        let (status, reply) = route(&farm, "POST", "/jobs", body, 0);
+        assert_eq!(status, 400, "body: {body} -> {reply}");
+        assert!(reply.contains("\"error\""), "body: {body}");
+    }
+    assert_eq!(stats(&farm), before, "refusals must not enqueue anything");
+}
+
+#[test]
+fn unknown_ids_are_404_and_mutate_nothing() {
+    let farm = farm();
+    route(&farm, "POST", "/jobs", SPEC, 0);
+    let before = stats(&farm);
+
+    let (status, _) = route(&farm, "GET", "/jobs/job-99", "", 0);
+    assert_eq!(status, 404);
+    let (status, _) = route(&farm, "GET", "/jobs/job-99/report", "", 0);
+    assert_eq!(status, 404);
+    let (status, _) = route(&farm, "POST", "/leases/not-a-number/artifact", "{}", 0);
+    assert_eq!(status, 404);
+    let (status, _) = route(&farm, "GET", "/no/such/endpoint", "", 0);
+    assert_eq!(status, 404);
+    let (status, _) = route(&farm, "DELETE", "/jobs", "", 0);
+    assert_eq!(status, 405);
+
+    assert_eq!(stats(&farm), before);
+    // The queued job is untouched: still all cells pending.
+    let status = farm.status("job-1").unwrap();
+    assert_eq!(status.state, JobState::Queued);
+    assert_eq!(status.pending, status.cells);
+}
+
+#[test]
+fn queued_report_is_409_not_ready() {
+    let farm = farm();
+    route(&farm, "POST", "/jobs", SPEC, 0);
+    let (status, reply) = route(&farm, "GET", "/jobs/job-1/report", "", 0);
+    assert_eq!(status, 409, "{reply}");
+    assert!(reply.contains("not complete"));
+}
+
+#[test]
+fn oversized_grid_is_413_and_mutates_nothing() {
+    let farm = farm(); // max_cells = 16
+    let before = stats(&farm);
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        "/jobs",
+        r#"{"grid":"full","corpus":"small","take":12}"#, // 2 machines x 12 loops
+        0,
+    );
+    assert_eq!(status, 413, "{reply}");
+    assert!(reply.contains("at most 16"));
+    assert_eq!(stats(&farm), before);
+}
+
+#[test]
+fn full_queue_is_429_and_mutates_nothing() {
+    let farm = farm(); // queue_cap = 1
+    let (status, _) = route(&farm, "POST", "/jobs", SPEC, 0);
+    assert_eq!(status, 202);
+    let before = stats(&farm);
+
+    let (status, reply) = route(&farm, "POST", "/jobs", SPEC, 0);
+    assert_eq!(status, 429, "{reply}");
+    assert!(reply.contains("full"));
+    assert_eq!(stats(&farm), before, "a refused submit must not enqueue");
+
+    // Draining the queue reopens it.
+    drain(&farm, 0);
+    let (status, _) = route(&farm, "POST", "/jobs", SPEC, 100);
+    assert_eq!(status, 202);
+}
+
+#[test]
+fn foreign_or_corrupt_artifact_is_refused_without_ingesting() {
+    let farm = farm();
+    route(&farm, "POST", "/jobs", SPEC, 0);
+    let offer_body = {
+        let (status, body) = route(&farm, "POST", "/leases", "w", 1);
+        assert_eq!(status, 200);
+        body
+    };
+    let offer = LeaseOffer::from_json(&offer_body).unwrap();
+    let before = farm.status("job-1").unwrap();
+
+    // Not an artifact at all.
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        &format!("/leases/{}/artifact", offer.lease),
+        "{\"kind\":\"nope\"}",
+        2,
+    );
+    assert_eq!(status, 400, "{reply}");
+
+    // A well-formed artifact for a DIFFERENT grid.
+    let foreign_spec =
+        ncdrf_farm::JobSpec::from_json(r#"{"grid":"fig89","corpus":"small","take":2}"#).unwrap();
+    let foreign_sig = foreign_spec.signature().unwrap();
+    let (corpus, machines) = ncdrf::rebuild_grid(&foreign_sig).unwrap();
+    let foreign = ncdrf::sweep_for_signature(&foreign_sig, &corpus, machines)
+        .issue_cells(&[0], &[], &[])
+        .unwrap();
+    use ncdrf::{Render, ReportFormat};
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        &format!("/leases/{}/artifact", offer.lease),
+        &foreign.render(ReportFormat::Json),
+        3,
+    );
+    assert_eq!(status, 400, "{reply}");
+    assert!(reply.contains("does not match"));
+
+    // Neither refusal ingested anything.
+    let after = farm.status("job-1").unwrap();
+    assert_eq!(after.resolved, before.resolved);
+    assert_eq!(after.failed, before.failed);
+    assert_eq!(after.pending, before.pending);
+
+    // A genuine artifact delivered to a never-issued lease is 404.
+    let artifact = evaluate_lease(&offer, None).unwrap();
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        "/leases/999/artifact",
+        &artifact.render(ReportFormat::Json),
+        4,
+    );
+    assert_eq!(status, 404, "{reply}");
+    assert_eq!(farm.status("job-1").unwrap().resolved, before.resolved);
+
+    // The genuine artifact still lands on the very same lease.
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        &format!("/leases/{}/artifact", offer.lease),
+        &artifact.render(ReportFormat::Json),
+        5,
+    );
+    assert_eq!(status, 200, "{reply}");
+}
+
+#[test]
+fn exact_resubmit_completes_instantly_from_the_cache() {
+    let farm = farm();
+    let receipt = farm.submit(SPEC, 0).unwrap();
+    drain(&farm, 0);
+    let first = farm.report(&receipt.job).unwrap();
+
+    let receipt2 = farm.submit(SPEC, 50).unwrap();
+    assert_eq!(receipt2.state, JobState::Complete, "cache hit is instant");
+    let status = farm.status(&receipt2.job).unwrap();
+    assert!(status.from_cache);
+    assert_eq!(
+        farm.report(&receipt2.job).unwrap(),
+        first,
+        "identical bytes"
+    );
+}
+
+#[test]
+fn budget_extension_resubmit_seeds_from_cached_trajectories() {
+    let farm = farm();
+    // First job persists its spill trajectories; the tight low rung
+    // forces real spill descents (a ladder the loops fit under would
+    // have nothing to persist).
+    let receipt = farm
+        .submit(
+            r#"{"grid":"full","corpus":"small","take":2,"budgets":[6,32],"persist_trajectories":true}"#,
+            0,
+        )
+        .unwrap();
+    let now = drain(&farm, 0);
+    assert_eq!(farm.status(&receipt.job).unwrap().state, JobState::Complete);
+
+    // Same grid, tighter budgets: resume-compatible, so its leases
+    // carry the cached artifact as a seed and the descents resume
+    // instead of respilling from zero.
+    let receipt2 = farm
+        .submit(
+            r#"{"grid":"full","corpus":"small","take":2,"budgets":[4,16]}"#,
+            now,
+        )
+        .unwrap();
+    assert_eq!(receipt2.state, JobState::Queued, "new budgets, new work");
+    let offer = farm.claim("w", now + 1).unwrap();
+    assert!(
+        !offer.seeds.is_empty(),
+        "a resume-compatible cached artifact must ride along as a seed"
+    );
+    let artifact = evaluate_lease(&offer, None).unwrap();
+    farm.deliver(offer.lease, artifact, now + 1).unwrap();
+    drain(&farm, now + 1);
+    let status = farm.status(&receipt2.job).unwrap();
+    assert_eq!(status.state, JobState::Complete);
+    let stats = status.scheduling.unwrap();
+    assert!(
+        stats.traj_hits + stats.traj_resumes > 0,
+        "seeded descents must be served from the cached trajectories, got {stats:?}"
+    );
+}

@@ -1,0 +1,203 @@
+//! End-to-end farm run over real HTTP: boot the farm server, submit a
+//! job with injected failures, let worker threads pull leases and
+//! deliver artifacts over the wire, let the tick cadence heal the
+//! failures — and assert the served report is **byte-identical** to
+//! `Sweep::run_sequential`, counters included. Also: artifact GC after
+//! completion, cache reload across a daemon restart, and the
+//! out-of-band artifact-directory watcher.
+
+use ncdrf::corpus::Corpus;
+use ncdrf::{Render, ReportFormat};
+use ncdrf_farm::{evaluate_lease, request, serve, Farm, FarmConfig, JobState, LeaseOffer};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SPEC: &str = r#"{"grid":"full","corpus":"small","take":3,"inject_fail":[0,3]}"#;
+
+fn reference(loops: usize) -> String {
+    let corpus = Corpus::small().take(loops);
+    let sweep = ncdrf::preset_sweep(&corpus, "full").unwrap();
+    let partial = ncdrf::PartialSweep {
+        report: sweep.run_sequential().unwrap(),
+        errors: Vec::new(),
+    };
+    partial.render(ReportFormat::Json)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncdrf-farm-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: &std::path::Path) -> FarmConfig {
+    FarmConfig {
+        queue_cap: 4,
+        max_cells: 1 << 16,
+        lease_ms: 60_000,
+        lease_cells: 2,
+        artifact_dir: Some(dir.to_path_buf()),
+    }
+}
+
+/// A worker thread speaking the real wire protocol: claim over HTTP,
+/// evaluate in-process, deliver over HTTP.
+fn spawn_worker(addr: SocketAddr, stop: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            let Ok((status, body)) = request(addr, "POST", "/leases", "e2e-worker") else {
+                break;
+            };
+            if status != 200 {
+                thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            let offer = LeaseOffer::from_json(&body).expect("well-formed offer");
+            let artifact = evaluate_lease(&offer, None).expect("leases evaluate");
+            let path = format!("/leases/{}/artifact", offer.lease);
+            let (status, reply) =
+                request(addr, "POST", &path, &artifact.render(ReportFormat::Json))
+                    .expect("delivery reaches the farm");
+            assert!(
+                status == 200 || status == 404,
+                "delivery must succeed (or hit a completion-retired lease): HTTP {status}: {reply}"
+            );
+        }
+    })
+}
+
+fn poll_complete(addr: SocketAddr, job: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{job}"), "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"state\":\"complete\"") {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{job}` did not complete in time; last status: {body}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn http_job_with_injected_failures_heals_to_sequential_bytes() {
+    let dir = fresh_dir("main");
+    let farm = Arc::new(Farm::new(config(&dir)));
+    let server = serve(Arc::clone(&farm), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Tick loop (fast cadence so heal rounds run promptly) and two
+    // workers racing for leases.
+    let ticker = {
+        let farm = Arc::clone(&farm);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                farm.tick(ncdrf_farm::now_millis());
+                thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    let workers: Vec<_> = (0..2)
+        .map(|_| spawn_worker(addr, Arc::clone(&stop)))
+        .collect();
+
+    // Submit over the wire.
+    let (status, body) = request(addr, "POST", "/jobs", SPEC).unwrap();
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"job\":\"job-1\""), "{body}");
+    assert!(body.contains("\"cells\":6"), "{body}");
+
+    let status_body = poll_complete(addr, "job-1", Duration::from_secs(120));
+    assert!(
+        !status_body.contains("\"heal_rounds\":0"),
+        "delivered-failed cells require at least one heal round: {status_body}"
+    );
+
+    // The served report is byte-identical to the sequential reference —
+    // the injected failures healed without double-counting a counter.
+    let (status, report) = request(addr, "GET", "/jobs/job-1/report", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(report, reference(3));
+
+    // Farm-wide stats and the job listing agree.
+    let (status, farm_body) = request(addr, "GET", "/farm", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(farm_body.contains("\"jobs\":1"), "{farm_body}");
+    assert!(farm_body.contains("\"unfinished\":0"), "{farm_body}");
+    assert!(farm_body.contains("\"cached_grids\":1"), "{farm_body}");
+    let (status, list) = request(addr, "GET", "/jobs", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        list.starts_with('[') && list.contains("\"job\":\"job-1\""),
+        "{list}"
+    );
+
+    // Artifact GC keyed on the signature: the consolidated artifact
+    // replaced every per-lease file.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "consolidated-job-1.json"),
+        "consolidated artifact must persist: {names:?}"
+    );
+    assert!(
+        names.iter().all(|n| !n.contains("lease")),
+        "per-lease artifacts must be GC'd: {names:?}"
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().unwrap();
+    }
+    ticker.join().unwrap();
+    server.shutdown();
+
+    // A restarted daemon reloads the cache from the artifact directory:
+    // the same submit completes instantly with the same bytes.
+    let reborn = Farm::new(config(&dir));
+    let receipt = reborn.submit(SPEC, 0).unwrap();
+    assert_eq!(receipt.state, JobState::Complete, "cache survives restart");
+    assert!(reborn.status(&receipt.job).unwrap().from_cache);
+    assert_eq!(reborn.report(&receipt.job).unwrap(), reference(3));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watcher_ingests_out_of_band_artifacts() {
+    let dir = fresh_dir("watcher");
+    let farm = Farm::new(config(&dir));
+    let receipt = farm
+        .submit(r#"{"grid":"full","corpus":"small","take":2}"#, 0)
+        .unwrap();
+
+    // The worker claims its leases but "delivers" by dropping artifact
+    // files straight into the shared directory instead of calling the
+    // API — the tick's watcher must ingest them.
+    let mut n = 0;
+    while let Some(offer) = farm.claim("oob", 1) {
+        let artifact = evaluate_lease(&offer, None).unwrap();
+        let path = dir.join(format!("oob-{n}.json"));
+        ncdrf::write_artifact(&path, &artifact.render(ReportFormat::Json)).unwrap();
+        n += 1;
+    }
+    assert!(n > 0);
+    let tick = farm.tick(2);
+    assert_eq!(tick.ingested, n, "every dropped artifact is ingested");
+    assert_eq!(farm.status(&receipt.job).unwrap().state, JobState::Complete);
+    assert_eq!(farm.report(&receipt.job).unwrap(), reference(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -100,12 +100,20 @@ proptest! {
             &l, &machine, base, &mut requirement_unified, SpillOptions::default()).unwrap();
         // Stop at every checkpoint of the straight run in turn: budget
         // `regs` is exactly the stopping condition of checkpoint `k`.
+        // Compare the scalar records: the staged run's *terminal*
+        // checkpoint still retains its loop/schedule while the straight
+        // run may have pruned that index off the record-minima frontier,
+        // so full structural equality only holds at matched depths (the
+        // final assertion below).
         for k in 0..straight.checkpoints().len() {
             let budget = straight.checkpoints()[k].regs;
             let (r, _) = staged.evaluate(&machine, budget, &mut requirement_unified).unwrap();
             prop_assert!(r.fits);
             prop_assert!(staged.checkpoints()[..=k.min(staged.steps())]
-                .iter().zip(straight.checkpoints()).all(|(a, b)| a == b));
+                .iter().zip(straight.checkpoints()).all(|(a, b)| {
+                    (a.regs, &a.victim, a.ii, a.mem_ops, a.spill_stores, a.spill_loads)
+                        == (b.regs, &b.victim, b.ii, b.mem_ops, b.spill_stores, b.spill_loads)
+                }));
         }
         let (_, _) = staged.evaluate(&machine, 2, &mut requirement_unified).unwrap();
         prop_assert_eq!(staged.checkpoints(), straight.checkpoints());
