@@ -1,0 +1,36 @@
+//! `ncdrf_lint [ROOT]` — run the repo-invariant lint over the
+//! workspace tree (default: the current directory) and print one line
+//! per finding.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/IO error.
+
+use ncdrf_analyze::lint::lint_tree;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let root = args
+        .next()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    if args.next().is_some() {
+        eprintln!("usage: ncdrf_lint [ROOT]");
+        exit(2);
+    }
+    match lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("ncdrf_lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("ncdrf_lint: {} finding(s)", findings.len());
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("ncdrf_lint: {e}");
+            exit(2);
+        }
+    }
+}

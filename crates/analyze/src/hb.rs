@@ -1,0 +1,469 @@
+//! Happens-before analysis over scheduler traces: vector-clock race
+//! candidates and a lock-acquisition-order graph.
+//!
+//! [`Analysis::absorb`] replays one [`Trace`] (the event log of one
+//! explored schedule) through per-thread vector clocks:
+//!
+//! * lock release → next acquire of the same lock is an ordering edge,
+//! * condvar notify → the wakeups it causes is an ordering edge,
+//! * spawn → child begin and child exit → join are ordering edges.
+//!
+//! A [`trace_access`](parking_lot::trace_access) annotation that is not
+//! ordered (in vector-clock terms) against the previous write — or, for
+//! a write, against previous reads — of the same location becomes a
+//! *race candidate*. Candidates accumulate across every absorbed trace
+//! and are reported by the location labels involved, deduplicated, so
+//! one data race shows up once no matter how many schedules expose it.
+//!
+//! Independently, every `Acquire` taken while other locks are held adds
+//! `held → acquired` edges to a lock-order graph keyed on lock *names*.
+//! A cycle in that graph ([`Analysis::lock_cycles`]) is an
+//! acquisition-order inversion: two schedules exist whose nested
+//! acquisitions oppose each other — the classic AB/BA deadlock recipe —
+//! even if no explored schedule actually deadlocked.
+
+use parking_lot::model::{Op, Tid, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A vector clock: thread id → logical time.
+type VClock = BTreeMap<Tid, u64>;
+
+fn join_into(into: &mut VClock, other: &VClock) {
+    for (&tid, &t) in other {
+        let slot = into.entry(tid).or_insert(0);
+        *slot = (*slot).max(t);
+    }
+}
+
+/// `a ≤ b` componentwise: everything `a` knew, `b` knows.
+fn leq(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .all(|(tid, &t)| b.get(tid).copied().unwrap_or(0) >= t)
+}
+
+/// One unordered pair of conflicting accesses, reported by label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RaceCandidate {
+    /// Label of the earlier access in the trace.
+    pub first: String,
+    /// Label of the later access.
+    pub second: String,
+    /// Whether the later access was a write (a read/write or
+    /// write/write conflict; read/read pairs never race).
+    pub on_write: bool,
+}
+
+/// Accumulated happens-before facts across every absorbed trace.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    traces: usize,
+    races: BTreeSet<RaceCandidate>,
+    /// Lock-order edges `held → acquired`, by lock name, with the
+    /// number of times each nesting was observed.
+    edges: BTreeMap<(String, String), u64>,
+}
+
+/// Per-location access history (FastTrack-style, simplified: full
+/// clocks, no epochs — traces are tiny).
+#[derive(Default)]
+struct Location {
+    last_write: Option<(Tid, VClock, String)>,
+    /// Reads since the last write, per thread.
+    reads: BTreeMap<Tid, (VClock, String)>,
+}
+
+impl Analysis {
+    /// An empty analysis.
+    pub fn new() -> Analysis {
+        Analysis::default()
+    }
+
+    /// Traces absorbed so far.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    /// Race candidates found so far, deduplicated by label pair.
+    pub fn races(&self) -> impl Iterator<Item = &RaceCandidate> {
+        self.races.iter()
+    }
+
+    /// Observed lock-order edges `(held, acquired) → count`.
+    pub fn lock_edges(&self) -> impl Iterator<Item = (&(String, String), u64)> {
+        self.edges.iter().map(|(e, &n)| (e, n))
+    }
+
+    /// Cycles in the lock-order graph: each returned set of lock names
+    /// is a strongly-connected component with at least one internal
+    /// edge, i.e. a witness that nested acquisition order is inverted
+    /// somewhere in the explored schedules.
+    pub fn lock_cycles(&self) -> Vec<Vec<String>> {
+        let mut nodes: BTreeSet<&str> = BTreeSet::new();
+        for (a, b) in self.edges.keys() {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let nodes: Vec<&str> = nodes.into_iter().collect();
+        let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut self_loop = vec![false; nodes.len()];
+        for (a, b) in self.edges.keys() {
+            let (ia, ib) = (index[a.as_str()], index[b.as_str()]);
+            if ia == ib {
+                self_loop[ia] = true;
+            } else {
+                succ[ia].push(ib);
+            }
+        }
+
+        // Tarjan's SCC, iterative to keep recursion out of test stacks.
+        let n = nodes.len();
+        let mut idx = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if idx[start] != usize::MAX {
+                continue;
+            }
+            // (node, next successor position)
+            let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+                if *pos == 0 {
+                    idx[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = succ[v].get(*pos) {
+                    *pos += 1;
+                    if idx[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(idx[w]);
+                    }
+                } else {
+                    if low[v] == idx[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+
+        let mut cycles: Vec<Vec<String>> = sccs
+            .into_iter()
+            .filter(|c| c.len() > 1 || (c.len() == 1 && self_loop[c[0]]))
+            .map(|c| {
+                let mut names: Vec<String> = c.into_iter().map(|i| nodes[i].to_owned()).collect();
+                names.sort();
+                names
+            })
+            .collect();
+        cycles.sort();
+        cycles
+    }
+
+    /// Replays one trace through the vector clocks, accumulating race
+    /// candidates and lock-order edges.
+    pub fn absorb(&mut self, trace: &Trace) {
+        self.traces += 1;
+        let mut clocks: BTreeMap<Tid, VClock> = BTreeMap::new();
+        let mut lock_release: BTreeMap<usize, VClock> = BTreeMap::new();
+        let mut cv_clock: BTreeMap<usize, VClock> = BTreeMap::new();
+        let mut held: BTreeMap<Tid, Vec<usize>> = BTreeMap::new();
+        let mut locations: BTreeMap<usize, Location> = BTreeMap::new();
+
+        for event in &trace.events {
+            let tid = event.tid;
+            {
+                let clock = clocks.entry(tid).or_default();
+                *clock.entry(tid).or_insert(0) += 1;
+            }
+            match &event.op {
+                Op::Begin | Op::Exit { .. } => {}
+                Op::Spawn { child } => {
+                    let parent = clocks.entry(tid).or_default().clone();
+                    join_into(clocks.entry(*child).or_default(), &parent);
+                }
+                Op::Join { child } => {
+                    let final_clock = clocks.entry(*child).or_default().clone();
+                    join_into(clocks.entry(tid).or_default(), &final_clock);
+                }
+                Op::Acquire { lock } => {
+                    if let Some(release) = lock_release.get(lock) {
+                        join_into(clocks.entry(tid).or_default(), release);
+                    }
+                    let stack = held.entry(tid).or_default();
+                    for &h in stack.iter() {
+                        let edge = (trace.name_of(h), trace.name_of(*lock));
+                        *self.edges.entry(edge).or_insert(0) += 1;
+                    }
+                    stack.push(*lock);
+                }
+                Op::Release { lock } => {
+                    lock_release.insert(*lock, clocks.entry(tid).or_default().clone());
+                    if let Some(stack) = held.get_mut(&tid) {
+                        if let Some(pos) = stack.iter().rposition(|l| l == lock) {
+                            stack.remove(pos);
+                        }
+                    }
+                }
+                Op::Wait { cv: _, lock } => {
+                    // The wait releases the lock; the matching Wake
+                    // reacquires it.
+                    lock_release.insert(*lock, clocks.entry(tid).or_default().clone());
+                    if let Some(stack) = held.get_mut(&tid) {
+                        if let Some(pos) = stack.iter().rposition(|l| l == lock) {
+                            stack.remove(pos);
+                        }
+                    }
+                }
+                Op::Wake { cv, lock } => {
+                    let notify = cv_clock.entry(*cv).or_default().clone();
+                    let clock = clocks.entry(tid).or_default();
+                    join_into(clock, &notify);
+                    if let Some(release) = lock_release.get(lock) {
+                        join_into(clock, release);
+                    }
+                    held.entry(tid).or_default().push(*lock);
+                }
+                Op::NotifyOne { cv, .. } | Op::NotifyAll { cv, .. } => {
+                    let clock = clocks.entry(tid).or_default().clone();
+                    join_into(cv_clock.entry(*cv).or_default(), &clock);
+                }
+                Op::Access { addr, write, label } => {
+                    let clock = clocks.entry(tid).or_default().clone();
+                    let loc = locations.entry(*addr).or_default();
+                    if let Some((wtid, wclock, wlabel)) = &loc.last_write {
+                        if *wtid != tid && !leq(wclock, &clock) {
+                            self.races.insert(RaceCandidate {
+                                first: wlabel.clone(),
+                                second: (*label).to_owned(),
+                                on_write: *write,
+                            });
+                        }
+                    }
+                    if *write {
+                        for (rtid, (rclock, rlabel)) in &loc.reads {
+                            if *rtid != tid && !leq(rclock, &clock) {
+                                self.races.insert(RaceCandidate {
+                                    first: rlabel.clone(),
+                                    second: (*label).to_owned(),
+                                    on_write: true,
+                                });
+                            }
+                        }
+                        loc.last_write = Some((tid, clock, (*label).to_owned()));
+                        loc.reads.clear();
+                    } else {
+                        loc.reads.insert(tid, (clock, (*label).to_owned()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::model::Event;
+
+    fn ev(tid: Tid, op: Op) -> Event {
+        Event { tid, op }
+    }
+
+    fn named(events: Vec<Event>, names: &[(usize, &str)]) -> Trace {
+        Trace {
+            events,
+            names: names.iter().map(|&(k, n)| (k, n.to_owned())).collect(),
+            schedule: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unlocked_concurrent_writes_are_race_candidates() {
+        let mut a = Analysis::new();
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(
+                    0,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "cell",
+                    },
+                ),
+                ev(1, Op::Begin),
+                ev(
+                    1,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "cell",
+                    },
+                ),
+                ev(1, Op::Exit { panicked: false }),
+                ev(0, Op::Join { child: 1 }),
+            ],
+            &[],
+        ));
+        let races: Vec<_> = a.races().collect();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].first, "cell");
+        assert!(races[0].on_write);
+    }
+
+    #[test]
+    fn lock_protected_writes_are_ordered() {
+        let mut a = Analysis::new();
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(0, Op::Acquire { lock: 100 }),
+                ev(
+                    0,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "cell",
+                    },
+                ),
+                ev(0, Op::Release { lock: 100 }),
+                ev(1, Op::Begin),
+                ev(1, Op::Acquire { lock: 100 }),
+                ev(
+                    1,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "cell",
+                    },
+                ),
+                ev(1, Op::Release { lock: 100 }),
+                ev(1, Op::Exit { panicked: false }),
+                ev(0, Op::Join { child: 1 }),
+            ],
+            &[(100, "the.lock")],
+        ));
+        assert_eq!(a.races().count(), 0);
+    }
+
+    #[test]
+    fn join_orders_child_accesses_before_parent_reads() {
+        let mut a = Analysis::new();
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(1, Op::Begin),
+                ev(
+                    1,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "result",
+                    },
+                ),
+                ev(1, Op::Exit { panicked: false }),
+                ev(0, Op::Join { child: 1 }),
+                ev(
+                    0,
+                    Op::Access {
+                        addr: 8,
+                        write: false,
+                        label: "result",
+                    },
+                ),
+            ],
+            &[],
+        ));
+        assert_eq!(a.races().count(), 0);
+    }
+
+    #[test]
+    fn opposed_nestings_form_a_lock_cycle() {
+        let mut a = Analysis::new();
+        // Schedule 1 nests a→b, schedule 2 nests b→a.
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Acquire { lock: 1 }),
+                ev(0, Op::Acquire { lock: 2 }),
+                ev(0, Op::Release { lock: 2 }),
+                ev(0, Op::Release { lock: 1 }),
+            ],
+            &[(1, "lock.a"), (2, "lock.b")],
+        ));
+        assert!(a.lock_cycles().is_empty(), "one nesting is no inversion");
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Acquire { lock: 2 }),
+                ev(0, Op::Acquire { lock: 1 }),
+                ev(0, Op::Release { lock: 1 }),
+                ev(0, Op::Release { lock: 2 }),
+            ],
+            &[(1, "lock.a"), (2, "lock.b")],
+        ));
+        assert_eq!(
+            a.lock_cycles(),
+            vec![vec!["lock.a".to_owned(), "lock.b".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn condvar_notify_orders_the_wakeup() {
+        let mut a = Analysis::new();
+        a.absorb(&named(
+            vec![
+                ev(0, Op::Spawn { child: 1 }),
+                ev(1, Op::Begin),
+                ev(1, Op::Acquire { lock: 100 }),
+                ev(1, Op::Wait { cv: 200, lock: 100 }),
+                ev(
+                    0,
+                    Op::Access {
+                        addr: 8,
+                        write: true,
+                        label: "payload",
+                    },
+                ),
+                ev(
+                    0,
+                    Op::NotifyOne {
+                        cv: 200,
+                        woken: Some(1),
+                    },
+                ),
+                ev(1, Op::Wake { cv: 200, lock: 100 }),
+                ev(
+                    1,
+                    Op::Access {
+                        addr: 8,
+                        write: false,
+                        label: "payload",
+                    },
+                ),
+                ev(1, Op::Release { lock: 100 }),
+                ev(1, Op::Exit { panicked: false }),
+                ev(0, Op::Join { child: 1 }),
+            ],
+            &[(100, "m"), (200, "cv")],
+        ));
+        assert_eq!(a.races().count(), 0);
+    }
+}

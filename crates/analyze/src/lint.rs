@@ -1,0 +1,649 @@
+//! Token-level repo-invariant lint for the workspace source tree.
+//!
+//! The rules encode invariants earlier PRs fixed bugs against, so they
+//! stay fixed:
+//!
+//! * **wall-clock** — no `SystemTime::now` / `Instant::now` outside the
+//!   injected-clock module, the bench/profiling harnesses and the one
+//!   deadline-polling e2e helper. Everything timing-sensitive takes a
+//!   `Clock` (or an explicit `now` parameter) so it is steerable under
+//!   test and under the model checker.
+//! * **float-format** — no float formatting (`{:.N}`, `{:e}`) inside a
+//!   JSON-building string literal of the wire/artifact render files;
+//!   `json_number` is the one sanctioned float serializer, keeping
+//!   artifact bytes exact across round-trips.
+//! * **daemon-unwrap** — no `.unwrap(` / `.expect(` in the farm's
+//!   request-handling files; a malformed request must map to an HTTP
+//!   error, never a daemon panic.
+//! * **kind-literal / kind-orphan** — artifact kind strings
+//!   (`ncdrf-sweep-shard`-shaped) may appear only as `const … : &str`
+//!   initializers, and each such const must be referenced at least
+//!   twice outside tests (the renderer *and* the parser), so the two
+//!   sides cannot silently disagree.
+//! * **version-literal** — wire `version` members must be written from
+//!   a named const, never a bare integer literal.
+//!
+//! The scanner is a small hand-rolled Rust lexer (strings, raw strings,
+//! nested block comments, char-vs-lifetime disambiguation), so rules
+//! see token sequences, not raw text — a mention of `SystemTime::now`
+//! in a comment or a string fixture does not trip the rule. Tokens at
+//! and after a `#[cfg(test)]` marker are ignored: unit tests may use
+//! whatever they like.
+
+use std::path::{Path, PathBuf};
+
+/// Files (or directory prefixes, ending in `/`) where wall-clock reads
+/// are sanctioned.
+const WALL_CLOCK_ALLOW: &[&str] = &[
+    // The injected-clock abstraction itself: the one sanctioned
+    // `SystemTime::now` of the non-bench tree.
+    "crates/farm/src/clock.rs",
+    // Benchmarks and profiling harnesses measure real elapsed time.
+    "crates/bench/",
+    "crates/experiments/src/bin/profile_stages.rs",
+    "crates/experiments/src/bin/cache_scan.rs",
+    // The e2e helper polls a real daemon with a real deadline.
+    "tests/farm_e2e.rs",
+];
+
+/// The wire/artifact render-and-parse files: everything whose bytes
+/// must survive a round-trip exactly.
+const WIRE_FILES: &[&str] = &[
+    "crates/core/src/report.rs",
+    "crates/core/src/artifact.rs",
+    "crates/farm/src/json.rs",
+    "crates/farm/src/api.rs",
+    "crates/farm/src/worker.rs",
+    "crates/farm/src/http.rs",
+];
+
+/// The farm's request-handling files: panics here take the daemon down.
+const DAEMON_FILES: &[&str] = &["crates/farm/src/api.rs", "crates/farm/src/http.rs"];
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.detail
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+/// Lexes `source` into the token stream the rules inspect. Comments and
+/// lifetimes produce no tokens; string literals keep their raw inner
+/// text (escapes unprocessed — the rules only substring-match).
+fn lex(source: &str) -> Vec<Token> {
+    let b: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+    let bump = |c: char, line: &mut usize| {
+        if c == '\n' {
+            *line += 1;
+        }
+    };
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        bump(b[i], &mut line);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut text = String::new();
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        text.push(b[i]);
+                        text.push(b[i + 1]);
+                        bump(b[i + 1], &mut line);
+                        i += 2;
+                    } else if b[i] == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        bump(b[i], &mut line);
+                        text.push(b[i]);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(text),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if is_raw_string_start(&b, i) => {
+                // r"…", r#"…"#, br#"…"# — find the opening quote, count
+                // hashes, then scan to `"` + the same number of hashes.
+                let start_line = line;
+                let mut j = i;
+                while b[j] != 'r' {
+                    j += 1;
+                }
+                j += 1;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert_eq!(b[j], '"');
+                j += 1;
+                let mut text = String::new();
+                while j < n {
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while k < n && b[k] == '#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                    }
+                    bump(b[j], &mut line);
+                    text.push(b[j]);
+                    j += 1;
+                }
+                i = j;
+                tokens.push(Token {
+                    tok: Tok::Str(text),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'static`) or char literal (`'a'`, `'\n'`).
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 2;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        i = j + 1; // char literal like 'a'
+                    } else {
+                        i = j; // lifetime: emit nothing
+                    }
+                } else {
+                    // Escaped or symbolic char literal.
+                    let mut j = i + 1;
+                    if j < n && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while i < n
+                    && (b[i].is_alphanumeric()
+                        || b[i] == '_'
+                        || (b[i] == '.'
+                            && i + 1 < n
+                            && b[i + 1].is_ascii_digit()
+                            && !text.contains('.')))
+                {
+                    text.push(b[i]);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Num(text),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    text.push(b[i]);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    line,
+                });
+            }
+            other => {
+                tokens.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // r" r# b" (byte strings treated like plain strings elsewhere) br"
+    let n = b.len();
+    match b[i] {
+        'r' => i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#'),
+        'b' => {
+            if i + 1 < n && b[i + 1] == '"' {
+                false // b"…" is an ordinary (byte) string; lex as ident+str
+            } else {
+                i + 2 < n && b[i + 1] == 'r' && (b[i + 2] == '"' || b[i + 2] == '#')
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Truncates the token stream at the first `#[cfg(test)]`: unit-test
+/// modules sit at the bottom of their files by workspace convention,
+/// and nothing after the marker participates in lint rules.
+fn strip_tests(tokens: Vec<Token>) -> Vec<Token> {
+    let ident = |t: &Token, s: &str| matches!(&t.tok, Tok::Ident(i) if i == s);
+    let punct = |t: &Token, c: char| t.tok == Tok::Punct(c);
+    for w in 0..tokens.len().saturating_sub(5) {
+        if punct(&tokens[w], '#')
+            && punct(&tokens[w + 1], '[')
+            && ident(&tokens[w + 2], "cfg")
+            && punct(&tokens[w + 3], '(')
+            && ident(&tokens[w + 4], "test")
+        {
+            return tokens[..w].to_vec();
+        }
+    }
+    tokens
+}
+
+fn allowed(rel: &str, allowlist: &[&str]) -> bool {
+    allowlist
+        .iter()
+        .any(|a| rel == *a || (a.ends_with('/') && rel.starts_with(a)))
+}
+
+fn is_kind_literal(s: &str) -> bool {
+    let prefix = concat!("ncdrf", "-");
+    match s.strip_prefix(prefix) {
+        Some(rest) => {
+            !rest.is_empty()
+                && rest
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        }
+        None => false,
+    }
+}
+
+fn has_float_format(s: &str) -> bool {
+    // `{:.2}`, `{v:.3}`, `{:e}`, `{:E}` — precision or exponent specs.
+    let chars: Vec<char> = s.chars().collect();
+    for i in 0..chars.len() {
+        if chars[i] != ':' {
+            continue;
+        }
+        // Inside a format placeholder? Look back for `{` without `}`.
+        let mut j = i;
+        let mut in_placeholder = false;
+        while j > 0 {
+            j -= 1;
+            match chars[j] {
+                '{' => {
+                    in_placeholder = true;
+                    break;
+                }
+                '}' | ' ' | '"' => break,
+                _ => {}
+            }
+        }
+        if !in_placeholder {
+            continue;
+        }
+        if matches!(chars.get(i + 1), Some('.') | Some('e') | Some('E')) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one file's source. `rel` is the repo-relative path with
+/// forward slashes; the rules applied depend on it.
+pub fn lint_source(rel: &str, source: &str) -> Vec<LintFinding> {
+    let tokens = strip_tests(lex(source));
+    let mut findings = Vec::new();
+    let ident = |t: &Token, s: &str| matches!(&t.tok, Tok::Ident(i) if i == s);
+    let punct = |t: &Token, c: char| t.tok == Tok::Punct(c);
+
+    // wall-clock
+    if !allowed(rel, WALL_CLOCK_ALLOW) {
+        for w in 0..tokens.len().saturating_sub(3) {
+            let root = match &tokens[w].tok {
+                Tok::Ident(i) if i == "SystemTime" || i == "Instant" => i.clone(),
+                _ => continue,
+            };
+            if punct(&tokens[w + 1], ':')
+                && punct(&tokens[w + 2], ':')
+                && ident(&tokens[w + 3], "now")
+            {
+                findings.push(LintFinding {
+                    path: rel.to_owned(),
+                    line: tokens[w].line,
+                    rule: "wall-clock",
+                    detail: format!(
+                        "`{root}::now` outside the injected-clock allowlist; take a `Clock` \
+                         or an explicit `now` parameter instead"
+                    ),
+                });
+            }
+        }
+    }
+
+    // float-format (wire files only): a float spec inside a string that
+    // also builds JSON (contains a quote).
+    if WIRE_FILES.contains(&rel) {
+        for t in &tokens {
+            if let Tok::Str(s) = &t.tok {
+                if has_float_format(s) && s.contains('"') {
+                    findings.push(LintFinding {
+                        path: rel.to_owned(),
+                        line: t.line,
+                        rule: "float-format",
+                        detail: "float formatting inside a JSON-building literal; \
+                                 route the value through `json_number`"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    // daemon-unwrap
+    if DAEMON_FILES.contains(&rel) {
+        for w in 0..tokens.len().saturating_sub(2) {
+            if punct(&tokens[w], '.')
+                && (ident(&tokens[w + 1], "unwrap") || ident(&tokens[w + 1], "expect"))
+                && punct(&tokens[w + 2], '(')
+            {
+                findings.push(LintFinding {
+                    path: rel.to_owned(),
+                    line: tokens[w + 1].line,
+                    rule: "daemon-unwrap",
+                    detail: "panic path in request handling; map the failure to an \
+                             HTTP error instead"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    // kind-literal / kind-orphan / version-literal: library sources only.
+    let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
+    if in_crate_src {
+        let mut kind_consts: Vec<(String, usize)> = Vec::new();
+        for w in 0..tokens.len() {
+            let Tok::Str(s) = &tokens[w].tok else {
+                continue;
+            };
+            if !is_kind_literal(s) {
+                continue;
+            }
+            // A definition looks like: const NAME : & str = "ncdrf-…"
+            // (the `'static` lifetime, if any, lexes to nothing).
+            let is_def = w >= 6
+                && ident(&tokens[w - 6], "const")
+                && matches!(&tokens[w - 5].tok, Tok::Ident(_))
+                && punct(&tokens[w - 4], ':')
+                && punct(&tokens[w - 3], '&')
+                && ident(&tokens[w - 2], "str")
+                && punct(&tokens[w - 1], '=');
+            if is_def {
+                if let Tok::Ident(name) = &tokens[w - 5].tok {
+                    kind_consts.push((name.clone(), tokens[w].line));
+                }
+            } else {
+                findings.push(LintFinding {
+                    path: rel.to_owned(),
+                    line: tokens[w].line,
+                    rule: "kind-literal",
+                    detail: format!(
+                        "artifact kind `{s}` written as a bare literal; renderers and \
+                         parsers must share a named const"
+                    ),
+                });
+            }
+        }
+        for (name, line) in &kind_consts {
+            let uses = tokens
+                .iter()
+                .filter(|t| matches!(&t.tok, Tok::Ident(i) if i == name))
+                .count();
+            // Definition + renderer + parser = at least 3 mentions.
+            if uses < 3 {
+                findings.push(LintFinding {
+                    path: rel.to_owned(),
+                    line: *line,
+                    rule: "kind-orphan",
+                    detail: format!(
+                        "kind const `{name}` referenced {} time(s); renderer and parser \
+                         must both use it",
+                        uses.saturating_sub(1)
+                    ),
+                });
+            }
+        }
+    }
+    if WIRE_FILES.contains(&rel) {
+        for w in 0..tokens.len().saturating_sub(2) {
+            if matches!(&tokens[w].tok, Tok::Str(s) if s == "version")
+                && punct(&tokens[w + 1], ',')
+                && matches!(&tokens[w + 2].tok, Tok::Num(_))
+            {
+                findings.push(LintFinding {
+                    path: rel.to_owned(),
+                    line: tokens[w].line,
+                    rule: "version-literal",
+                    detail: "wire `version` written from a bare integer; use the \
+                             format-version const"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root`: every `.rs` file under
+/// `crates/`, `tests/` and `examples/` (the vendored stand-ins under
+/// `vendor/` are third-party API surface, not workspace code).
+///
+/// # Errors
+///
+/// `root` not containing a `crates/` directory (wrong invocation dir).
+pub fn lint_tree(root: &Path) -> Result<Vec<LintFinding>, String> {
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    for sub in ["crates", "tests", "examples"] {
+        walk(&root.join(sub), &mut files);
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_lexer_sees_through_comments_strings_and_lifetimes() {
+        let src = r##"
+            // Instant::now in a comment
+            /* SystemTime::now in /* a nested */ block */
+            fn f<'a>(x: &'a str) -> char {
+                let _s = "Instant::now inside a string";
+                let _r = r#"SystemTime::now inside a raw string"#;
+                'x'
+            }
+        "##;
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged_outside_the_allowlist() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }";
+        let found = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "wall-clock");
+        assert!(lint_source("crates/bench/benches/x.rs", src).is_empty());
+        assert!(lint_source("tests/farm_e2e.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { let _ = Instant::now(); } }";
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_formatting_in_json_literals_is_flagged() {
+        let json = "fn f(v: f64) -> String { format!(\"\\\"mean\\\":{:.3}\", v) }";
+        let found = lint_source("crates/farm/src/json.rs", json);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "float-format");
+        // CSV-style float formatting (no quotes) is not wire bytes.
+        let csv = "fn f(v: f64) -> String { format!(\"{},{:.2}\", 1, v) }";
+        assert!(lint_source("crates/core/src/report.rs", csv).is_empty());
+        // Non-wire files may format floats freely.
+        assert!(lint_source("crates/core/src/distribution.rs", json).is_empty());
+    }
+
+    #[test]
+    fn daemon_unwraps_are_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let found = lint_source("crates/farm/src/api.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "daemon-unwrap");
+        assert!(lint_source("crates/farm/src/farm.rs", src).is_empty());
+        // unwrap_or is a different, total, method.
+        let total = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        assert!(lint_source("crates/farm/src/api.rs", total).is_empty());
+    }
+
+    #[test]
+    fn kind_strings_must_be_shared_consts() {
+        let bare = concat!("fn f() -> &'static str { \"", "ncdrf", "-bogus-kind\" }");
+        let found = lint_source("crates/core/src/report.rs", bare);
+        assert!(found.iter().any(|f| f.rule == "kind-literal"), "{found:?}");
+
+        let shared = concat!(
+            "const K: &str = \"",
+            "ncdrf",
+            "-good-kind\";\n",
+            "fn render() -> &'static str { K }\n",
+            "fn parse(s: &str) -> bool { s == K }\n"
+        );
+        assert!(lint_source("crates/core/src/report.rs", shared).is_empty());
+
+        let orphan = concat!(
+            "const K: &str = \"",
+            "ncdrf",
+            "-lonely-kind\";\n",
+            "fn render() -> &'static str { K }\n"
+        );
+        let found = lint_source("crates/core/src/report.rs", orphan);
+        assert!(found.iter().any(|f| f.rule == "kind-orphan"), "{found:?}");
+    }
+
+    #[test]
+    fn bare_version_literals_are_flagged() {
+        let src = "fn f(o: &mut J) { o.integer(\"version\", 3); }";
+        let found = lint_source("crates/core/src/report.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "version-literal");
+        let good = "fn f(o: &mut J) { o.integer(\"version\", SHARD_VERSION); }";
+        assert!(lint_source("crates/core/src/report.rs", good).is_empty());
+    }
+}

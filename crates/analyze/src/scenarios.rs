@@ -1,0 +1,282 @@
+//! Model-check scenarios over the *real* workspace concurrency: the
+//! `ncdrf_exec::Pool` work-claiming protocol and the `ncdrf_farm::Farm`
+//! lease protocol, each wrapped as a closure the scheduler can replay
+//! under every interleaving.
+//!
+//! Scenario closures must be **deterministic given the schedule**: all
+//! branching inside them flows from the order the virtual scheduler
+//! grants sync operations, never from wall time, addresses or iteration
+//! order of unordered containers. The farm scenario therefore steers
+//! time through [`Clock::manual`] and builds its (expensive, but
+//! schedule-independent) sweep fixture once, outside any exploration.
+
+use crate::sync::thread;
+use ncdrf::{CacheStats, GridSignature, SweepShard};
+use ncdrf_exec::Pool;
+use ncdrf_farm::{Clock, Farm, FarmConfig, JobSpec, JobState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The job spec the farm scenario submits: the smallest preset grid the
+/// farm accepts, shrunk to one loop and one budget so a full sweep of
+/// its cells stays microscopic.
+pub const FARM_SCENARIO_SPEC: &str = r#"{"grid":"fig89","corpus":"small","take":1,"budgets":[32]}"#;
+
+/// Everything the farm scenario needs that is expensive to compute but
+/// independent of scheduling: the grid, one pre-evaluated artifact per
+/// cell, and the report bytes + summed counters a sequential reference
+/// run produces. Built once per process (see [`farm_fixture`]).
+pub struct FarmFixture {
+    /// Total grid cells of [`FARM_SCENARIO_SPEC`].
+    pub cells: usize,
+    /// The grid identity.
+    pub signature: GridSignature,
+    /// One single-cell artifact per task index.
+    pub cell_artifacts: Vec<SweepShard>,
+    /// Report bytes a sequential farm run serves for this job.
+    pub expected_report: String,
+    /// Summed per-cell cache counters of that report.
+    pub expected_scheduling: CacheStats,
+}
+
+/// The fixture, built on first use. Callers constructing a scenario
+/// *must* take this before `model::explore` starts (the factory
+/// functions below do), so its lock traffic never lands inside an
+/// exploration and every schedule replays identically.
+pub fn farm_fixture() -> &'static FarmFixture {
+    static FIXTURE: OnceLock<FarmFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = JobSpec::from_json(FARM_SCENARIO_SPEC).expect("scenario spec parses");
+        let signature = spec.signature().expect("scenario grid builds");
+        let cells = signature.total_tasks();
+        assert!(
+            (2..=16).contains(&cells),
+            "scenario grid should stay small, got {cells} cells"
+        );
+        let (corpus, machines) = ncdrf::rebuild_grid(&signature).expect("scenario grid rebuilds");
+        let sweep = ncdrf::sweep_for_signature(&signature, &corpus, machines);
+        let cell_artifacts: Vec<SweepShard> = (0..cells as u64)
+            .map(|t| {
+                sweep
+                    .issue_cells(&[t], &[], &[])
+                    .expect("scenario cell evaluates")
+            })
+            .collect();
+
+        // Sequential reference run: one farm, one lease, one delivery.
+        let farm = Farm::new(FarmConfig {
+            lease_cells: cells,
+            artifact_dir: None,
+            ..FarmConfig::default()
+        });
+        let receipt = farm
+            .submit(FARM_SCENARIO_SPEC, 0)
+            .expect("reference submit");
+        let offer = farm.claim("reference", 0).expect("reference claim");
+        let artifact = artifact_for_tasks(&cell_artifacts, &offer.tasks);
+        let delivered = farm
+            .deliver(offer.lease, artifact, 1)
+            .expect("reference deliver");
+        assert!(delivered.complete, "one full lease completes the job");
+        let status = farm.status(&receipt.job).expect("reference status");
+        FarmFixture {
+            cells,
+            signature,
+            cell_artifacts,
+            expected_report: farm.report(&receipt.job).expect("reference report"),
+            expected_scheduling: status.scheduling.expect("complete job publishes counters"),
+        }
+    })
+}
+
+/// Builds the artifact a (real or simulated) worker delivers for a
+/// lease over `tasks`: the pre-evaluated single-cell artifacts of those
+/// tasks, reconciled into one shard.
+pub fn artifact_for_tasks(cell_artifacts: &[SweepShard], tasks: &[u64]) -> SweepShard {
+    let shards: Vec<SweepShard> = tasks
+        .iter()
+        .map(|&t| cell_artifacts[usize::try_from(t).expect("task index fits")].clone())
+        .collect();
+    SweepShard::reconcile(&shards).expect("pre-evaluated cells reconcile")
+}
+
+/// Cross-schedule observations of the farm scenario: which corner cases
+/// the exploration actually drove through, counted over all schedules.
+/// The per-schedule invariants live inside the scenario (as asserts);
+/// these only establish coverage.
+#[derive(Debug, Default)]
+pub struct FarmProbes {
+    /// Schedules in which at least one lease expired.
+    pub schedules_with_expiry: AtomicUsize,
+    /// Schedules in which the same grid cell was delivered more than
+    /// once (an expired lease delivered late plus its re-lease).
+    pub schedules_with_duplicates: AtomicUsize,
+}
+
+/// The pool scenario: `workers` pool threads race over a `tasks`-cell
+/// grid (optionally with one task panicking), and every schedule must
+/// leave results index-ordered, each task executed exactly once, and
+/// the panic — if seeded — isolated to its own slot.
+pub fn pool_scenario(
+    workers: usize,
+    tasks: usize,
+    panic_at: Option<usize>,
+) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let executed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..tasks).map(|_| AtomicUsize::new(0)).collect());
+        let pool = Pool::with_workers(workers);
+        let grid = Arc::clone(&executed);
+        let results = pool.run(tasks, move |i| {
+            grid[i].fetch_add(1, Ordering::SeqCst);
+            if Some(i) == panic_at {
+                panic!("seeded task panic");
+            }
+            i * 10
+        });
+        assert_eq!(results.len(), tasks, "one result slot per task");
+        for (i, result) in results.iter().enumerate() {
+            if Some(i) == panic_at {
+                let e = result.as_ref().expect_err("seeded panic lands in its slot");
+                assert_eq!(e.index, i, "panic reports its own index");
+            } else {
+                let v = result.as_ref().expect("healthy task yields its value");
+                assert_eq!(*v, i * 10, "results are index-ordered");
+            }
+        }
+        for (i, count) in executed.iter().enumerate() {
+            assert_eq!(count.load(Ordering::SeqCst), 1, "task {i} ran exactly once");
+        }
+        drop(pool); // shutdown + join under the model, every schedule
+    }
+}
+
+/// The farm lease-protocol scenario: one worker claims and delivers,
+/// one ticker advances a manual clock past every lease deadline and
+/// ticks (expiry + heal), and the root thread then drains the farm to
+/// completion. Every schedule must end with the job complete, every
+/// cell resolved, the completion receipt issued exactly once, and the
+/// report bytes + summed `CacheStats` equal to the sequential
+/// reference — the "each counter counted exactly once" invariant, which
+/// duplicate deliveries from expired leases must not break.
+pub fn farm_lease_scenario(probes: Arc<FarmProbes>) -> impl Fn() + Send + Sync + 'static {
+    let fixture = farm_fixture();
+    move || {
+        let lease_cells = fixture.cells.div_ceil(2);
+        let farm = Arc::new(Farm::new(FarmConfig {
+            queue_cap: 2,
+            max_cells: 4096,
+            lease_ms: 10,
+            lease_cells,
+            artifact_dir: None,
+        }));
+        let clock = Clock::manual(0);
+        let receipt = farm
+            .submit(FARM_SCENARIO_SPEC, clock.now_ms())
+            .expect("scenario submit");
+        assert_eq!(receipt.cells, fixture.cells);
+        let job = receipt.job.clone();
+        let completions = Arc::new(AtomicUsize::new(0));
+        let delivered_cells = Arc::new(AtomicUsize::new(0));
+        let mut expired_total = 0usize;
+
+        // Two workers, so one worker's expired cells can be re-leased
+        // and re-delivered by the other *before* the late delivery
+        // arrives — the duplicate-delivery corner of at-least-once.
+        let spawn_worker = |name: &'static str| {
+            let farm = Arc::clone(&farm);
+            let clock = clock.clone();
+            let completions = Arc::clone(&completions);
+            let delivered_cells = Arc::clone(&delivered_cells);
+            thread::spawn(move || {
+                if let Some(offer) = farm.claim(name, clock.now_ms()) {
+                    let artifact = artifact_for_tasks(&fixture.cell_artifacts, &offer.tasks);
+                    delivered_cells.fetch_add(offer.tasks.len(), Ordering::SeqCst);
+                    // At-least-once delivery: even if the ticker expired
+                    // this lease in between, the late artifact is good.
+                    let r = farm
+                        .deliver(offer.lease, artifact, clock.now_ms())
+                        .expect("scenario deliver");
+                    if r.complete {
+                        completions.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        };
+        let worker = spawn_worker("scenario-worker-1");
+        let worker2 = spawn_worker("scenario-worker-2");
+        let ticker = {
+            let farm = Arc::clone(&farm);
+            let clock = clock.clone();
+            thread::spawn(move || {
+                // Jump the farm clock past every outstanding deadline,
+                // then tick: any claimed-but-undelivered lease expires
+                // and its cells requeue.
+                clock.advance(1_000);
+                farm.tick(clock.now_ms()).expired
+            })
+        };
+        worker.join().expect("scenario worker 1");
+        worker2.join().expect("scenario worker 2");
+        expired_total += ticker.join().expect("scenario ticker");
+
+        // Drain to completion on the root thread: tick (expiry + heal)
+        // then claim/deliver until the job reports complete. Bounded —
+        // a lost cell (requeued nowhere, leased nowhere) would spin
+        // here forever, so the bound converts it into a counterexample.
+        let mut rounds = 0usize;
+        loop {
+            let status = farm.status(&job).expect("scenario status");
+            if status.state == JobState::Complete {
+                break;
+            }
+            rounds += 1;
+            assert!(
+                rounds <= 2 * fixture.cells + 4,
+                "job does not converge: a cell was lost"
+            );
+            clock.advance(1_000);
+            expired_total += farm.tick(clock.now_ms()).expired;
+            while let Some(offer) = farm.claim("scenario-drain", clock.now_ms()) {
+                let artifact = artifact_for_tasks(&fixture.cell_artifacts, &offer.tasks);
+                delivered_cells.fetch_add(offer.tasks.len(), Ordering::SeqCst);
+                let r = farm
+                    .deliver(offer.lease, artifact, clock.now_ms())
+                    .expect("scenario drain deliver");
+                if r.complete {
+                    completions.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        // Schedule-independent invariants.
+        assert_eq!(
+            completions.load(Ordering::SeqCst),
+            1,
+            "exactly one delivery completes the job"
+        );
+        let status = farm.status(&job).expect("scenario final status");
+        assert_eq!(status.resolved, fixture.cells, "every cell resolved");
+        assert_eq!(status.failed, 0);
+        let scheduling = status.scheduling.expect("complete job publishes counters");
+        assert_eq!(
+            scheduling, fixture.expected_scheduling,
+            "every CacheStats counter counted exactly once"
+        );
+        assert_eq!(
+            farm.report(&job).expect("scenario report"),
+            fixture.expected_report,
+            "report bytes are interleaving-invariant"
+        );
+
+        // Coverage probes (asserted across schedules, not per schedule).
+        if expired_total > 0 {
+            probes.schedules_with_expiry.fetch_add(1, Ordering::SeqCst);
+        }
+        if delivered_cells.load(Ordering::SeqCst) > fixture.cells {
+            probes
+                .schedules_with_duplicates
+                .fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The instrumentable sync surface, re-exported in one place.
+//!
+//! Model-checked code uses exactly the primitives production code uses —
+//! the workspace's `parking_lot` stand-in, whose `model-check` feature
+//! (always on for this crate) routes every operation performed on a
+//! registered exploration thread through the virtual scheduler. This
+//! module re-exports that surface so scenarios and tests read
+//! `sync::Mutex`, plus a small annotated cell for exercising the race
+//! detector with *deliberately* unsynchronized accesses.
+
+pub use parking_lot::model;
+pub use parking_lot::thread;
+pub use parking_lot::{name_condvar, name_mutex, trace_access, Condvar, Mutex};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared counter whose accesses are *annotated but not ordered*: each
+/// `load`/`store` reports itself to the happens-before analysis via
+/// [`trace_access`], while the storage itself is a relaxed atomic (so
+/// the type is sound even off the model). Two threads touching one
+/// `TracedCell` without a lock between them is exactly what
+/// [`crate::hb::Analysis`] flags as a race candidate — the workspace's
+/// seeded-mutation probe for the race detector.
+#[derive(Debug, Default)]
+pub struct TracedCell {
+    label: &'static str,
+    value: AtomicU64,
+}
+
+impl TracedCell {
+    /// A cell reporting its accesses under `label`.
+    pub fn new(label: &'static str, value: u64) -> TracedCell {
+        TracedCell {
+            label,
+            value: AtomicU64::new(value),
+        }
+    }
+
+    /// An annotated write.
+    pub fn store(&self, value: u64) {
+        trace_access(self as *const TracedCell as usize, true, self.label);
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// An annotated read.
+    pub fn load(&self) -> u64 {
+        trace_access(self as *const TracedCell as usize, false, self.label);
+        self.value.load(Ordering::Relaxed)
+    }
+}

@@ -7,6 +7,9 @@
 //! 2x, since scheduling dominates the per-loop pipeline and four models
 //! share one run.
 
+// Benchmarks measure wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;

@@ -17,6 +17,9 @@
 //! sandboxes) all three columns converge — by design, since worker count
 //! must never change results.
 
+// Benchmarks measure wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use ncdrf::corpus::Corpus;
 use ncdrf::exec::Pool;

@@ -2,8 +2,9 @@
 
 use crate::panic::run_task;
 use crate::slots::SlotVec;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use parking_lot::thread::JoinHandle;
+use parking_lot::{name_condvar, name_mutex, thread, Condvar, Mutex};
+use std::sync::Arc;
 
 /// A reusable worker pool for indexed task grids.
 ///
@@ -100,7 +101,7 @@ impl Pool {
 
     /// A pool with an explicit worker count (clamped to at least 1).
     pub fn with_workers(workers: usize) -> Self {
-        Pool {
+        let pool = Pool {
             workers: workers.max(1),
             shared: Arc::new(Shared {
                 state: Mutex::new(State {
@@ -114,7 +115,14 @@ impl Pool {
             }),
             handles: Mutex::new(Vec::new()),
             submit: Mutex::new(()),
-        }
+        };
+        // Diagnostic names for model-checker traces (no-ops otherwise).
+        name_mutex(&pool.shared.state, "pool.state");
+        name_mutex(&pool.handles, "pool.handles");
+        name_mutex(&pool.submit, "pool.submit");
+        name_condvar(&pool.shared.work, "pool.work");
+        name_condvar(&pool.shared.done, "pool.done");
+        pool
     }
 
     /// The configured worker count.
@@ -124,13 +132,13 @@ impl Pool {
 
     /// Spawns the worker threads if this is the first parallel run.
     fn ensure_spawned(&self) {
-        let mut handles = self.handles.lock().expect("pool handles lock");
+        let mut handles = self.handles.lock();
         if !handles.is_empty() {
             return;
         }
         for _ in 0..self.workers {
             let shared = Arc::clone(&self.shared);
-            handles.push(std::thread::spawn(move || worker_loop(&shared)));
+            handles.push(thread::spawn(move || worker_loop(&shared)));
         }
     }
 
@@ -159,18 +167,18 @@ impl Pool {
         // task panic into a value, so `grid` itself never unwinds and the
         // workers never see a panic.
         let grid = |i: usize| slots.set(i, run_task(&f, i));
-        let _submission = self.submit.lock().expect("pool submit lock");
+        let _submission = self.submit.lock();
         {
-            let mut st = self.shared.state.lock().expect("pool state lock");
+            let mut st = self.shared.state.lock();
             debug_assert!(st.job.is_none(), "submission lock serialises jobs");
             st.job = Some(job_for(&grid, tasks));
             st.next = 0;
             st.finished = 0;
         }
         self.shared.work.notify_all();
-        let mut st = self.shared.state.lock().expect("pool state lock");
+        let mut st = self.shared.state.lock();
         while st.finished < tasks {
-            st = self.shared.done.wait(st).expect("pool state lock");
+            self.shared.done.wait(&mut st);
         }
         st.job = None;
         drop(st);
@@ -183,11 +191,11 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state lock");
+            let mut st = self.shared.state.lock();
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for h in self.handles.lock().expect("pool handles lock").drain(..) {
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -197,7 +205,7 @@ impl Drop for Pool {
 /// it, report completion; park when no job (or no unclaimed index)
 /// exists.
 fn worker_loop(shared: &Shared) {
-    let mut st = shared.state.lock().expect("pool state lock");
+    let mut st = shared.state.lock();
     loop {
         if st.shutdown {
             return;
@@ -217,14 +225,14 @@ fn worker_loop(shared: &Shared) {
                 // lock, and the submitter keeps the closure alive until
                 // `finished == total` (which includes this task).
                 unsafe { (job.call)(job.data, i) };
-                st = shared.state.lock().expect("pool state lock");
+                st = shared.state.lock();
                 st.finished += 1;
                 if st.finished == job.total {
                     shared.done.notify_all();
                 }
             }
             None => {
-                st = shared.work.wait(st).expect("pool state lock");
+                shared.work.wait(&mut st);
             }
         }
     }
@@ -278,7 +286,7 @@ mod tests {
             .map(Result::unwrap)
             .collect();
         assert_eq!(strings, vec!["task 0", "task 1", "task 2"]);
-        assert_eq!(pool.handles.lock().unwrap().len(), 4, "spawned once");
+        assert_eq!(pool.handles.lock().len(), 4, "spawned once");
     }
 
     #[test]

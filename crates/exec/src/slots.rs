@@ -36,7 +36,8 @@ impl<T> SlotVec<T> {
     /// for the lifetime of the run — the deque hand-off in `Pool::run`
     /// provides this.
     pub(crate) fn set(&self, index: usize, value: T) {
-        // SAFETY: unique writer per index (deque claim), bounds-checked
+        parking_lot::trace_access(self.cells[index].get() as usize, true, "pool.slot");
+        // SAFETY: unique writer per index (cursor claim), bounds-checked
         // access, and no concurrent reader before the scope join.
         unsafe {
             *self.cells[index].get() = Some(value);
@@ -46,6 +47,12 @@ impl<T> SlotVec<T> {
     /// Consumes the slots, panicking if any index was never written
     /// (which would mean the pool lost a task — a bug, not a user error).
     pub(crate) fn into_results(self) -> Vec<T> {
+        // Trace the reads before the cells move out of the buffer, so
+        // the addresses pair up with the workers' writes in the
+        // happens-before analysis.
+        for cell in &self.cells {
+            parking_lot::trace_access(cell.get() as usize, false, "pool.slot");
+        }
         self.cells
             .into_iter()
             .enumerate()

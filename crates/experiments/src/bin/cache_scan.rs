@@ -6,6 +6,9 @@
 //! a single hardware thread it tracks the cached column, on multi-core
 //! hosts it adds the loop-level parallel speedup on top of caching.
 
+// A timing scan measures wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
 use ncdrf::{evaluate, Model, PipelineOptions, Session};

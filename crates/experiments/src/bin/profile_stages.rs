@@ -3,6 +3,9 @@
 //! corpus slice: `profile_stages [skip] [count]`. This is the tool that
 //! exposed First-Fit allocation as the original hot path.
 
+// A profiler measures wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
 use ncdrf::regalloc::{allocate_dual, allocate_unified, classify, lifetimes};

@@ -14,8 +14,8 @@
 //! pull the leases instead.
 
 use ncdrf_exec::Pool;
-use ncdrf_farm::worker::{evaluate_lease, now_millis, LeaseOffer};
-use ncdrf_farm::{api, serve, Farm, FarmConfig};
+use ncdrf_farm::worker::{evaluate_lease, LeaseOffer};
+use ncdrf_farm::{api, serve_with_clock, Clock, Farm, FarmConfig};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -87,7 +87,9 @@ fn main() {
     let tick_ms = tick_ms.max(1);
 
     let farm = Arc::new(Farm::new(config));
-    let server = match serve(Arc::clone(&farm), &addr) {
+    // Every daemon timestamp flows through one injected clock.
+    let clock = Clock::System;
+    let server = match serve_with_clock(Arc::clone(&farm), &addr, clock.clone()) {
         Ok(server) => server,
         Err(e) => die(&e),
     };
@@ -96,8 +98,9 @@ fn main() {
     // Scheduler tick: lease expiry, artifact watcher, heal cadence.
     {
         let farm = Arc::clone(&farm);
+        let clock = clock.clone();
         thread::spawn(move || loop {
-            let report = farm.tick(now_millis());
+            let report = farm.tick(clock.now_ms());
             if report.expired + report.healed + report.ingested > 0 {
                 println!(
                     "[tick: {} leases expired, {} jobs healed, {} artifacts ingested]",
@@ -117,8 +120,9 @@ fn main() {
             None => Pool::new(),
         });
         let farm = Arc::clone(&farm);
+        let clock = clock.clone();
         thread::spawn(move || loop {
-            let (status, body) = api::route(&farm, "POST", "/leases", "local", now_millis());
+            let (status, body) = api::route(&farm, "POST", "/leases", "local", clock.now_ms());
             if status != 200 {
                 thread::sleep(Duration::from_millis(50));
                 continue;
@@ -133,7 +137,7 @@ fn main() {
             let lease = offer.lease;
             match evaluate_lease(&offer, Some(Arc::clone(&pool))) {
                 Ok(artifact) => {
-                    if let Err(e) = farm.deliver(lease, artifact, now_millis()) {
+                    if let Err(e) = farm.deliver(lease, artifact, clock.now_ms()) {
                         eprintln!("[local backend: deliver lease {lease}: {e}]");
                     }
                 }

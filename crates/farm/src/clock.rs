@@ -1,0 +1,94 @@
+//! The daemon's injected wall clock.
+//!
+//! The farm state machine owns no clock — every [`crate::Farm`] method
+//! takes `now` explicitly. This module is where the *daemon shell*
+//! (HTTP server, tick loop, local backend) gets those timestamps from:
+//! a [`Clock`] value that is either the system clock or a
+//! manually-advanced counter. Tests and model-checker scenarios inject
+//! a [`Clock::manual`] and drive lease expiry deterministically; the
+//! production daemon injects [`Clock::System`].
+//!
+//! The one `SystemTime::now` call of the whole workspace's non-bench
+//! code lives here (see `clippy.toml` and the `ncdrf-lint` wall-clock
+//! rule, which allowlist exactly this file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A source of farm-protocol timestamps (milliseconds since the Unix
+/// epoch for [`Clock::System`]; an arbitrary monotone counter for
+/// manual clocks). Cloning is cheap and clones of a manual clock share
+/// the same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// The system wall clock.
+    #[default]
+    System,
+    /// A manually-advanced clock for tests and model scenarios.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A manual clock starting at `start_ms`.
+    pub fn manual(start_ms: u64) -> Clock {
+        Clock::Manual(Arc::new(AtomicU64::new(start_ms)))
+    }
+
+    /// The current reading in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            Clock::System => system_now_ms(),
+            Clock::Manual(ms) => ms.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Advances a manual clock by `ms`, returning the new reading.
+    ///
+    /// # Panics
+    ///
+    /// On [`Clock::System`] — wall time cannot be steered.
+    pub fn advance(&self, ms: u64) -> u64 {
+        match self {
+            Clock::System => panic!("cannot advance the system clock"),
+            Clock::Manual(counter) => counter.fetch_add(ms, Ordering::SeqCst) + ms,
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch. The workspace's one sanctioned
+/// wall-clock read outside benches/profilers; everything else injects a
+/// [`Clock`].
+#[allow(clippy::disallowed_methods)]
+fn system_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_steerable_and_shared() {
+        let clock = Clock::manual(1_000);
+        let peer = clock.clone();
+        assert_eq!(clock.now_ms(), 1_000);
+        assert_eq!(clock.advance(500), 1_500);
+        assert_eq!(peer.now_ms(), 1_500, "clones share the counter");
+    }
+
+    #[test]
+    fn system_clock_reads_something_epoch_like() {
+        // 2020-01-01 in ms — anything earlier means the read is broken.
+        assert!(Clock::System.now_ms() > 1_577_836_800_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance the system clock")]
+    fn system_clock_refuses_to_advance() {
+        let _ = Clock::System.advance(1);
+    }
+}

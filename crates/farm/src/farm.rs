@@ -9,11 +9,11 @@
 use crate::worker::LeaseOffer;
 use ncdrf::corpus::Corpus;
 use ncdrf::{CacheStats, GridSignature, PartialSweep, Render, ReportFormat, Sweep, SweepShard};
+use parking_lot::Mutex;
 use serde_json::Value;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
 
 /// Farm sizing and cadence knobs.
 #[derive(Debug, Clone)]
@@ -353,7 +353,7 @@ struct Job {
 
 impl Job {
     /// Failed-or-missing task set of the current delivery state.
-    fn unresolved_set(&self) -> HashSet<u64> {
+    fn unresolved_set(&self) -> BTreeSet<u64> {
         if self.delivered.is_empty() {
             return (0..self.cells as u64).collect();
         }
@@ -370,15 +370,15 @@ struct FarmState {
     jobs: Vec<Job>,
     next_job: u64,
     next_lease: u64,
-    leases: HashMap<u64, Lease>,
+    leases: BTreeMap<u64, Lease>,
     /// The incremental re-merge cache: complete consolidated artifacts
     /// keyed on their signature's `Debug` rendering. An exact-signature
     /// resubmit completes instantly from here; a resume-compatible one
     /// (same corpus/machines/options, new budgets) seeds its spill
     /// descents from here.
-    cache: HashMap<String, SweepShard>,
+    cache: BTreeMap<String, SweepShard>,
     /// Files the watcher already ingested (or the farm itself wrote).
-    seen_files: HashSet<PathBuf>,
+    seen_files: BTreeSet<PathBuf>,
 }
 
 /// The resident sweep farm. Shared across the HTTP server, the tick
@@ -401,8 +401,8 @@ impl Farm {
     /// re-merge cache (so a restarted daemon keeps serving finished
     /// grids without recomputing a cell).
     pub fn new(config: FarmConfig) -> Farm {
-        let mut cache = HashMap::new();
-        let mut seen_files = HashSet::new();
+        let mut cache = BTreeMap::new();
+        let mut seen_files = BTreeSet::new();
         if let Some(dir) = &config.artifact_dir {
             if let Ok(found) = ncdrf::scan_artifacts(dir) {
                 for (path, shard) in found {
@@ -415,17 +415,20 @@ impl Farm {
                 }
             }
         }
-        Farm {
+        let farm = Farm {
             config,
             state: Mutex::new(FarmState {
                 jobs: Vec::new(),
                 next_job: 0,
                 next_lease: 0,
-                leases: HashMap::new(),
+                leases: BTreeMap::new(),
                 cache,
                 seen_files,
             }),
-        }
+        };
+        // Diagnostic name for model-checker traces (no-op otherwise).
+        parking_lot::name_mutex(&farm.state, "farm.state");
+        farm
     }
 
     /// The farm's configuration.
@@ -462,7 +465,7 @@ impl Farm {
                 "`inject_fail` names cell {t}, the grid has {cells}"
             )));
         }
-        let mut state = self.state.lock().expect("farm state lock");
+        let mut state = self.state.lock();
         let unfinished = state
             .jobs
             .iter()
@@ -545,7 +548,7 @@ impl Farm {
     ///
     /// [`FarmError::NotFound`] for an unknown id.
     pub fn status(&self, job_id: &str) -> Result<JobStatus, FarmError> {
-        let state = self.state.lock().expect("farm state lock");
+        let state = self.state.lock();
         let job = state
             .jobs
             .iter()
@@ -582,7 +585,7 @@ impl Farm {
     /// Snapshots of all jobs, in submission order.
     pub fn jobs(&self) -> Vec<JobStatus> {
         let ids: Vec<String> = {
-            let state = self.state.lock().expect("farm state lock");
+            let state = self.state.lock();
             state.jobs.iter().map(|j| j.id.clone()).collect()
         };
         ids.iter()
@@ -593,7 +596,7 @@ impl Farm {
     /// Farm-wide counters: `(jobs, unfinished_jobs, live_leases,
     /// cached_grids)`.
     pub fn stats(&self) -> (usize, usize, usize, usize) {
-        let state = self.state.lock().expect("farm state lock");
+        let state = self.state.lock();
         let unfinished = state
             .jobs
             .iter()
@@ -616,7 +619,7 @@ impl Farm {
     ///
     /// [`FarmError::NotFound`] / [`FarmError::NotReady`].
     pub fn report(&self, job_id: &str) -> Result<String, FarmError> {
-        let state = self.state.lock().expect("farm state lock");
+        let state = self.state.lock();
         let job = state
             .jobs
             .iter()
@@ -635,7 +638,7 @@ impl Farm {
     /// resume-compatible seed artifacts. `None` when no job has pending
     /// cells.
     pub fn claim(&self, worker: &str, now: u64) -> Option<LeaseOffer> {
-        let mut state = self.state.lock().expect("farm state lock");
+        let mut state = self.state.lock();
         let state = &mut *state;
         let job = state
             .jobs
@@ -699,7 +702,7 @@ impl Farm {
         artifact: SweepShard,
         now: u64,
     ) -> Result<DeliverReceipt, FarmError> {
-        let mut state = self.state.lock().expect("farm state lock");
+        let mut state = self.state.lock();
         let state = &mut *state;
         let lease = state
             .leases
@@ -754,7 +757,7 @@ impl Farm {
     /// protocol the CLI heal pipeline uses.
     pub fn tick(&self, now: u64) -> TickReport {
         let mut report = TickReport::default();
-        let mut state = self.state.lock().expect("farm state lock");
+        let mut state = self.state.lock();
         let state = &mut *state;
 
         // 1. Lease expiry: a dead worker's cells go back in the queue.

@@ -5,8 +5,8 @@
 //! the farm's own workers — not a general web server.
 
 use crate::api::route;
+use crate::clock::Clock;
 use crate::farm::Farm;
-use crate::worker::now_millis;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,9 +44,15 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
     let _ = stream.flush();
 }
 
-fn handle(farm: &Farm, stream: &mut TcpStream) {
+fn handle(farm: &Farm, clock: &Clock, stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(stream.try_clone().expect("clone connection"));
+    // A connection whose handle cannot be duplicated (fd exhaustion,
+    // races with peer resets) is dropped, never a daemon panic.
+    let Ok(read_half) = stream.try_clone() else {
+        respond(stream, 500, "{\"error\":\"connection unavailable\"}");
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
     let mut request_line = String::new();
     if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
         return;
@@ -82,7 +88,7 @@ fn handle(farm: &Farm, stream: &mut TcpStream) {
         return;
     }
     let body = String::from_utf8_lossy(&body).into_owned();
-    let (status, reply) = route(farm, &method, &path, &body, now_millis());
+    let (status, reply) = route(farm, &method, &path, &body, clock.now_ms());
     respond(stream, status, &reply);
 }
 
@@ -111,12 +117,23 @@ impl FarmServer {
     }
 }
 
-/// Binds `addr` and serves the farm API until [`FarmServer::shutdown`].
+/// Binds `addr` and serves the farm API with the system clock until
+/// [`FarmServer::shutdown`].
 ///
 /// # Errors
 ///
 /// The bind error, stringified.
 pub fn serve(farm: Arc<Farm>, addr: &str) -> Result<FarmServer, String> {
+    serve_with_clock(farm, addr, Clock::System)
+}
+
+/// [`serve`] with an explicit [`Clock`] — tests steer lease deadlines
+/// through a manual clock while talking real HTTP.
+///
+/// # Errors
+///
+/// The bind error, stringified.
+pub fn serve_with_clock(farm: Arc<Farm>, addr: &str, clock: Clock) -> Result<FarmServer, String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -128,7 +145,8 @@ pub fn serve(farm: Arc<Farm>, addr: &str) -> Result<FarmServer, String> {
             }
             let Ok(mut stream) = stream else { continue };
             let farm = Arc::clone(&farm);
-            thread::spawn(move || handle(&farm, &mut stream));
+            let clock = clock.clone();
+            thread::spawn(move || handle(&farm, &clock, &mut stream));
         }
     });
     Ok(FarmServer {

@@ -28,6 +28,10 @@
 //! * [`api`] — the HTTP surface as a pure `(method, path, body, now) →
 //!   (status, body)` function; [`http`] is the `std::net` shell around
 //!   it, plus the blocking client workers use.
+//! * [`clock`] — the injected wall clock the daemon shell feeds `now`
+//!   from: [`Clock::System`] in production, [`Clock::manual`] in tests
+//!   and model-checker scenarios. The farm state machine itself never
+//!   reads time.
 //!
 //! The `farm_daemon` binary wires these together: serve, tick, and
 //! optionally run an in-process local worker backend.
@@ -35,14 +39,16 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod clock;
 mod farm;
 pub mod http;
 mod json;
 pub mod worker;
 
+pub use clock::Clock;
 pub use farm::{
     parse_report, DeliverReceipt, Farm, FarmConfig, FarmError, JobSpec, JobState, JobStatus,
     SubmitReceipt, TickReport,
 };
-pub use http::{request, serve, FarmServer};
+pub use http::{request, serve, serve_with_clock, FarmServer};
 pub use worker::{evaluate_lease, now_millis, LeaseOffer};

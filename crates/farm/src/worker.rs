@@ -12,7 +12,6 @@ use crate::json::{json_array, json_escape, u64_array, JsonObject};
 use ncdrf::{GridSignature, Provenance, Render, ReportFormat, Sweep, SweepShard};
 use ncdrf_exec::Pool;
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
 
 /// One unit of leased work: which cells of which grid to evaluate,
 /// which of them to fail deliberately, and any resume-compatible seed
@@ -146,11 +145,11 @@ pub fn evaluate_lease(offer: &LeaseOffer, pool: Option<Arc<Pool>>) -> Result<Swe
     }))
 }
 
-/// Milliseconds since the Unix epoch — the daemon's wall clock. The
-/// farm itself never reads a clock; callers pass this in.
+/// Milliseconds since the Unix epoch — the daemon's wall clock, read
+/// through the injected-clock abstraction ([`crate::clock::Clock`]).
+/// The farm itself never reads a clock; callers pass this in. External
+/// workers that poll a remote farm use this convenience; anything that
+/// should be testable with steered time takes a `Clock` instead.
 pub fn now_millis() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+    crate::clock::Clock::System.now_ms()
 }

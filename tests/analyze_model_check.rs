@@ -1,0 +1,271 @@
+//! The interleaving model checker, applied to the real pool + farm
+//! protocols — and to seeded mutations that each class of bug must be
+//! caught on: a TOCTOU double-count, an AB/BA lock-order inversion, a
+//! cell-dropping expiry path and an unsynchronized shared write.
+
+use model::CxKind;
+use ncdrf_analyze::scenarios::{farm_lease_scenario, pool_scenario, FarmProbes};
+use ncdrf_analyze::sync::{name_mutex, thread, Mutex, TracedCell};
+use ncdrf_analyze::{check, model};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn config() -> model::Config {
+    model::Config::default()
+}
+
+#[test]
+fn pool_results_are_exact_under_every_interleaving() {
+    let report = check(&config(), pool_scenario(2, 3, None));
+    assert!(
+        report.exploration.complete,
+        "the schedule space must be exhausted"
+    );
+    assert!(
+        report.exploration.schedules > 1,
+        "a 2-worker pool has real scheduling freedom"
+    );
+    if let Some(cx) = &report.exploration.counterexample {
+        panic!("pool counterexample: {:?}\n{:#?}", cx.kind, cx.trace.events);
+    }
+    assert_eq!(
+        report.analysis.races().count(),
+        0,
+        "pool slot writes are join-ordered: {:?}",
+        report.analysis.races().collect::<Vec<_>>()
+    );
+    assert!(report.analysis.lock_cycles().is_empty());
+}
+
+#[test]
+fn pool_panic_isolation_holds_under_every_interleaving() {
+    let report = check(&config(), pool_scenario(2, 3, Some(1)));
+    assert!(report.exploration.complete);
+    if let Some(cx) = &report.exploration.counterexample {
+        panic!("pool-panic counterexample: {:?}", cx.kind);
+    }
+    assert_eq!(report.analysis.races().count(), 0);
+}
+
+#[test]
+fn farm_lease_protocol_holds_under_every_interleaving() {
+    // Two workers + ticker + root is too many interleavings to exhaust
+    // raw, but every protocol corner here (expiry, re-lease, duplicate
+    // late delivery) needs at most two preemptions, so a bounded
+    // exploration still reaches them all — and stays fast.
+    let config = model::Config {
+        preemption_bound: Some(2),
+        ..model::Config::default()
+    };
+    let probes = Arc::new(FarmProbes::default());
+    let report = check(&config, farm_lease_scenario(Arc::clone(&probes)));
+    assert!(report.exploration.complete);
+    assert!(report.exploration.schedules > 1);
+    if let Some(cx) = &report.exploration.counterexample {
+        panic!("farm counterexample: {:?}\n{:#?}", cx.kind, cx.trace.events);
+    }
+    assert_eq!(
+        report.analysis.races().count(),
+        0,
+        "farm state is lock-protected: {:?}",
+        report.analysis.races().collect::<Vec<_>>()
+    );
+    assert!(report.analysis.lock_cycles().is_empty());
+    // The exploration must actually have driven the interesting
+    // corners: some schedule expired the worker's lease, and some
+    // schedule delivered the same cell twice (late delivery after
+    // expiry + re-lease) without double-counting.
+    assert!(
+        probes.schedules_with_expiry.load(Ordering::SeqCst) > 0,
+        "no schedule exercised lease expiry"
+    );
+    assert!(
+        probes.schedules_with_duplicates.load(Ordering::SeqCst) > 0,
+        "no schedule exercised duplicate delivery"
+    );
+}
+
+/// The seeded double-count: membership check and counter update in two
+/// separate critical sections. Some interleaving lets both threads see
+/// the cell as fresh and count it twice — the checker must find it.
+#[test]
+fn seeded_toctou_double_count_is_caught() {
+    struct Ledger {
+        counted: Mutex<BTreeSet<u64>>,
+        total: Mutex<u64>,
+    }
+    fn buggy_absorb(ledger: &Ledger, cell: u64) {
+        let fresh = !ledger.counted.lock().contains(&cell); // CS 1
+        if fresh {
+            ledger.counted.lock().insert(cell); // CS 2 — too late
+            *ledger.total.lock() += 1;
+        }
+    }
+    let report = check(&config(), || {
+        let ledger = Arc::new(Ledger {
+            counted: Mutex::new(BTreeSet::new()),
+            total: Mutex::new(0),
+        });
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || buggy_absorb(&ledger, 7))
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("ledger worker");
+        }
+        assert_eq!(*ledger.total.lock(), 1, "cell 7 counted exactly once");
+    });
+    let cx = report
+        .exploration
+        .counterexample
+        .expect("the double-count interleaving must be found");
+    match cx.kind {
+        CxKind::Panic { ref message, .. } => {
+            assert!(
+                message.contains("counted exactly once"),
+                "unexpected panic: {message}"
+            );
+        }
+        other => panic!("expected a panic counterexample, got {other:?}"),
+    }
+}
+
+/// The seeded lock-order inversion: two threads nest the same pair of
+/// named locks in opposite orders. The explorer must both surface the
+/// deadlock schedule and report the cycle from the schedules that
+/// completed.
+#[test]
+fn seeded_lock_order_inversion_is_caught() {
+    struct Pair {
+        a: Mutex<u32>,
+        b: Mutex<u32>,
+    }
+    let report = check(&config(), || {
+        let pair = Arc::new(Pair {
+            a: Mutex::new(0),
+            b: Mutex::new(0),
+        });
+        name_mutex(&pair.a, "seeded.lock.a");
+        name_mutex(&pair.b, "seeded.lock.b");
+        let forward = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let _a = pair.a.lock();
+                let _b = pair.b.lock();
+            })
+        };
+        let backward = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let _b = pair.b.lock();
+                let _a = pair.a.lock();
+            })
+        };
+        let _ = forward.join();
+        let _ = backward.join();
+    });
+    let cx = report
+        .exploration
+        .counterexample
+        .expect("the AB/BA deadlock must be found");
+    // The two lock holders are stuck on each other's lock; the root is
+    // stuck joining them, so it shows up in the blocked set too.
+    assert!(
+        matches!(cx.kind, CxKind::Deadlock { ref blocked } if blocked.len() >= 2),
+        "expected a deadlock, got {:?}",
+        cx.kind
+    );
+    assert_eq!(
+        report.analysis.lock_cycles(),
+        vec![vec!["seeded.lock.a".to_owned(), "seeded.lock.b".to_owned()]],
+        "the completed schedules expose the inverted nesting"
+    );
+}
+
+/// The seeded lost cell: an expiry path that requeues only the first
+/// cell of an expired lease. The drain loop's convergence bound turns
+/// the lost cell into an assertion counterexample.
+#[test]
+fn seeded_cell_dropping_expiry_is_caught() {
+    struct MiniFarm {
+        pending: Mutex<VecDeque<u64>>,
+        resolved: Mutex<BTreeSet<u64>>,
+    }
+    let report = check(&config(), || {
+        let farm = Arc::new(MiniFarm {
+            pending: Mutex::new(VecDeque::from([0, 1])),
+            resolved: Mutex::new(BTreeSet::new()),
+        });
+        // A worker claims both cells and dies without delivering.
+        let dead = {
+            let farm = Arc::clone(&farm);
+            thread::spawn(move || {
+                let mut pending = farm.pending.lock();
+                let claimed: Vec<u64> = pending.drain(..).collect();
+                claimed
+            })
+        };
+        let claimed = dead.join().expect("claiming worker");
+        // Buggy expiry: requeues only the first cell of the dead lease.
+        if let Some(&first) = claimed.first() {
+            farm.pending.lock().push_front(first);
+        }
+        // Drain: claim + deliver until pending is empty.
+        loop {
+            let next = farm.pending.lock().pop_front();
+            match next {
+                Some(cell) => {
+                    farm.resolved.lock().insert(cell);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(
+            farm.resolved.lock().len(),
+            2,
+            "every claimed cell must be requeued and resolved"
+        );
+    });
+    let cx = report
+        .exploration
+        .counterexample
+        .expect("the lost cell must be found");
+    assert!(
+        matches!(cx.kind, CxKind::Panic { ref message, .. }
+            if message.contains("requeued and resolved")),
+        "expected the lost-cell assertion, got {:?}",
+        cx.kind
+    );
+}
+
+/// The race detector: two threads write one annotated cell without any
+/// lock between them. No schedule crashes — the storage is atomic — but
+/// the happens-before analysis must flag the unordered pair.
+#[test]
+fn seeded_unsynchronized_writes_raise_race_candidates() {
+    let report = check(&config(), || {
+        let cell = Arc::new(TracedCell::new("seeded.cell", 0));
+        let writers: Vec<_> = (1..=2)
+            .map(|v| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.store(v))
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        assert!(cell.load() > 0);
+    });
+    assert!(
+        report.exploration.counterexample.is_none(),
+        "atomic storage never crashes"
+    );
+    let races: Vec<_> = report.analysis.races().collect();
+    assert!(
+        races.iter().any(|r| r.first == "seeded.cell" && r.on_write),
+        "the unordered write pair must be flagged, got {races:?}"
+    );
+}

@@ -6,6 +6,10 @@
 //! completion, cache reload across a daemon restart, and the
 //! out-of-band artifact-directory watcher.
 
+// The end-to-end test drives the real daemon against the real wall
+// clock on purpose; protocol-level tests use the injected Clock.
+#![allow(clippy::disallowed_methods)]
+
 use ncdrf::corpus::Corpus;
 use ncdrf::{Render, ReportFormat};
 use ncdrf_farm::{evaluate_lease, request, serve, Farm, FarmConfig, JobState, LeaseOffer};

@@ -7,6 +7,9 @@
 //! each sample near [`TARGET_SAMPLE`]; every sample then times that many
 //! calls and reports the per-call average. No outlier analysis.
 
+// A benchmark harness measures wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

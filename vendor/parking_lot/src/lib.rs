@@ -1,25 +1,77 @@
-//! Offline stand-in for `parking_lot`: the `Mutex` API the workspace
-//! uses, implemented over `std::sync::Mutex` with parking_lot's
-//! poison-free ergonomics (`lock()` returns the guard directly).
+//! Offline stand-in for `parking_lot`: the `Mutex`/`Condvar` API the
+//! workspace uses, implemented over `std::sync` with parking_lot's
+//! poison-free ergonomics (`lock()` returns the guard directly,
+//! `Condvar::wait` takes `&mut MutexGuard`).
+//!
+//! # Instrumentable sync shim
+//!
+//! With the `model-check` feature the crate doubles as the sync shim of
+//! the `ncdrf-analyze` model checker: every `Mutex`/`Condvar`/thread
+//! operation performed on a thread *registered with an active
+//! exploration* (see [`model::explore`]) is routed through a
+//! deterministic virtual scheduler, which serialises the program onto
+//! one running thread at a time and enumerates the scheduling decisions
+//! by bounded DFS. Threads outside an exploration — which is every
+//! thread of a production build, and every test that does not call
+//! `explore` — take the plain `std::sync` path; the only cost of the
+//! feature is a thread-local check per operation.
+//!
+//! The instrumented surface:
+//!
+//! * [`Mutex::lock`] / guard drop — virtual acquire/release,
+//! * [`Condvar::wait`] / [`Condvar::notify_one`] /
+//!   [`Condvar::notify_all`] — virtual wait queues (FIFO, no spurious
+//!   wakeups),
+//! * [`thread::spawn`] / [`thread::JoinHandle::join`] — virtual thread
+//!   creation and join edges,
+//! * [`trace_access`] — a data-access annotation hook for the
+//!   happens-before race analysis (a no-op outside explorations).
+//!
+//! Locks and condvars can carry a diagnostic name ([`name_mutex`],
+//! [`name_condvar`]) which the scheduler embeds in traces so race and
+//! lock-order reports read `pool.state`, not a bare address. Naming is
+//! address-independent (the name travels with the object, set through a
+//! `OnceLock` field), so constructors may name a lock before the owning
+//! struct is moved.
 
 use std::sync::MutexGuard as StdGuard;
+use std::sync::OnceLock;
+
+#[cfg(feature = "model-check")]
+pub mod model;
 
 /// A mutex whose `lock` returns the guard directly (no poison `Result`).
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    name: OnceLock<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = StdGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]. Releases the lock — real and,
+/// under an exploration, virtual — on drop.
+#[derive(Debug)]
+#[cfg_attr(not(feature = "model-check"), allow(dead_code))]
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently, inside [`Condvar::wait`].
+    inner: Option<StdGuard<'a, T>>,
+    /// The guard was acquired on a registered model thread; its release
+    /// must be reported to the virtual scheduler.
+    virt: bool,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            name: OnceLock::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -27,6 +79,223 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. A poisoned lock (a
     /// panicking holder) is treated as released, matching parking_lot.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "model-check")]
+        let virt = model::hook_acquire(self.key(), self.name.get().copied());
+        #[cfg(not(feature = "model-check"))]
+        let virt = false;
+        // Under the virtual scheduler the real acquisition below never
+        // contends: virtual ownership is exclusive and the previous
+        // holder released the real lock before its virtual release was
+        // published.
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            virt,
+        }
+    }
+
+    /// The identity of this lock in scheduler traces.
+    #[cfg_attr(not(feature = "model-check"), allow(dead_code))]
+    fn key(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real release first, virtual release second: once the virtual
+        // scheduler grants the lock to another thread, that thread's
+        // real acquisition must already be able to succeed.
+        let released = self.inner.take().is_some();
+        #[cfg(feature = "model-check")]
+        if self.virt && released {
+            model::hook_release(self.lock.key());
+        }
+        #[cfg(not(feature = "model-check"))]
+        let _ = released;
+    }
+}
+
+/// A condition variable with parking_lot's `wait(&mut guard)` shape.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    name: OnceLock<&'static str>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Blocks until notified, releasing `guard`'s lock while waiting
+    /// and reacquiring it before returning. Like any condvar wait this
+    /// may wake spuriously; callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "model-check")]
+        if guard.virt {
+            // Virtual wait: drop the real lock, park in the scheduler's
+            // wait queue (it reacquires the lock virtually on wake),
+            // then re-take the real lock — uncontended, see `lock`.
+            drop(guard.inner.take());
+            model::hook_wait(self.key(), self.name.get().copied(), guard.lock.key());
+            let inner = guard.lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.inner = Some(inner);
+            return;
+        }
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one waiter, if any. Under an exploration the wait queue is
+    /// FIFO, so the woken thread is deterministic.
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model-check")]
+        if model::hook_notify(self.key(), self.name.get().copied(), false) {
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model-check")]
+        if model::hook_notify(self.key(), self.name.get().copied(), true) {
+            return;
+        }
+        self.inner.notify_all();
+    }
+
+    /// The identity of this condvar in scheduler traces.
+    #[cfg_attr(not(feature = "model-check"), allow(dead_code))]
+    fn key(&self) -> usize {
+        self as *const Condvar as *const () as usize
+    }
+}
+
+/// Attaches a diagnostic name to a mutex, used by scheduler traces and
+/// the lock-order/race reports. First caller wins; later calls (and
+/// calls after a move — the name travels with the object) are no-ops.
+pub fn name_mutex<T: ?Sized>(mutex: &Mutex<T>, name: &'static str) {
+    let _ = mutex.name.set(name);
+}
+
+/// Attaches a diagnostic name to a condvar. First caller wins.
+pub fn name_condvar(condvar: &Condvar, name: &'static str) {
+    let _ = condvar.name.set(name);
+}
+
+/// Reports a data access (`addr` identifies the location, `label` names
+/// it in reports) to the active exploration's happens-before analysis.
+/// Outside an exploration — including every production build — this is
+/// a no-op.
+pub fn trace_access(addr: usize, write: bool, label: &'static str) {
+    #[cfg(feature = "model-check")]
+    model::hook_access(addr, write, label);
+    #[cfg(not(feature = "model-check"))]
+    let _ = (addr, write, label);
+}
+
+/// Thread spawn/join with the same shape as `std::thread`, routed
+/// through the virtual scheduler when the spawning thread belongs to an
+/// exploration.
+pub mod thread {
+    /// A handle joining a thread spawned by [`spawn`].
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    #[derive(Debug)]
+    enum Inner<T> {
+        Real(std::thread::JoinHandle<T>),
+        #[cfg(feature = "model-check")]
+        Model(crate::model::ModelJoin<T>),
+    }
+
+    /// Spawns a thread. On a registered model thread the child joins
+    /// the exploration (its sync operations are scheduled virtually);
+    /// everywhere else this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        #[cfg(feature = "model-check")]
+        if crate::model::active() {
+            return JoinHandle {
+                inner: Inner::Model(crate::model::hook_spawn(f)),
+            };
+        }
+        JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Real(handle) => handle.join(),
+                #[cfg(feature = "model-check")]
+                Inner::Model(handle) => handle.join(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify_pass_through() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = std::sync::Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join().expect("notifier thread");
+    }
+
+    #[test]
+    fn names_survive_moves() {
+        let m = Mutex::new(0u8);
+        name_mutex(&m, "moved.lock");
+        let boxed = Box::new(m);
+        assert_eq!(boxed.name.get().copied(), Some("moved.lock"));
     }
 }
