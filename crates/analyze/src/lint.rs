@@ -22,6 +22,12 @@
 //!   sides cannot silently disagree.
 //! * **version-literal** — wire `version` members must be written from
 //!   a named const, never a bare integer literal.
+//! * **model-name-literal** — model wire names (`"unified"`, …) may be
+//!   spelled out only in the model registry (which owns them) and the
+//!   wire parser (whose frozen v3 table must spell the legacy names);
+//!   everywhere else goes through `ModelId` constants or
+//!   `ModelRegistry::resolve`, so adding a model never means hunting
+//!   stringly-typed call sites.
 //!
 //! The scanner is a small hand-rolled Rust lexer (strings, raw strings,
 //! nested block comments, char-vs-lifetime disambiguation), so rules
@@ -59,6 +65,28 @@ const WIRE_FILES: &[&str] = &[
 
 /// The farm's request-handling files: panics here take the daemon down.
 const DAEMON_FILES: &[&str] = &["crates/farm/src/api.rs", "crates/farm/src/http.rs"];
+
+/// The stable model wire names the registry owns. A literal equal to one
+/// of these outside [`MODEL_NAME_ALLOW`] is a hardcoded model reference
+/// that the registry redesign exists to eliminate.
+const MODEL_NAMES: &[&str] = &[
+    "ideal",
+    "unified",
+    "partitioned",
+    "swapped",
+    "port-limited",
+    "compressed",
+];
+
+/// Where model-name literals are sanctioned: the registry itself (it
+/// defines the names), the wire parser (its frozen v3 name table must
+/// spell the legacy names out so old artifacts can never drift), and
+/// this file's own watch table.
+const MODEL_NAME_ALLOW: &[&str] = &[
+    "crates/core/src/model.rs",
+    "crates/core/src/report.rs",
+    "crates/analyze/src/lint.rs",
+];
 
 /// One lint violation.
 #[derive(Debug, Clone)]
@@ -482,6 +510,25 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintFinding> {
             }
         }
     }
+    // model-name-literal: the registry resolves names; everything else
+    // goes through `ModelId` constants or `ModelRegistry::resolve`.
+    if in_crate_src && !allowed(rel, MODEL_NAME_ALLOW) {
+        for t in &tokens {
+            if let Tok::Str(s) = &t.tok {
+                if MODEL_NAMES.contains(&s.as_str()) {
+                    findings.push(LintFinding {
+                        path: rel.to_owned(),
+                        line: t.line,
+                        rule: "model-name-literal",
+                        detail: format!(
+                            "model wire name `{s}` hardcoded outside the registry; use a \
+                             `ModelId` constant or `ModelRegistry::resolve`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
     if WIRE_FILES.contains(&rel) {
         for w in 0..tokens.len().saturating_sub(2) {
             if matches!(&tokens[w].tok, Tok::Str(s) if s == "version")
@@ -645,5 +692,21 @@ mod tests {
         assert_eq!(found[0].rule, "version-literal");
         let good = "fn f(o: &mut J) { o.integer(\"version\", SHARD_VERSION); }";
         assert!(lint_source("crates/core/src/report.rs", good).is_empty());
+    }
+
+    #[test]
+    fn model_name_literals_are_flagged_outside_the_registry() {
+        let src = "fn pick() -> &'static str { \"port-limited\" }";
+        let found = lint_source("crates/experiments/src/bin/fig8.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "model-name-literal");
+        assert!(found[0].detail.contains("port-limited"));
+        // The registry and the wire parser own the names.
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/report.rs", src).is_empty());
+        // Comments, tests, and unrelated strings do not trip the rule.
+        let benign = "// the \"unified\" model\nfn f() -> &'static str { \"unified-report\" }\n\
+                      #[cfg(test)]\nmod tests { fn g() -> &'static str { \"swapped\" } }";
+        assert!(lint_source("crates/core/src/sweep.rs", benign).is_empty());
     }
 }

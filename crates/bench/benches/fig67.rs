@@ -2,7 +2,7 @@
 //! distributions) and benchmarks the sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{DistributionPanel, Model, Render, ReportFormat, Sweep};
+use ncdrf::{DistributionPanel, Render, ReportFormat, Sweep, PAPER_FINITE_MODELS};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     for lat in [3u32, 6] {
         let report = Sweep::new(&corpus)
             .clustered_latencies([lat])
-            .models(Model::finite())
+            .models(PAPER_FINITE_MODELS)
             .points(points)
             .run()
             .unwrap();
@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 Sweep::new(&corpus)
                     .clustered_latencies([lat])
-                    .models(Model::finite())
+                    .models(PAPER_FINITE_MODELS)
                     .points(points)
                     .run()
                     .unwrap()

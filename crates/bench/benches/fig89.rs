@@ -2,7 +2,7 @@
 //! finite register files, spiller active) and benchmarks the sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{Model, Render, ReportFormat, Sweep};
+use ncdrf::{Render, ReportFormat, Sweep, PAPER_MODELS};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     for (lat, regs) in [(3u32, 32u32), (6, 32), (3, 64), (6, 64)] {
         let report = Sweep::new(&corpus)
             .clustered_latencies([lat])
-            .models(Model::all())
+            .models(PAPER_MODELS)
             .budget(regs)
             .run()
             .unwrap();
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Sweep::new(&corpus)
                 .clustered_latencies([6])
-                .models(Model::all())
+                .models(PAPER_MODELS)
                 .budget(32)
                 .run()
                 .unwrap()

@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::{analyze, evaluate, Model, PipelineOptions, Session};
+use ncdrf::{analyze, evaluate, PipelineOptions, Session, PAPER_MODELS};
 use ncdrf_bench::bench_corpus;
 use std::time::Instant;
 
@@ -28,7 +28,7 @@ const LATENCY: u32 = 3;
 fn uncached_four_models(corpus: &Corpus, machine: &Machine, opts: &PipelineOptions) -> u128 {
     let mut total_cycles = 0u128;
     for budget in BUDGETS {
-        for model in Model::all() {
+        for model in PAPER_MODELS {
             for l in corpus.iter() {
                 total_cycles += evaluate(l, machine, model, budget, opts).unwrap().cycles();
             }
@@ -41,7 +41,7 @@ fn cached_four_models(corpus: &Corpus, machine: &Machine, opts: &PipelineOptions
     let session = Session::new(machine.clone()).options(*opts);
     let mut total_cycles = 0u128;
     for budget in BUDGETS {
-        for model in Model::all() {
+        for model in PAPER_MODELS {
             for l in corpus.iter() {
                 total_cycles += session.evaluate(l, model, budget).unwrap().cycles();
             }
@@ -92,7 +92,7 @@ fn bench(c: &mut Criterion) {
     // Analysis-only variant (figures 6/7 pipeline): same caching story.
     c.bench_function("session_cache/uncached_4_models_analyze", |b| {
         b.iter(|| {
-            for model in Model::all() {
+            for model in PAPER_MODELS {
                 for l in corpus.iter() {
                     analyze(l, &machine, model, &opts).unwrap();
                 }
@@ -102,7 +102,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("session_cache/cached_4_models_analyze", |b| {
         b.iter(|| {
             let session = Session::new(machine.clone()).options(opts);
-            for model in Model::all() {
+            for model in PAPER_MODELS {
                 for l in corpus.iter() {
                     session.analyze(l, model).unwrap();
                 }

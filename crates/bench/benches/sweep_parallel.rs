@@ -24,7 +24,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ncdrf::corpus::Corpus;
 use ncdrf::exec::Pool;
 use ncdrf::machine::Machine;
-use ncdrf::{LoopEval, Model, Session, Sweep, SweepReport};
+use ncdrf::{LoopEval, Session, Sweep, SweepReport, PAPER_MODELS};
 use ncdrf_bench::bench_corpus;
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,7 +41,7 @@ const LADDER: [u32; 4] = [64, 48, 32, 16];
 fn grid<'c>(corpus: &'c Corpus) -> Sweep<'c> {
     Sweep::new(corpus)
         .clustered_latencies(LATENCIES)
-        .models(Model::all())
+        .models(PAPER_MODELS)
         .budgets(BUDGETS)
 }
 
@@ -52,7 +52,7 @@ fn pr1_style(corpus: &Corpus) -> u128 {
     for lat in LATENCIES {
         let session = Session::new(Machine::clustered(lat, 1));
         for budget in BUDGETS {
-            for model in Model::all() {
+            for model in PAPER_MODELS {
                 total += session
                     .evaluate_corpus(corpus, model, budget)
                     .unwrap()
@@ -78,7 +78,7 @@ fn checksum(r: &SweepReport) -> u128 {
 fn ladder_guard(corpus: &Corpus, pool: &Arc<Pool>) {
     let ladder = Sweep::new(corpus)
         .clustered_latencies(LATENCIES)
-        .models(Model::all())
+        .models(PAPER_MODELS)
         .budgets(LADDER)
         .pool(Arc::clone(pool));
     let t = Instant::now();
@@ -91,7 +91,7 @@ fn ladder_guard(corpus: &Corpus, pool: &Arc<Pool>) {
         .map(|&b| {
             Sweep::new(corpus)
                 .clustered_latencies(LATENCIES)
-                .models(Model::all())
+                .models(PAPER_MODELS)
                 .budget(b)
                 .pool(Arc::clone(pool))
                 .run()

@@ -3,7 +3,7 @@
 //! rows; Criterion tracks the cost of the full sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncdrf::{Model, Render, ReportFormat, Sweep, TABLE1_POINTS};
+use ncdrf::{ModelId, Render, ReportFormat, Sweep, TABLE1_POINTS};
 use ncdrf_bench::bench_corpus;
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     // experiment.
     let rows = Sweep::new(&corpus)
         .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
-        .models([Model::Unified])
+        .models([ModelId::UNIFIED])
         .points(TABLE1_POINTS)
         .run()
         .unwrap()
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             Sweep::new(&corpus)
                 .pxly_configs([(1, 3), (2, 6)])
-                .models([Model::Unified])
+                .models([ModelId::UNIFIED])
                 .points(TABLE1_POINTS)
                 .run()
                 .unwrap()

@@ -256,15 +256,17 @@ pub fn sweep_for_signature<'c>(
 
 /// Builds one of the named preset experiment grids over `corpus`:
 /// `full` (Figure 6–9 machines, models, points and budgets in one
-/// sweep), `fig67`, `fig89` or `table1`. Returns `None` for an unknown
-/// preset name.
+/// sweep), `fig67`, `fig89`, `table1`, or `extended` (the registry's
+/// non-paper built-ins — the read-port-constrained and compressed
+/// register files — against the unified baseline). Returns `None` for
+/// an unknown preset name.
 ///
 /// The presets are pinned here — not on any command line — so two
 /// runners (or a runner and the farm daemon) can only disagree by
 /// naming different presets, which the merge's signature check catches.
 pub fn preset_sweep<'c>(corpus: &'c Corpus, grid: &str) -> Option<Sweep<'c>> {
     use crate::distribution::{default_points, TABLE1_POINTS};
-    use crate::model::Model;
+    use crate::model::{Model, ModelId};
     Some(match grid {
         "full" => Sweep::new(corpus)
             .clustered_latencies([3, 6])
@@ -283,6 +285,16 @@ pub fn preset_sweep<'c>(corpus: &'c Corpus, grid: &str) -> Option<Sweep<'c>> {
             .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
             .models([Model::Unified])
             .points(TABLE1_POINTS),
+        "extended" => Sweep::new(corpus)
+            .clustered_latencies([3])
+            .models([
+                ModelId::IDEAL,
+                ModelId::UNIFIED,
+                ModelId::PORT_LIMITED,
+                ModelId::COMPRESSED,
+            ])
+            .points(default_points())
+            .budgets([16, 8]),
         _ => return None,
     })
 }
@@ -336,7 +348,7 @@ mod tests {
     #[test]
     fn rebuild_grid_reproduces_preset_signatures() {
         let corpus = Corpus::small().take(4);
-        for grid in ["full", "fig67", "fig89", "table1"] {
+        for grid in ["full", "fig67", "fig89", "table1", "extended"] {
             let sweep = preset_sweep(&corpus, grid).unwrap();
             let shard = sweep.shard(0, 1).unwrap();
             let (rebuilt, machines) = rebuild_grid(shard.signature()).unwrap();

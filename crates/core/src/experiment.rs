@@ -7,7 +7,7 @@
 //! kept for source compatibility; they re-run scheduling per call where a
 //! [`crate::Session`] or [`crate::Sweep`] would cache it.
 
-use crate::model::Model;
+use crate::model::{Model, ModelId};
 use crate::pipeline::{analyze, evaluate, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
 use crate::sweep::Sweep;
 use ncdrf_corpus::Corpus;
@@ -107,8 +107,8 @@ pub struct Table1Row {
 pub struct DistributionCurve {
     /// Machine preset name (`C2L3`, `P1L6`, ...).
     pub config: String,
-    /// Evaluation model.
-    pub model: Model,
+    /// Evaluation model (registry ID; rendered by its stable wire name).
+    pub model: ModelId,
     /// Functional-unit latency of the machine.
     pub latency: u32,
     /// Static (loop-count-weighted) cumulative distribution.
@@ -123,8 +123,8 @@ pub struct DistributionCurve {
 pub struct BudgetOutcome {
     /// Machine preset name (`C2L3`, ...).
     pub config: String,
-    /// Evaluation model.
-    pub model: Model,
+    /// Evaluation model (registry ID; rendered by its stable wire name).
+    pub model: ModelId,
     /// Functional-unit latency.
     pub latency: u32,
     /// Register budget (per file).

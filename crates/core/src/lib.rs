@@ -96,7 +96,11 @@ pub use experiment::{figures_6_7, figures_8_9, sweep_analyze, sweep_evaluate, ta
 pub use experiment::{
     relative_performance, BudgetOutcome, DistributionCurve, Table1Row, FIG89_CONFIGS,
 };
-pub use model::Model;
+pub use model::{
+    resolve_models, CompressedSpec, Model, ModelId, ModelRegistry, ModelSpec, PortLimitedSpec,
+    RegistryError, RequirementCtx, COMPRESSED_CAPACITY, PAPER_FINITE_MODELS, PAPER_MODELS,
+    PORT_LIMITED_READ_PORTS,
+};
 pub use pipeline::{
     analyze, evaluate, requirement, ConfigError, LoopAnalysis, LoopEval, PipelineError,
     PipelineOptions, PipelineStage,

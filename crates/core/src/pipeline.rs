@@ -7,7 +7,7 @@
 //! [`crate::Session`], which schedules each loop once and derives every
 //! model's result from the cached base schedule.
 
-use crate::model::Model;
+use crate::model::{ModelId, RequirementCtx};
 use ncdrf_ddg::Loop;
 use ncdrf_machine::{Machine, MachineError};
 use ncdrf_regalloc::{
@@ -22,7 +22,8 @@ use std::fmt;
 /// Options threaded through the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PipelineOptions {
-    /// Swapping-pass knobs (used by [`Model::Swapped`]).
+    /// Swapping-pass knobs (used by models whose spec
+    /// [`swaps`](crate::ModelSpec::swaps), e.g. [`ModelId::SWAPPED`]).
     pub swap: SwapOptions,
     /// Spiller knobs (used by budgeted evaluation). `spill.scheduler`
     /// also drives base scheduling, so analysis and evaluation see the
@@ -69,7 +70,7 @@ pub enum PipelineStage {
 }
 
 /// An invalid experiment configuration, detected before any loop runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// The sweep's machine grid is empty — nothing would be evaluated.
     EmptyMachineGrid,
@@ -110,6 +111,13 @@ pub enum ConfigError {
     UnknownCell {
         /// The offending flattened task index.
         task: u64,
+    },
+    /// A model name does not resolve through the
+    /// [`ModelRegistry`](crate::ModelRegistry) — a job spec, preset or
+    /// artifact names a model this process never registered.
+    UnknownModel {
+        /// The unresolvable model name.
+        name: String,
     },
 }
 
@@ -161,6 +169,11 @@ impl fmt::Display for ConfigError {
                 f,
                 "cell {task} lies outside the sweep's grid; the reissue \
                  list belongs to a different grid"
+            ),
+            ConfigError::UnknownModel { name } => write!(
+                f,
+                "`{name}` names no registered model; register it through \
+                 `ModelRegistry::register` or fix the spelling"
             ),
         }
     }
@@ -265,11 +278,11 @@ pub struct LoopAnalysis {
     /// Loop name.
     pub name: String,
     /// Evaluation model.
-    pub model: Model,
+    pub model: ModelId,
     /// Achieved initiation interval.
     pub ii: u32,
     /// Register requirement of the model (per subfile for dual models;
-    /// `0` for [`Model::Ideal`], which needs none by definition).
+    /// `0` for [`ModelId::IDEAL`], which needs none by definition).
     pub regs: u32,
     /// MaxLive lower bound (unified view), for reference.
     pub max_live: u32,
@@ -298,27 +311,29 @@ pub fn requirement(
     l: &Loop,
     machine: &Machine,
     sched: &mut Schedule,
-    model: Model,
+    model: impl Into<ModelId>,
     opts: &PipelineOptions,
 ) -> Result<u32, MachineError> {
-    match model {
-        Model::Ideal => Ok(0),
-        Model::Unified => {
-            let lts = lifetimes(l, machine, sched)?;
-            Ok(allocate_unified(&lts, sched.ii()).regs)
-        }
-        Model::Partitioned => {
-            let lts = lifetimes(l, machine, sched)?;
-            let classes = classify(l, machine, sched, &lts);
-            Ok(allocate_dual(&lts, &classes, sched.ii()).regs)
-        }
-        Model::Swapped => {
-            swap_pass_with(l, machine, sched, opts.swap)?;
-            let lts = lifetimes(l, machine, sched)?;
-            let classes = classify(l, machine, sched, &lts);
-            Ok(allocate_dual(&lts, &classes, sched.ii()).regs)
-        }
+    let spec = model.into().spec();
+    if spec.is_ideal() {
+        return Ok(0);
     }
+    if spec.swaps() {
+        swap_pass_with(l, machine, sched, opts.swap)?;
+    }
+    let lts = lifetimes(l, machine, sched)?;
+    let raw = if spec.is_dual() {
+        let classes = classify(l, machine, sched, &lts);
+        allocate_dual(&lts, &classes, sched.ii()).regs
+    } else {
+        allocate_unified(&lts, sched.ii()).regs
+    };
+    let ctx = RequirementCtx {
+        l,
+        ii: sched.ii(),
+        lifetimes: &lts,
+    };
+    Ok(spec.effective_requirement(raw, &ctx))
 }
 
 /// Schedules `l` and computes the `model` register requirement with
@@ -334,9 +349,10 @@ pub fn requirement(
 pub fn analyze(
     l: &Loop,
     machine: &Machine,
-    model: Model,
+    model: impl Into<ModelId>,
     opts: &PipelineOptions,
 ) -> Result<LoopAnalysis, PipelineError> {
+    let model = model.into();
     let fail = |stage: PipelineStage| PipelineError {
         loop_name: l.name().to_owned(),
         stage,
@@ -345,7 +361,7 @@ pub fn analyze(
         modulo_schedule_with(l, machine, opts.spill.scheduler).map_err(|e| fail(e.into()))?;
     let regs = requirement(l, machine, &mut sched, model, opts).map_err(|e| fail(e.into()))?;
     let lts = lifetimes(l, machine, &sched).map_err(|e| fail(e.into()))?;
-    let pressure = if model.is_dual() {
+    let pressure = if model.spec().is_dual() {
         let classes = classify(l, machine, &sched, &lts);
         Some(DualPressure::new(&lts, &classes, sched.ii()))
     } else {
@@ -370,7 +386,7 @@ pub struct LoopEval {
     /// Loop name.
     pub name: String,
     /// Evaluation model.
-    pub model: Model,
+    pub model: ModelId,
     /// Register budget (per subfile for dual models).
     pub budget: u32,
     /// Final initiation interval (after any spill-induced rescheduling).
@@ -412,8 +428,8 @@ impl LoopEval {
 }
 
 /// Builds a [`LoopEval`] from a finished spill run (or, for
-/// [`Model::Ideal`], from the base schedule).
-pub(crate) fn eval_from_spill(l: &Loop, model: Model, budget: u32, r: SpillResult) -> LoopEval {
+/// [`ModelId::IDEAL`], from the base schedule).
+pub(crate) fn eval_from_spill(l: &Loop, model: ModelId, budget: u32, r: SpillResult) -> LoopEval {
     LoopEval {
         name: l.name().to_owned(),
         model,
@@ -435,7 +451,8 @@ pub(crate) fn eval_from_spill(l: &Loop, model: Model, budget: u32, r: SpillResul
 /// Prefer [`crate::Session::evaluate`] when evaluating the same loop
 /// under several models or budgets.
 ///
-/// [`Model::Ideal`] ignores the budget (it reports the unconstrained II).
+/// [`ModelId::IDEAL`] ignores the budget (it reports the unconstrained
+/// II).
 ///
 /// # Errors
 ///
@@ -443,15 +460,16 @@ pub(crate) fn eval_from_spill(l: &Loop, model: Model, budget: u32, r: SpillResul
 pub fn evaluate(
     l: &Loop,
     machine: &Machine,
-    model: Model,
+    model: impl Into<ModelId>,
     budget: u32,
     opts: &PipelineOptions,
 ) -> Result<LoopEval, PipelineError> {
+    let model = model.into();
     let fail = |stage: PipelineStage| PipelineError {
         loop_name: l.name().to_owned(),
         stage,
     };
-    if model == Model::Ideal {
+    if model.spec().is_ideal() {
         let sched =
             modulo_schedule_with(l, machine, opts.spill.scheduler).map_err(|e| fail(e.into()))?;
         return Ok(LoopEval {
@@ -482,6 +500,7 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Model;
     use ncdrf_corpus::kernels;
     use ncdrf_machine::Machine;
 
@@ -595,6 +614,22 @@ mod tests {
             .unwrap()
             .pressure
             .is_some());
+    }
+
+    #[test]
+    fn new_families_transform_the_unified_requirement() {
+        let machine = Machine::clustered(3, 1);
+        let opts = PipelineOptions::default();
+        for l in kernels::all().into_iter().take(10) {
+            let uni = analyze(&l, &machine, ModelId::UNIFIED, &opts).unwrap();
+            let port = analyze(&l, &machine, ModelId::PORT_LIMITED, &opts).unwrap();
+            let comp = analyze(&l, &machine, ModelId::COMPRESSED, &opts).unwrap();
+            // Port pressure can only raise the requirement; compression
+            // scales it down by exactly ceil(3/4).
+            assert!(port.regs >= uni.regs, "{}", l.name());
+            assert_eq!(comp.regs, (uni.regs * 3).div_ceil(4), "{}", l.name());
+            assert_eq!(port.ii, uni.ii);
+        }
     }
 
     #[test]

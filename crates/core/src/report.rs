@@ -17,7 +17,7 @@
 
 use crate::distribution::Cumulative;
 use crate::experiment::{BudgetOutcome, DistributionCurve, Table1Row};
-use crate::model::Model;
+use crate::model::{ModelId, ModelRegistry};
 use crate::pipeline::{LoopAnalysis, LoopEval, PipelineError, PipelineStage};
 use crate::session::CacheStats;
 use crate::shard::{
@@ -447,8 +447,17 @@ const SHARD_KIND: &str = "ncdrf-sweep-shard";
 /// Artifact format version; bump on layout changes so stale artifacts
 /// fail loudly instead of merging garbage. v3 added the artifact role
 /// (shard vs heal), per-cell cache counters, and optional per-cell
-/// spill-trajectory snapshots.
-const SHARD_VERSION: u128 = 3;
+/// spill-trajectory snapshots. v4 resolves model names through the
+/// [`ModelRegistry`], so artifacts may carry registered non-paper
+/// models; the layout is unchanged, and v3 artifacts (whose model
+/// vocabulary is the four paper names) still parse — see
+/// [`ModelNaming`].
+const SHARD_VERSION: u128 = 4;
+
+/// Oldest shard format version this build still reads. v3 artifacts are
+/// restricted to the four paper models (the only names that existed
+/// before the registry).
+const SHARD_VERSION_MIN: u128 = 3;
 
 /// Artifact type tag of a serialized [`SweepReport`] / [`PartialSweep`].
 /// Report JSON predates versioning, so the parsers accept tag-less
@@ -932,9 +941,41 @@ fn string_array_member(v: &Value, key: &str) -> Parsed<Vec<String>> {
         .collect()
 }
 
-fn model_member(v: &Value, key: &str) -> Parsed<Model> {
+/// How model names in a parsed document resolve to registry IDs.
+///
+/// v3 shard artifacts predate the registry: their model vocabulary is
+/// exactly the four paper names, frozen here so a v3 artifact naming a
+/// later-registered model (impossible for a genuine v3 emitter) fails
+/// loudly instead of silently acquiring new semantics. Everything else
+/// — v4 artifacts, report JSON, standalone grid signatures — resolves
+/// through the live [`ModelRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelNaming {
+    /// The fixed four-name map of pre-registry (v3) shard artifacts.
+    LegacyV3,
+    /// Any model registered in this process.
+    Registry,
+}
+
+impl ModelNaming {
+    fn resolve(self, name: &str) -> Option<ModelId> {
+        match self {
+            ModelNaming::LegacyV3 => match name {
+                "ideal" => Some(ModelId::IDEAL),
+                "unified" => Some(ModelId::UNIFIED),
+                "partitioned" => Some(ModelId::PARTITIONED),
+                "swapped" => Some(ModelId::SWAPPED),
+                _ => None,
+            },
+            ModelNaming::Registry => ModelRegistry::resolve(name),
+        }
+    }
+}
+
+fn model_member(v: &Value, key: &str, naming: ModelNaming) -> Parsed<ModelId> {
     let name = str_member(v, key)?;
-    Model::from_name(&name)
+    naming
+        .resolve(&name)
         .ok_or_else(|| ReportParseError::new(format!("`{key}` names no model: `{name}`")))
 }
 
@@ -942,7 +983,7 @@ fn curve_from(v: &Value) -> Parsed<DistributionCurve> {
     let points = u32_array_member(v, "points")?;
     Ok(DistributionCurve {
         config: str_member(v, "config")?,
-        model: model_member(v, "model")?,
+        model: model_member(v, "model", ModelNaming::Registry)?,
         latency: u32_member(v, "latency")?,
         static_dist: Cumulative {
             points: points.clone(),
@@ -958,7 +999,7 @@ fn curve_from(v: &Value) -> Parsed<DistributionCurve> {
 fn outcome_from(v: &Value) -> Parsed<BudgetOutcome> {
     Ok(BudgetOutcome {
         config: str_member(v, "config")?,
-        model: model_member(v, "model")?,
+        model: model_member(v, "model", ModelNaming::Registry)?,
         latency: u32_member(v, "latency")?,
         registers: u32_member(v, "registers")?,
         cycles: u128_member(v, "cycles")?,
@@ -1070,7 +1111,7 @@ pub fn parse_partial_sweep(json: &str) -> Parsed<PartialSweep> {
     })
 }
 
-fn analysis_from(v: &Value) -> Parsed<LoopAnalysis> {
+fn analysis_from(v: &Value, naming: ModelNaming) -> Parsed<LoopAnalysis> {
     let pressure = member(v, "pressure")?;
     let pressure = if pressure.is_null() {
         None
@@ -1085,7 +1126,7 @@ fn analysis_from(v: &Value) -> Parsed<LoopAnalysis> {
     };
     Ok(LoopAnalysis {
         name: str_member(v, "name")?,
-        model: model_member(v, "model")?,
+        model: model_member(v, "model", naming)?,
         ii: u32_member(v, "ii")?,
         regs: u32_member(v, "regs")?,
         max_live: u32_member(v, "max_live")?,
@@ -1094,10 +1135,10 @@ fn analysis_from(v: &Value) -> Parsed<LoopAnalysis> {
     })
 }
 
-fn eval_from(v: &Value) -> Parsed<LoopEval> {
+fn eval_from(v: &Value, naming: ModelNaming) -> Parsed<LoopEval> {
     Ok(LoopEval {
         name: str_member(v, "name")?,
-        model: model_member(v, "model")?,
+        model: model_member(v, "model", naming)?,
         budget: u32_member(v, "budget")?,
         ii: u32_member(v, "ii")?,
         regs: u32_member(v, "regs")?,
@@ -1119,9 +1160,9 @@ fn cache_stats_from(v: &Value) -> Parsed<CacheStats> {
     })
 }
 
-fn trajectory_from(v: &Value) -> Parsed<CellTrajectory> {
+fn trajectory_from(v: &Value, naming: ModelNaming) -> Parsed<CellTrajectory> {
     Ok(CellTrajectory {
-        model: model_member(v, "model")?,
+        model: model_member(v, "model", naming)?,
         snapshot: TrajectorySnapshot {
             base_regs: u32_member(v, "base_regs")?,
             base_ii: u32_member(v, "base_ii")?,
@@ -1145,7 +1186,7 @@ fn trajectory_from(v: &Value) -> Parsed<CellTrajectory> {
     })
 }
 
-fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
+fn shard_cell_from(v: &Value, naming: ModelNaming) -> Parsed<ShardCell> {
     let loop_name = str_member(v, "loop")?;
     let outcome = if let Some(err) = v.get("error") {
         let message = err
@@ -1159,16 +1200,16 @@ fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
         Ok(LoopCell {
             analyses: array_member(v, "analyses")?
                 .iter()
-                .map(analysis_from)
+                .map(|a| analysis_from(a, naming))
                 .collect::<Parsed<_>>()?,
             evals: array_member(v, "evals")?
                 .iter()
                 .map(|b| {
                     Ok(BudgetCell {
-                        ideal: eval_from(member(b, "ideal")?)?,
+                        ideal: eval_from(member(b, "ideal")?, naming)?,
                         rows: array_member(b, "rows")?
                             .iter()
-                            .map(eval_from)
+                            .map(|r| eval_from(r, naming))
                             .collect::<Parsed<_>>()?,
                     })
                 })
@@ -1180,7 +1221,7 @@ fn shard_cell_from(v: &Value) -> Parsed<ShardCell> {
     } else {
         array_member(v, "trajectories")?
             .iter()
-            .map(trajectory_from)
+            .map(|t| trajectory_from(t, naming))
             .collect::<Parsed<_>>()?
     };
     Ok(ShardCell {
@@ -1212,11 +1253,19 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
         )));
     }
     let version = u128_member(&v, "version")?;
-    if version != SHARD_VERSION {
+    if !(SHARD_VERSION_MIN..=SHARD_VERSION).contains(&version) {
         return Err(ReportParseError::new(format!(
-            "unsupported shard format version {version} (this build reads {SHARD_VERSION})"
+            "unsupported shard format version {version} \
+             (this build reads {SHARD_VERSION_MIN} through {SHARD_VERSION})"
         )));
     }
+    // v3 artifacts predate the model registry: their names resolve
+    // through the frozen four-model map, never the live registry.
+    let naming = if version < SHARD_VERSION {
+        ModelNaming::LegacyV3
+    } else {
+        ModelNaming::Registry
+    };
     let role = match str_member(&v, "role")?.as_str() {
         "shard" => ShardRole::Shard,
         "heal" => ShardRole::Heal,
@@ -1226,7 +1275,7 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
             )))
         }
     };
-    let signature = grid_signature_from(member(&v, "signature")?)?;
+    let signature = signature_from(member(&v, "signature")?, naming)?;
     // Provenance (farm job + lease ids) is optional metadata stamped by
     // the daemon's workers; plain `shard_runner` artifacts omit it, so
     // absence is not an error and the shard version is unchanged.
@@ -1240,7 +1289,7 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
     let scheduling = cache_stats_from(member(&v, "scheduling")?)?;
     let cells: Vec<ShardCell> = array_member(&v, "cells")?
         .iter()
-        .map(shard_cell_from)
+        .map(|c| shard_cell_from(c, naming))
         .collect::<Parsed<_>>()?;
     // The shard-level counters are the per-cell sums by construction;
     // an artifact where they disagree was hand-edited or corrupted, and
@@ -1276,7 +1325,7 @@ pub fn parse_sweep_shard(json: &str) -> Parsed<SweepShard> {
 ///
 /// A [`ReportParseError`] on malformed JSON or the first malformed key.
 pub fn parse_grid_signature(json: &str) -> Parsed<GridSignature> {
-    grid_signature_from(&serde_json::from_str(json)?)
+    signature_from(&serde_json::from_str(json)?, ModelNaming::Registry)
 }
 
 /// Renders a [`GridSignature`] as the JSON object
@@ -1286,7 +1335,7 @@ pub fn render_grid_signature(sig: &GridSignature) -> String {
     json_signature(sig)
 }
 
-fn grid_signature_from(sig: &Value) -> Parsed<GridSignature> {
+fn signature_from(sig: &Value, naming: ModelNaming) -> Parsed<GridSignature> {
     let machines = array_member(sig, "machines")?
         .iter()
         .map(|m| {
@@ -1300,7 +1349,8 @@ fn grid_signature_from(sig: &Value) -> Parsed<GridSignature> {
     let models = string_array_member(sig, "models")?
         .iter()
         .map(|name| {
-            Model::from_name(name)
+            naming
+                .resolve(name)
                 .ok_or_else(|| ReportParseError::new(format!("`models` names no model: `{name}`")))
         })
         .collect::<Parsed<_>>()?;
@@ -1369,7 +1419,7 @@ mod tests {
         };
         vec![DistributionCurve {
             config: "C2L3".into(),
-            model: Model::Unified,
+            model: Model::Unified.into(),
             latency: 3,
             static_dist: dist.clone(),
             dynamic_dist: dist,
@@ -1379,7 +1429,7 @@ mod tests {
     fn sample_outcomes() -> Vec<BudgetOutcome> {
         vec![BudgetOutcome {
             config: "C2L6".into(),
-            model: Model::Swapped,
+            model: Model::Swapped.into(),
             latency: 6,
             registers: 32,
             cycles: 1000,
@@ -1604,6 +1654,27 @@ mod tests {
         assert!(complete
             .render(ReportFormat::Text)
             .contains("[no failures]"));
+    }
+
+    #[test]
+    fn legacy_v3_naming_is_frozen_to_the_paper_models() {
+        // A v3 artifact can only name the four paper models; the map is
+        // frozen, so registering new models never re-interprets old
+        // artifacts.
+        for (name, id) in [
+            ("ideal", ModelId::IDEAL),
+            ("unified", ModelId::UNIFIED),
+            ("partitioned", ModelId::PARTITIONED),
+            ("swapped", ModelId::SWAPPED),
+        ] {
+            assert_eq!(ModelNaming::LegacyV3.resolve(name), Some(id));
+        }
+        assert_eq!(ModelNaming::LegacyV3.resolve("port-limited"), None);
+        assert_eq!(ModelNaming::LegacyV3.resolve("compressed"), None);
+        assert_eq!(
+            ModelNaming::Registry.resolve("port-limited"),
+            Some(ModelId::PORT_LIMITED)
+        );
     }
 
     #[test]

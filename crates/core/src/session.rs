@@ -28,7 +28,7 @@
 //! Sessions are `Sync`: corpus-level sweeps run loops in parallel against
 //! one shared cache (see [`Session::analyze_corpus`]).
 
-use crate::model::Model;
+use crate::model::{ModelId, RequirementCtx};
 use crate::pipeline::{
     eval_from_spill, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
     PipelineStage,
@@ -47,11 +47,11 @@ use std::sync::Arc;
 
 /// Per-(loop, model) spill trajectories, individually locked so distinct
 /// pairs extend concurrently while same-pair evaluations serialise.
-type TrajectoryCache = Mutex<HashMap<(String, Model), Arc<Mutex<SpillTrajectory>>>>;
+type TrajectoryCache = Mutex<HashMap<(String, ModelId), Arc<Mutex<SpillTrajectory>>>>;
 
 /// Persisted trajectory snapshots imported from shard artifacts, served
 /// lazily (see [`Session::evaluate`]).
-type SnapshotCache = Mutex<HashMap<(String, Model), Arc<TrajectorySnapshot>>>;
+type SnapshotCache = Mutex<HashMap<(String, ModelId), Arc<TrajectorySnapshot>>>;
 
 /// One `(loop, model)` spill trajectory exported from — or to be
 /// imported into — a session's trajectory cache. This is the unit a
@@ -62,17 +62,9 @@ pub struct TrajectoryExport {
     /// Name of the loop the trajectory belongs to.
     pub loop_name: String,
     /// The model whose requirement function drove the descent.
-    pub model: Model,
+    pub model: ModelId,
     /// The serializable checkpoint record.
     pub snapshot: TrajectorySnapshot,
-}
-
-/// Stable model order for deterministic export listings.
-fn model_rank(model: Model) -> usize {
-    Model::all()
-        .iter()
-        .position(|&m| m == model)
-        .expect("every model is in Model::all()")
 }
 
 /// A loop's cached model-independent artifacts: the base modulo schedule
@@ -153,7 +145,7 @@ pub struct Session {
     swapped: Mutex<HashMap<String, Arc<BaseSchedule>>>,
     /// Per-(loop, model) register requirements of the cached schedules.
     /// Budget-independent, so a multi-budget sweep allocates once.
-    reqs: Mutex<HashMap<(String, Model), u32>>,
+    reqs: Mutex<HashMap<(String, ModelId), u32>>,
     /// Per-(loop, model) spill trajectories: the §5.4 descent computed
     /// once, checkpointed, and resumed by every budget that needs it
     /// (see [`Session::evaluate`]). The two-level locking lets distinct
@@ -238,7 +230,7 @@ impl Session {
     /// across budgets and across processes — instead of respilling from
     /// zero; see [`Session::import_trajectories`].
     pub fn export_trajectories(&self) -> Vec<TrajectoryExport> {
-        let mut by_key: HashMap<(String, Model), TrajectorySnapshot> = self
+        let mut by_key: HashMap<(String, ModelId), TrajectorySnapshot> = self
             .imported
             .lock()
             .iter()
@@ -255,10 +247,10 @@ impl Session {
                 snapshot,
             })
             .collect();
-        out.sort_by(|a, b| {
-            (a.loop_name.as_str(), model_rank(a.model))
-                .cmp(&(b.loop_name.as_str(), model_rank(b.model)))
-        });
+        // `ModelId` orders by registration index, which reproduces the old
+        // `Model::all()` rank for the paper four — export listings stay
+        // byte-stable across the registry redesign.
+        out.sort_by(|a, b| (a.loop_name.as_str(), a.model).cmp(&(b.loop_name.as_str(), b.model)));
         out
     }
 
@@ -357,28 +349,35 @@ impl Session {
     fn cached_requirement(
         &self,
         l: &Loop,
-        model: Model,
+        model: ModelId,
     ) -> Result<(Arc<BaseSchedule>, u32), PipelineError> {
-        let base = if model.swaps() {
+        let spec = model.spec();
+        let base = if spec.swaps() {
             self.swapped_base(l)?
         } else {
             self.base(l)?
         };
-        if model == Model::Ideal {
+        if spec.is_ideal() {
             return Ok((base, 0));
         }
         if let Some(&regs) = self.reqs.lock().get(&(l.name().to_owned(), model)) {
             return Ok((base, regs));
         }
         let (sched, lts) = (&base.sched, &base.lifetimes);
-        let regs = match model {
-            Model::Ideal => unreachable!("handled above"),
-            Model::Unified => allocate_unified(lts, sched.ii()).regs,
-            Model::Partitioned | Model::Swapped => {
-                let classes = classify(l, &self.machine, sched, lts);
-                allocate_dual(lts, &classes, sched.ii()).regs
-            }
+        let raw = if spec.is_dual() {
+            let classes = classify(l, &self.machine, sched, lts);
+            allocate_dual(lts, &classes, sched.ii()).regs
+        } else {
+            allocate_unified(lts, sched.ii()).regs
         };
+        // Same transform, same inputs as `pipeline::requirement` — the
+        // cached and uncached paths must stay bit-identical.
+        let ctx = RequirementCtx {
+            l,
+            ii: sched.ii(),
+            lifetimes: lts,
+        };
+        let regs = spec.effective_requirement(raw, &ctx);
         self.reqs.lock().insert((l.name().to_owned(), model), regs);
         Ok((base, regs))
     }
@@ -389,25 +388,40 @@ impl Session {
     /// # Errors
     ///
     /// Propagates scheduling and machine failures, naming the loop.
-    pub fn analyze(&self, l: &Loop, model: Model) -> Result<LoopAnalysis, PipelineError> {
-        let base = if model.swaps() {
+    pub fn analyze(
+        &self,
+        l: &Loop,
+        model: impl Into<ModelId>,
+    ) -> Result<LoopAnalysis, PipelineError> {
+        let model = model.into();
+        let spec = model.spec();
+        let base = if spec.swaps() {
             self.swapped_base(l)?
         } else {
             self.base(l)?
         };
         let (sched, lts) = (&base.sched, &base.lifetimes);
-        let (regs, pressure) = match model {
-            Model::Ideal => (0, None),
-            Model::Unified => (allocate_unified(lts, sched.ii()).regs, None),
-            Model::Partitioned | Model::Swapped => {
-                let classes = classify(l, &self.machine, sched, lts);
-                let alloc = allocate_dual(lts, &classes, sched.ii());
-                (alloc.regs, Some(alloc.pressure))
-            }
+        let (raw, pressure) = if spec.is_ideal() {
+            (0, None)
+        } else if spec.is_dual() {
+            let classes = classify(l, &self.machine, sched, lts);
+            let alloc = allocate_dual(lts, &classes, sched.ii());
+            (alloc.regs, Some(alloc.pressure))
+        } else {
+            (allocate_unified(lts, sched.ii()).regs, None)
         };
-        if model != Model::Ideal {
+        let regs = if spec.is_ideal() {
+            0
+        } else {
+            let ctx = RequirementCtx {
+                l,
+                ii: sched.ii(),
+                lifetimes: lts,
+            };
+            let regs = spec.effective_requirement(raw, &ctx);
             self.reqs.lock().insert((l.name().to_owned(), model), regs);
-        }
+            regs
+        };
         Ok(LoopAnalysis {
             name: l.name().to_owned(),
             model,
@@ -432,7 +446,7 @@ impl Session {
     fn trajectory(
         &self,
         l: &Loop,
-        model: Model,
+        model: ModelId,
     ) -> Result<(Arc<Mutex<SpillTrajectory>>, bool), PipelineError> {
         let key = (l.name().to_owned(), model);
         if let Some(hit) = self.trajectories.lock().get(&key) {
@@ -473,7 +487,7 @@ impl Session {
     fn materialize(
         &self,
         l: &Loop,
-        model: Model,
+        model: ModelId,
         snap: &TrajectorySnapshot,
     ) -> Result<Arc<Mutex<SpillTrajectory>>, PipelineError> {
         let key = (l.name().to_owned(), model);
@@ -510,7 +524,7 @@ impl Session {
     fn eval_from_snapshot(
         &self,
         l: &Loop,
-        model: Model,
+        model: ModelId,
         budget: u32,
         snap: &TrajectorySnapshot,
         k: usize,
@@ -555,7 +569,13 @@ impl Session {
     /// failure while extending the trajectory for this budget does not
     /// poison the cached prefix: budgets it already serves (and other
     /// models' trajectories) keep working.
-    pub fn evaluate(&self, l: &Loop, model: Model, budget: u32) -> Result<LoopEval, PipelineError> {
+    pub fn evaluate(
+        &self,
+        l: &Loop,
+        model: impl Into<ModelId>,
+        budget: u32,
+    ) -> Result<LoopEval, PipelineError> {
+        let model = model.into();
         let no_spill_eval = |sched: &Schedule, regs: u32| LoopEval {
             name: l.name().to_owned(),
             model,
@@ -573,7 +593,7 @@ impl Session {
         // the spiller's round-1 requirement (the swap pass is
         // deterministic), so `regs <= budget` short-circuits exactly the
         // evaluations the spiller would have returned unchanged.
-        if model == Model::Ideal {
+        if model.spec().is_ideal() {
             let base = self.base(l)?;
             return Ok(no_spill_eval(&base.sched, 0));
         }
@@ -690,8 +710,9 @@ impl Session {
     pub fn analyze_corpus(
         &self,
         corpus: &Corpus,
-        model: Model,
+        model: impl Into<ModelId>,
     ) -> Result<Vec<LoopAnalysis>, PipelineError> {
+        let model = model.into();
         crate::experiment::try_map_loops(corpus, |l| self.analyze(l, model))
     }
 
@@ -704,9 +725,10 @@ impl Session {
     pub fn evaluate_corpus(
         &self,
         corpus: &Corpus,
-        model: Model,
+        model: impl Into<ModelId>,
         budget: u32,
     ) -> Result<Vec<LoopEval>, PipelineError> {
+        let model = model.into();
         crate::experiment::try_map_loops(corpus, |l| self.evaluate(l, model, budget))
     }
 }
@@ -714,6 +736,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::Model;
     use ncdrf_corpus::{kernels, Corpus};
 
     #[test]

@@ -34,7 +34,7 @@
 //! # }
 //! ```
 
-use crate::model::Model;
+use crate::model::ModelId;
 use crate::pipeline::{ConfigError, PipelineError};
 use crate::session::CacheStats;
 use crate::sweep::{assemble_cells, LoopCell, PartialSweep, SweepReport};
@@ -68,8 +68,9 @@ pub struct GridSignature {
     pub loops: Vec<String>,
     /// Machine signatures in grid order (the grid's major axis).
     pub machines: Vec<MachineSig>,
-    /// Model set, in evaluation order.
-    pub models: Vec<Model>,
+    /// Model set, in evaluation order. Registry IDs; artifacts carry
+    /// the registry's stable wire names.
+    pub models: Vec<ModelId>,
     /// Distribution sample points.
     pub points: Vec<u32>,
     /// Register budgets.
@@ -119,13 +120,14 @@ pub enum ShardRole {
 
 /// Persisted spill-trajectory state of one `(cell, model)` pair: the
 /// checkpoint record [`crate::Session::export_trajectories`] produced
-/// for the cell's loop under `model`. Carried (optionally) by format-v3
-/// shard artifacts so re-runs resume the descent across processes.
+/// for the cell's loop under `model`. Carried (optionally) by shard
+/// artifacts (format v3 and later) so re-runs resume the descent across
+/// processes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellTrajectory {
     /// The model whose requirement drove the descent (the loop is the
     /// cell's).
-    pub model: Model,
+    pub model: ModelId,
     /// The serializable checkpoint record.
     pub snapshot: TrajectorySnapshot,
 }

@@ -35,7 +35,7 @@
 
 use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
 use crate::experiment::{relative_performance, BudgetOutcome, DistributionCurve, Table1Row};
-use crate::model::Model;
+use crate::model::{Model, ModelId};
 use crate::pipeline::{ConfigError, LoopAnalysis, LoopEval, PipelineError, PipelineOptions};
 use crate::session::{CacheStats, Session, TrajectoryExport};
 use crate::shard::{CellTrajectory, ShardCell, ShardRole};
@@ -61,7 +61,7 @@ use std::sync::Arc;
 pub struct Sweep<'c> {
     corpus: &'c Corpus,
     machines: Vec<Machine>,
-    models: Vec<Model>,
+    models: Vec<ModelId>,
     points: Vec<u32>,
     budgets: Vec<u32>,
     opts: PipelineOptions,
@@ -77,7 +77,7 @@ impl<'c> Sweep<'c> {
         Sweep {
             corpus,
             machines: Vec::new(),
-            models: Model::all().to_vec(),
+            models: Model::all().map(ModelId::from).to_vec(),
             points: Vec::new(),
             budgets: Vec::new(),
             opts: PipelineOptions::default(),
@@ -116,9 +116,15 @@ impl<'c> Sweep<'c> {
         self
     }
 
-    /// Replaces the model set (default: all four, in presentation order).
-    pub fn models<I: IntoIterator<Item = Model>>(mut self, models: I) -> Self {
-        self.models = models.into_iter().collect();
+    /// Replaces the model set (default: the paper's four, in presentation
+    /// order). Accepts [`ModelId`]s and legacy [`Model`] variants alike —
+    /// any registered model drops into the same grid machinery.
+    pub fn models<I>(mut self, models: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<ModelId>,
+    {
+        self.models = models.into_iter().map(Into::into).collect();
         self
     }
 
@@ -705,7 +711,7 @@ pub(crate) fn assemble_cells(
     config: &str,
     latency: u32,
     ports: u32,
-    models: &[Model],
+    models: &[ModelId],
     points: &[u32],
     budgets: &[u32],
     cells: &[LoopCell],
@@ -792,7 +798,7 @@ pub(crate) struct LoopCell {
 /// One budget's evaluations of a single loop.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct BudgetCell {
-    /// The [`Model::Ideal`] anchor evaluation (always computed, so
+    /// The [`ModelId::IDEAL`] anchor evaluation (always computed, so
     /// relative performance stays anchored even when the model set omits
     /// the ideal model).
     pub(crate) ideal: LoopEval,
@@ -823,7 +829,7 @@ fn descending_budget_order(budgets: &[u32]) -> Vec<usize> {
 fn eval_cell(
     session: &Session,
     l: &Loop,
-    models: &[Model],
+    models: &[ModelId],
     budgets: &[u32],
     want_points: bool,
 ) -> Result<LoopCell, PipelineError> {
@@ -838,11 +844,11 @@ fn eval_cell(
     let mut evals: Vec<Option<BudgetCell>> = budgets.iter().map(|_| None).collect();
     for bi in descending_budget_order(budgets) {
         let budget = budgets[bi];
-        let ideal = session.evaluate(l, Model::Ideal, budget)?;
+        let ideal = session.evaluate(l, ModelId::IDEAL, budget)?;
         let rows = models
             .iter()
             .map(|&m| {
-                if m == Model::Ideal {
+                if m == ModelId::IDEAL {
                     Ok(ideal.clone())
                 } else {
                     session.evaluate(l, m, budget)
@@ -1006,7 +1012,7 @@ pub(crate) fn fp_latency(machine: &Machine) -> u32 {
 /// Builds one distribution curve from per-loop analyses (corpus order).
 fn curve_from_rows(
     config: &str,
-    model: Model,
+    model: ModelId,
     latency: u32,
     points: &[u32],
     rows: &[&LoopAnalysis],
@@ -1145,7 +1151,7 @@ mod tests {
         let corpus = tiny();
         let err = Sweep::new(&corpus)
             .machine(Machine::clustered(3, 1))
-            .models([])
+            .models([] as [ModelId; 0])
             .points([16])
             .run()
             .unwrap_err();

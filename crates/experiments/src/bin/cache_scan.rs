@@ -11,7 +11,7 @@
 
 use ncdrf::corpus::Corpus;
 use ncdrf::machine::Machine;
-use ncdrf::{evaluate, Model, PipelineOptions, Session};
+use ncdrf::{evaluate, PipelineOptions, Session, PAPER_MODELS};
 use std::time::Instant;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
                 let reps = 5;
                 let t = Instant::now();
                 for _ in 0..reps {
-                    for model in Model::all() {
+                    for model in PAPER_MODELS {
                         for l in corpus.iter() {
                             evaluate(l, &machine, model, budget, &opts).unwrap();
                         }
@@ -46,7 +46,7 @@ fn main() {
                 let t = Instant::now();
                 for _ in 0..reps {
                     let session = Session::new(machine.clone()).options(opts);
-                    for model in Model::all() {
+                    for model in PAPER_MODELS {
                         for l in corpus.iter() {
                             session.evaluate(l, model, budget).unwrap();
                         }
@@ -56,7 +56,7 @@ fn main() {
                 let t = Instant::now();
                 for _ in 0..reps {
                     let session = Session::new(machine.clone()).options(opts);
-                    for model in Model::all() {
+                    for model in PAPER_MODELS {
                         session.evaluate_corpus(&corpus, model, budget).unwrap();
                     }
                 }

@@ -2,7 +2,7 @@
 //! requirements, for the Unified / Partitioned / Swapped models at
 //! latencies 3 and 6.
 
-use ncdrf::{default_points, DistributionPanel, Model, Render, ReportFormat, Sweep};
+use ncdrf::{default_points, DistributionPanel, Render, ReportFormat, Sweep, PAPER_FINITE_MODELS};
 use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
 
     let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
-        .models(Model::finite())
+        .models(PAPER_FINITE_MODELS)
         .points(default_points());
     // Under `--shard i/n` only that slice of the grid runs, a mergeable
     // JSON artifact is written, and there is nothing to render yet.

@@ -2,7 +2,7 @@
 //! register requirements — the same curves as Figure 6 but weighted by
 //! estimated execution time (iterations x II).
 
-use ncdrf::{default_points, DistributionPanel, Model, Render, ReportFormat, Sweep};
+use ncdrf::{default_points, DistributionPanel, Render, ReportFormat, Sweep, PAPER_FINITE_MODELS};
 use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
 
     let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
-        .models(Model::finite())
+        .models(PAPER_FINITE_MODELS)
         .points(default_points());
     let Some(partial) = run_or_shard(&cli, &sweep, "fig7") else {
         return;

@@ -2,7 +2,7 @@
 //! latencies 3 and 6, with the §5.4 spiller inserting spill code whenever
 //! a loop exceeds the file.
 
-use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
+use ncdrf::{BudgetMetric, BudgetTable, Render, ReportFormat, Sweep, FIG89_CONFIGS, PAPER_MODELS};
 use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     // artifact is written instead.
     let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
-        .models(Model::all())
+        .models(PAPER_MODELS)
         .budgets([32, 64]);
     let Some(partial) = run_or_shard(&cli, &sweep, "fig8") else {
         return;

@@ -1,7 +1,7 @@
 //! Figure 9: density of memory traffic (average bus occupancy per cycle)
 //! for the same model/latency/register grid as Figure 8.
 
-use ncdrf::{BudgetMetric, BudgetTable, Model, Render, ReportFormat, Sweep, FIG89_CONFIGS};
+use ncdrf::{BudgetMetric, BudgetTable, Render, ReportFormat, Sweep, FIG89_CONFIGS, PAPER_MODELS};
 use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
 
     let sweep = Sweep::new(&cli.corpus)
         .clustered_latencies([3, 6])
-        .models(Model::all())
+        .models(PAPER_MODELS)
         .budgets([32, 64]);
     let Some(partial) = run_or_shard(&cli, &sweep, "fig9") else {
         return;

@@ -25,7 +25,7 @@
 //! ```
 //!
 //! Grids: `full` (default; Figure 6–9 machines, models, points and
-//! budgets in one sweep), `fig67`, `fig89`, `table1`.
+//! budgets in one sweep), `fig67`, `fig89`, `table1`, `extended`.
 //!
 //! `worker` turns this binary into a farm worker: it pulls cell leases
 //! from a running `farm_daemon` over HTTP, evaluates them on a shared
@@ -53,7 +53,7 @@ use ncdrf_experiments::parse_shard_spec;
 use std::process::exit;
 
 const USAGE: &str = "usage:
-  shard_runner run --shard <i>/<n> [--out FILE.json] [--grid full|fig67|fig89|table1] [--standard]
+  shard_runner run --shard <i>/<n> [--out FILE.json] [--grid full|fig67|fig89|table1|extended] [--standard]
                    [--take N] [--persist-trajectories] [--inject-fail T1,T2,..]
   shard_runner merge [--verify-against-sequential] [--out FILE.json] [--out-artifact FILE.json] FILE.json...
   shard_runner reissue --from FILE.json... --out HEAL.json [--persist-trajectories]

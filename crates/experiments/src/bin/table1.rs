@@ -2,7 +2,7 @@
 //! 16/32/64 registers — and the percentage of execution cycles those loops
 //! represent — on the unified `PxLy` machines.
 
-use ncdrf::{Model, Render, ReportFormat, Sweep, TABLE1_POINTS};
+use ncdrf::{ModelId, Render, ReportFormat, Sweep, TABLE1_POINTS};
 use ncdrf_experiments::{banner, run_or_shard, Cli};
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
 
     let sweep = Sweep::new(&cli.corpus)
         .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
-        .models([Model::Unified])
+        .models([ModelId::UNIFIED])
         .points(TABLE1_POINTS);
     let Some(partial) = run_or_shard(&cli, &sweep, "table1") else {
         return;

@@ -120,6 +120,11 @@ pub struct JobSpec {
     pub take: Option<usize>,
     /// Optional budget-ladder override (replaces the preset's budgets).
     pub budgets: Option<Vec<u32>>,
+    /// Optional model-set override (replaces the preset's models):
+    /// registry wire names, resolved through [`ncdrf::ModelRegistry`] at
+    /// submit time. A name no registered model carries is refused with
+    /// HTTP 400 before any queue state changes.
+    pub models: Option<Vec<String>>,
     /// Cells to fail deliberately on the job's *initial* issue; the
     /// heal cadence must recover them. Reissues never re-inject.
     pub inject_fail: Vec<u64>,
@@ -177,6 +182,27 @@ impl JobSpec {
                 )
             }
         };
+        let models = match v.get("models") {
+            None => None,
+            Some(m) => {
+                let items = m
+                    .as_array()
+                    .ok_or_else(|| bad("`models` is not an array"))?;
+                if items.is_empty() {
+                    return Err(bad("`models` is empty"));
+                }
+                Some(
+                    items
+                        .iter()
+                        .map(|i| {
+                            i.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| bad("`models` holds a non-string entry"))
+                        })
+                        .collect::<Result<Vec<String>, FarmError>>()?,
+                )
+            }
+        };
         let inject_fail = match v.get("inject_fail") {
             None => Vec::new(),
             Some(b) => b
@@ -200,6 +226,7 @@ impl JobSpec {
             corpus: str_or("corpus", "small")?,
             take,
             budgets,
+            models,
             inject_fail,
             persist,
         })
@@ -225,13 +252,23 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// [`FarmError::BadRequest`] for unknown presets/corpora.
+    /// [`FarmError::BadRequest`] for unknown presets/corpora, or for a
+    /// model-set override naming an unregistered model (the message
+    /// carries the offending name).
     pub fn signature(&self) -> Result<GridSignature, FarmError> {
         let corpus = self.build_corpus()?;
         let sweep = ncdrf::preset_sweep(&corpus, &self.grid)
             .ok_or_else(|| FarmError::BadRequest(format!("unknown grid `{}`", self.grid)))?;
         let sweep: Sweep<'_> = match &self.budgets {
             Some(b) => sweep.replace_budgets(b.iter().copied()),
+            None => sweep,
+        };
+        let sweep: Sweep<'_> = match &self.models {
+            Some(names) => {
+                let ids = ncdrf::resolve_models(names)
+                    .map_err(|e| FarmError::BadRequest(e.to_string()))?;
+                sweep.models(ids)
+            }
             None => sweep,
         };
         Ok(sweep.signature())

@@ -63,6 +63,11 @@ fn seeded_violations_fail_the_tree() {
         "crates/core/src/report.rs",
         "pub fn render(o: &mut Vec<String>) { o.push(format!(\"{} {}\", \"version\", 0)); fn g(o: &mut O) { o.integer(\"version\", 3); } }\n",
     );
+    // model-name-literal: a wire name hardcoded outside the registry.
+    plant(
+        "crates/core/src/sweep.rs",
+        "pub fn default_model() -> &'static str { \"unified\" }\n",
+    );
 
     let findings = lint_tree(&root).expect("lint runs on the seeded tree");
     let has = |rule: &str, file: &str| {
@@ -84,6 +89,10 @@ fn seeded_violations_fail_the_tree() {
     );
     assert!(
         has("version-literal", "crates/core/src/report.rs"),
+        "{findings:?}"
+    );
+    assert!(
+        has("model-name-literal", "crates/core/src/sweep.rs"),
         "{findings:?}"
     );
     std::fs::remove_dir_all(&root).ok();

@@ -209,6 +209,60 @@ fn foreign_or_corrupt_artifact_is_refused_without_ingesting() {
 }
 
 #[test]
+fn unregistered_model_is_400_with_the_offending_name() {
+    let farm = farm();
+    let before = stats(&farm);
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        "/jobs",
+        r#"{"grid":"fig89","corpus":"small","take":2,"models":["unified","racetrack"]}"#,
+        0,
+    );
+    assert_eq!(status, 400, "{reply}");
+    assert!(
+        reply.contains("racetrack"),
+        "the refusal must name the offending model: {reply}"
+    );
+    assert_eq!(stats(&farm), before, "a refused submit must not enqueue");
+
+    // Malformed model arrays are refused the same way.
+    for body in [
+        r#"{"grid":"fig89","models":[]}"#,
+        r#"{"grid":"fig89","models":[3]}"#,
+        r#"{"grid":"fig89","models":"unified"}"#,
+    ] {
+        let (status, reply) = route(&farm, "POST", "/jobs", body, 0);
+        assert_eq!(status, 400, "body: {body} -> {reply}");
+    }
+    assert_eq!(stats(&farm), before);
+}
+
+#[test]
+fn registered_model_override_runs_end_to_end() {
+    // The registry's non-paper built-ins are full citizens of the farm:
+    // a job naming them sweeps, fails, heals and serves a report with
+    // zero model-specific code in the queue machinery.
+    let farm = farm();
+    let receipt = farm
+        .submit(
+            r#"{"grid":"fig89","corpus":"small","take":2,"models":["ideal","port-limited","compressed"],"inject_fail":[1]}"#,
+            0,
+        )
+        .unwrap();
+    drain(&farm, 0);
+    let status = farm.status(&receipt.job).unwrap();
+    assert_eq!(status.state, JobState::Complete);
+    assert!(status.heal_rounds > 0, "the injected fault must heal");
+    let report = farm.report(&receipt.job).unwrap();
+    assert!(
+        report.contains("\"model\":\"port-limited\"")
+            && report.contains("\"model\":\"compressed\""),
+        "the report carries the registry wire names"
+    );
+}
+
+#[test]
 fn exact_resubmit_completes_instantly_from_the_cache() {
     let farm = farm();
     let receipt = farm.submit(SPEC, 0).unwrap();

@@ -87,6 +87,17 @@ fn table1_report(corpus: &Corpus) -> SweepReport {
         .unwrap()
 }
 
+/// The `extended` preset: the registry's non-paper built-ins
+/// (read-port-constrained and compressed register files) against the
+/// unified baseline — pinned like the paper grids, so the new families'
+/// numbers are as tamper-evident as the reproduction's.
+fn extended_report(corpus: &Corpus) -> SweepReport {
+    ncdrf::preset_sweep(corpus, "extended")
+        .unwrap()
+        .run_sequential()
+        .unwrap()
+}
+
 #[test]
 fn fig67_json_is_byte_identical_to_golden() {
     assert_golden(
@@ -134,6 +145,29 @@ fn table1_rows_text_is_byte_identical_to_golden() {
 #[test]
 fn golden_fig89_json_parses_back_to_the_report() {
     let report = fig89_report(&corpus());
+    let parsed = ncdrf::parse_sweep_report(&report.render(ReportFormat::Json)).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn extended_json_is_byte_identical_to_golden() {
+    assert_golden(
+        "extended.json",
+        &extended_report(&corpus()).render(ReportFormat::Json),
+    );
+}
+
+#[test]
+fn extended_text_is_byte_identical_to_golden() {
+    assert_golden(
+        "extended.txt",
+        &extended_report(&corpus()).render(ReportFormat::Text),
+    );
+}
+
+#[test]
+fn golden_extended_json_parses_back_to_the_report() {
+    let report = extended_report(&corpus());
     let parsed = ncdrf::parse_sweep_report(&report.render(ReportFormat::Json)).unwrap();
     assert_eq!(parsed, report);
 }

@@ -38,7 +38,7 @@ fn synth_curve(state: &mut u64) -> DistributionCurve {
         |state: &mut u64| -> Vec<f64> { points.iter().map(|_| mix_f64(state)).collect() };
     DistributionCurve {
         config: format!("M{}", mix(state) % 10),
-        model: Model::all()[(mix(state) % 4) as usize],
+        model: Model::all()[(mix(state) % 4) as usize].into(),
         latency: (mix(state) % 9) as u32,
         static_dist: Cumulative {
             points: points.clone(),
@@ -54,7 +54,7 @@ fn synth_curve(state: &mut u64) -> DistributionCurve {
 fn synth_outcome(state: &mut u64) -> BudgetOutcome {
     BudgetOutcome {
         config: format!("M{}", mix(state) % 10),
-        model: Model::all()[(mix(state) % 4) as usize],
+        model: Model::all()[(mix(state) % 4) as usize].into(),
         latency: (mix(state) % 9) as u32,
         registers: (mix(state) % 128) as u32,
         // Deliberately beyond 2^53: exact only if the JSON backend never

@@ -88,9 +88,9 @@ fn merge_is_invariant_under_shard_order() {
 }
 
 fn config_of(err: &ncdrf::PipelineError) -> ConfigError {
-    match err.stage {
-        PipelineStage::Config(c) => c,
-        ref other => panic!("expected a config error, got {other}"),
+    match &err.stage {
+        PipelineStage::Config(c) => c.clone(),
+        other => panic!("expected a config error, got {other}"),
     }
 }
 
@@ -392,4 +392,60 @@ fn reissue_validates_cells_and_seeds() {
         .budget(64);
     let budget_seed = other_budget.shard(0, 1).unwrap();
     assert!(sweep.reissue(&[0], &[budget_seed]).is_ok());
+}
+
+/// A v3 artifact naming only paper models differs from its v4 rendering
+/// solely in the `version` member: rewriting it back to 3 must parse to
+/// the same shard and merge byte-identically. This is the promise that
+/// artifacts written before the model registry stay mergeable forever.
+#[test]
+fn v3_shard_artifacts_still_parse_and_merge_byte_identically() {
+    let corpus = Corpus::small().take(6);
+    let sweep = grid_sweep(&corpus);
+    let seq = sweep.run_sequential().unwrap();
+    let parsed: Vec<SweepShard> = shards_of(&sweep, 3)
+        .iter()
+        .map(|s| {
+            let v4 = s.render(ReportFormat::Json);
+            let v3 = v4.replace("\"version\":4", "\"version\":3");
+            assert_ne!(v3, v4, "the artifact must carry the version member");
+            let parsed = parse_sweep_shard(&v3).unwrap();
+            assert_eq!(&parsed, s, "v3 parses to the same shard as v4");
+            parsed
+        })
+        .collect();
+    let merged = SweepShard::merge(&parsed).unwrap();
+    assert_eq!(
+        merged.report.render(ReportFormat::Json),
+        seq.render(ReportFormat::Json)
+    );
+}
+
+/// The v3 name table is frozen to the four paper models: a v3 artifact
+/// can never smuggle in a post-registry model, and versions this build
+/// does not know are refused outright rather than half-parsed.
+#[test]
+fn v3_naming_is_frozen_and_future_versions_are_refused() {
+    let corpus = Corpus::small().take(2);
+    let sweep = Sweep::new(&corpus)
+        .clustered_latencies([3])
+        .models([ncdrf::ModelId::PORT_LIMITED])
+        .budget(16);
+    let shard = sweep.shard(0, 1).unwrap();
+    let v4 = shard.render(ReportFormat::Json);
+    assert_eq!(parse_sweep_shard(&v4).as_ref(), Ok(&shard));
+
+    let v3 = v4.replace("\"version\":4", "\"version\":3");
+    let err = parse_sweep_shard(&v3).unwrap_err();
+    assert!(
+        err.to_string().contains("port-limited"),
+        "the rejection names the unknown-under-v3 model: {err}"
+    );
+
+    let v5 = v4.replace("\"version\":4", "\"version\":5");
+    let err = parse_sweep_shard(&v5).unwrap_err();
+    assert!(
+        err.to_string().contains("version 5"),
+        "the rejection names the unsupported version: {err}"
+    );
 }
