@@ -28,6 +28,11 @@
 //!   everywhere else goes through `ModelId` constants or
 //!   `ModelRegistry::resolve`, so adding a model never means hunting
 //!   stringly-typed call sites.
+//! * **spill-hot-clone** — no `.clone(` inside the spill descent's
+//!   per-step hot functions ([`SPILL_HOT_FNS`]): the arena/SoA refactor
+//!   removed the per-step loop/schedule/lifetime copies, and a clone
+//!   creeping back in would silently undo it. Cold exits in those
+//!   functions use `.to_owned()`, which reads as a deliberate copy.
 //!
 //! The scanner is a small hand-rolled Rust lexer (strings, raw strings,
 //! nested block comments, char-vs-lifetime disambiguation), so rules
@@ -86,6 +91,21 @@ const MODEL_NAME_ALLOW: &[&str] = &[
     "crates/core/src/model.rs",
     "crates/core/src/report.rs",
     "crates/analyze/src/lint.rs",
+];
+
+/// The spill descent's per-step hot functions, as `(file, fn)` pairs:
+/// one rewrite + reschedule + requirement round runs through each of
+/// these per spill step, so a `.clone()` of the loop, schedule, DDG or
+/// lifetime structures here is a per-step deep copy. Deliberate copies
+/// on cold exits spell `.to_owned()` instead; per-commit caching lives
+/// in functions outside this table (e.g. `SchedContext::commit`).
+const SPILL_HOT_FNS: &[(&str, &str)] = &[
+    ("crates/spill/src/spiller.rs", "run_spill_loop"),
+    ("crates/spill/src/spiller.rs", "select_victim"),
+    ("crates/spill/src/trajectory.rs", "advance"),
+    ("crates/sched/src/context.rs", "schedule"),
+    ("crates/sched/src/context.rs", "attempt"),
+    ("crates/sched/src/context.rs", "attempt_merged"),
 ];
 
 /// One lint violation.
@@ -529,6 +549,63 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintFinding> {
             }
         }
     }
+    // spill-hot-clone: `.clone(` inside a hot spill-step function body.
+    let hot_fns: Vec<&str> = SPILL_HOT_FNS
+        .iter()
+        .filter(|(f, _)| *f == rel)
+        .map(|(_, name)| *name)
+        .collect();
+    if !hot_fns.is_empty() {
+        let mut w = 0usize;
+        while w + 1 < tokens.len() {
+            // A definition site: `fn <name>` with the name in the hot
+            // table (call sites never have an `fn` ident in front).
+            let is_hot_def = ident(&tokens[w], "fn")
+                && matches!(&tokens[w + 1].tok, Tok::Ident(name) if hot_fns.contains(&name.as_str()));
+            if !is_hot_def {
+                w += 1;
+                continue;
+            }
+            let fn_name = match &tokens[w + 1].tok {
+                Tok::Ident(name) => name.clone(),
+                _ => unreachable!("matched an ident above"),
+            };
+            // Skip the signature, then walk the brace-balanced body.
+            let mut j = w + 2;
+            while j < tokens.len() && !punct(&tokens[j], '{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if punct(&tokens[j], '{') {
+                    depth += 1;
+                } else if punct(&tokens[j], '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if punct(&tokens[j], '.')
+                    && j + 2 < tokens.len()
+                    && ident(&tokens[j + 1], "clone")
+                    && punct(&tokens[j + 2], '(')
+                {
+                    findings.push(LintFinding {
+                        path: rel.to_owned(),
+                        line: tokens[j + 1].line,
+                        rule: "spill-hot-clone",
+                        detail: format!(
+                            "`.clone()` inside the spill-step hot function `{fn_name}`; \
+                             reuse the arena scratch, or spell a deliberate cold-path \
+                             copy `.to_owned()`"
+                        ),
+                    });
+                }
+                j += 1;
+            }
+            w = j.max(w + 1);
+        }
+    }
+
     if WIRE_FILES.contains(&rel) {
         for w in 0..tokens.len().saturating_sub(2) {
             if matches!(&tokens[w].tok, Tok::Str(s) if s == "version")
@@ -692,6 +769,38 @@ mod tests {
         assert_eq!(found[0].rule, "version-literal");
         let good = "fn f(o: &mut J) { o.integer(\"version\", SHARD_VERSION); }";
         assert!(lint_source("crates/core/src/report.rs", good).is_empty());
+    }
+
+    #[test]
+    fn clones_in_spill_hot_functions_are_flagged() {
+        let seeded = "fn run_spill_loop(l: &Loop) -> Loop {\n\
+                      let current = l.clone();\n\
+                      current\n}";
+        let found = lint_source("crates/spill/src/spiller.rs", seeded);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "spill-hot-clone");
+        assert!(found[0].detail.contains("run_spill_loop"));
+
+        // `.to_owned()` is the sanctioned cold-path copy.
+        let cold = "fn run_spill_loop(l: &Loop) -> Loop { l.to_owned() }";
+        assert!(lint_source("crates/spill/src/spiller.rs", cold).is_empty());
+
+        // Clones outside the hot functions of a watched file are fine.
+        let elsewhere = "fn escalate_ii(l: &Loop) -> Loop { l.clone() }";
+        assert!(lint_source("crates/spill/src/spiller.rs", elsewhere).is_empty());
+
+        // Unwatched files may clone freely.
+        let seeded_elsewhere = "fn run_spill_loop(l: &Loop) -> Loop { l.clone() }";
+        assert!(lint_source("crates/spill/src/rewrite.rs", seeded_elsewhere).is_empty());
+
+        // Nested blocks inside the hot body are still scanned; code
+        // after the body is not.
+        let nested = "fn advance(&mut self) {\n\
+                      if x { let s = self.sched.clone(); }\n}\n\
+                      fn cold(&self) -> Loop { self.l.clone() }";
+        let found = lint_source("crates/spill/src/trajectory.rs", nested);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 2);
     }
 
     #[test]

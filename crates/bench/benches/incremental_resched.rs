@@ -1,0 +1,158 @@
+//! Benchmark guard for incremental rescheduling: the full spill descent
+//! of a corpus slice under the reference full-reschedule path vs the
+//! `SchedContext` incremental path, at a budget deep enough that every
+//! loop takes several spill steps.
+//!
+//! Both variants run the *same* descent — the two paths are proven
+//! bit-identical by `tests/incremental_resched.rs` and asserted again
+//! here before anything is measured — so the delta is pure scheduling
+//! cost: arena/SoA scratch reuse, the hoisted per-II analysis, and
+//! clean-component reuse where the dirty closure leaves room. The
+//! printed headline is the per-spill-step cost of each path.
+
+// Benchmarks measure wall time by definition.
+#![allow(clippy::disallowed_methods)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdrf::corpus::Corpus;
+use ncdrf::ddg::{Loop, LoopBuilder, ValueRef, Weight};
+use ncdrf::machine::Machine;
+use ncdrf::sched::{modulo_schedule_with, SchedContext, SchedulerOptions};
+use ncdrf::spill::{requirement_unified, set_full_resched, spill_until_fits, SpillOptions};
+use ncdrf_bench::bench_corpus;
+use std::time::Instant;
+
+/// Deep enough that the descent spills repeatedly on most loops.
+const BUDGET: u32 = 8;
+const LATENCY: u32 = 6;
+
+/// One full spill descent over the corpus; returns (total spill steps,
+/// cycle checksum) so the work can't be optimised away and the two
+/// modes can be compared for equality.
+fn descend(corpus: &Corpus, machine: &Machine) -> (usize, u64) {
+    let opts = SpillOptions::default();
+    let mut steps = 0usize;
+    let mut checksum = 0u64;
+    for l in corpus.iter() {
+        let r = spill_until_fits(l, machine, BUDGET, &mut requirement_unified, opts).unwrap();
+        steps += r.spilled.len();
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(u64::from(r.sched.ii()) + r.regs as u64);
+    }
+    (steps, checksum)
+}
+
+fn bench(c: &mut Criterion) {
+    let corpus = bench_corpus(20);
+    let machine = Machine::clustered(LATENCY, 1);
+
+    // Correctness guard: the incremental path must not change any result.
+    set_full_resched(Some(true));
+    let full = descend(&corpus, &machine);
+    set_full_resched(Some(false));
+    let incremental = descend(&corpus, &machine);
+    assert_eq!(full, incremental, "rescheduling modes disagree");
+    assert!(full.0 > 0, "the descent must actually spill");
+
+    // Headline: per-spill-step cost of each path.
+    let reps = 10u32;
+    set_full_resched(Some(true));
+    let t = Instant::now();
+    for _ in 0..reps {
+        descend(&corpus, &machine);
+    }
+    let full_time = t.elapsed();
+    set_full_resched(Some(false));
+    let t = Instant::now();
+    for _ in 0..reps {
+        descend(&corpus, &machine);
+    }
+    let inc_time = t.elapsed();
+    let steps = (full.0 as u32 * reps).max(1);
+    println!(
+        "\nincremental resched: {} spill steps; {:.1?}/step full vs {:.1?}/step incremental -> {:.2}x\n",
+        full.0,
+        full_time / steps,
+        inc_time / steps,
+        full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-12),
+    );
+
+    set_full_resched(Some(true));
+    c.bench_function("incremental_resched/full_spill_descent", |b| {
+        b.iter(|| descend(&corpus, &machine))
+    });
+    set_full_resched(Some(false));
+    c.bench_function("incremental_resched/incremental_spill_descent", |b| {
+        b.iter(|| descend(&corpus, &machine))
+    });
+    set_full_resched(None);
+
+    // The clean-component case: extending a loop whose adder-bound
+    // recurrence core is untouched by the (memory-side) extension. The
+    // merged attempt only reschedules the four memory ops and reuses
+    // the other two dozen placements; the full path reschedules all of
+    // them. Both sides pay the base schedule so the delta is the
+    // extension step alone.
+    let base = separable(false);
+    let ext = separable(true);
+    let opts = SchedulerOptions::default();
+    {
+        let mut ctx = SchedContext::new();
+        ctx.schedule(&base, &machine, opts).unwrap();
+        let got = ctx
+            .reschedule_extended(&ext, &machine, opts, base.ops().len())
+            .unwrap();
+        assert_eq!(got, modulo_schedule_with(&ext, &machine, opts).unwrap());
+        assert!(
+            ctx.last_reused_ops() > 0,
+            "the extension must reuse placements"
+        );
+    }
+    c.bench_function("incremental_resched/extend_separable_full", |b| {
+        b.iter(|| {
+            let a = modulo_schedule_with(&base, &machine, opts).unwrap();
+            let z = modulo_schedule_with(&ext, &machine, opts).unwrap();
+            (a.ii(), z.ii())
+        })
+    });
+    c.bench_function("incremental_resched/extend_separable_incremental", |b| {
+        let mut ctx = SchedContext::new();
+        b.iter(|| {
+            let a = ctx.schedule(&base, &machine, opts).unwrap();
+            let z = ctx
+                .reschedule_extended(&ext, &machine, opts, base.ops().len())
+                .unwrap();
+            (a.ii(), z.ii())
+        })
+    });
+}
+
+/// A loop whose schedule is bound by 24 independent adder recurrences;
+/// the extension appends a second load/store pair, dirtying only the
+/// memory component.
+fn separable(extended: bool) -> Loop {
+    let mut b = LoopBuilder::new("separable");
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let ld = b.load("L", x, 0);
+    b.store("S", z, 0, ld.now());
+    for i in 0..24 {
+        let a = b.reserve_add(format!("A{i}"));
+        b.bind(a, [ValueRef::Const(1.0), a.prev(1)]);
+    }
+    if extended {
+        let x2 = b.array_in("x2");
+        let z2 = b.array_out("z2");
+        let ld2 = b.load("L2", x2, 0);
+        b.store("S2", z2, 0, ld2.now());
+    }
+    b.finish(Weight::default()).unwrap()
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

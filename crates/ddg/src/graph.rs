@@ -192,32 +192,53 @@ impl Loop {
     /// is `start(to) >= start(from) + latency(from) - II * dist`.
     pub fn sched_edges(&self) -> Vec<(OpId, OpId, u32)> {
         let mut edges = Vec::new();
+        self.sched_edges_into(&mut edges);
+        edges
+    }
+
+    /// [`Loop::sched_edges`] into a caller-owned buffer, so hot paths
+    /// (the spill descent reschedules after every spill step) reuse one
+    /// allocation across calls. The buffer is cleared first; edge order
+    /// is identical to [`Loop::sched_edges`].
+    pub fn sched_edges_into(&self, out: &mut Vec<(OpId, OpId, u32)>) {
+        out.clear();
         for (id, op) in self.iter_ops() {
             for input in &op.inputs {
                 if let ValueRef::Op { id: from, dist } = *input {
-                    edges.push((from, id, dist));
+                    out.push((from, id, dist));
                 }
             }
         }
         for dep in &self.deps {
-            edges.push((dep.from, dep.to, dep.dist));
+            out.push((dep.from, dep.to, dep.dist));
         }
-        edges
     }
 
     /// The consumers of each op's value: for op `p`, a list of
     /// `(consumer, dist)` pairs (one entry per *operand slot* that reads
     /// `p`, so an op reading `p` twice appears twice).
     pub fn consumers(&self) -> Vec<Vec<(OpId, u32)>> {
-        let mut cons = vec![Vec::new(); self.ops.len()];
+        let mut cons = Vec::new();
+        self.consumers_into(&mut cons);
+        cons
+    }
+
+    /// [`Loop::consumers`] into a caller-owned buffer: the outer vec is
+    /// resized to the op count and every inner vec is cleared (keeping
+    /// its capacity), so repeated calls on same-shaped loops allocate
+    /// nothing. Contents are identical to [`Loop::consumers`].
+    pub fn consumers_into(&self, out: &mut Vec<Vec<(OpId, u32)>>) {
+        for inner in out.iter_mut() {
+            inner.clear();
+        }
+        out.resize_with(self.ops.len(), Vec::new);
         for (id, op) in self.iter_ops() {
             for input in &op.inputs {
                 if let ValueRef::Op { id: from, dist } = *input {
-                    cons[from.index()].push((id, dist));
+                    out[from.index()].push((id, dist));
                 }
             }
         }
-        cons
     }
 
     /// Count of operations of the given kind.

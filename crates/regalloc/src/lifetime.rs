@@ -53,8 +53,30 @@ pub fn lifetimes(
     sched: &Schedule,
 ) -> Result<Vec<Lifetime>, MachineError> {
     let consumers = l.consumers();
-    let ii = sched.ii();
     let mut out = Vec::new();
+    lifetimes_into(l, machine, sched, &consumers, &mut out)?;
+    Ok(out)
+}
+
+/// [`lifetimes`] into a caller-owned buffer, with the consumer lists
+/// precomputed (see [`Loop::consumers_into`]): the allocation-free
+/// variant the spill descent's victim selection runs once per spill
+/// step. `out` is cleared first; contents are identical to
+/// [`lifetimes`].
+///
+/// # Errors
+///
+/// Returns [`MachineError::Unserved`] if the machine cannot execute some
+/// operation.
+pub fn lifetimes_into(
+    l: &Loop,
+    machine: &Machine,
+    sched: &Schedule,
+    consumers: &[Vec<(OpId, u32)>],
+    out: &mut Vec<Lifetime>,
+) -> Result<(), MachineError> {
+    let ii = sched.ii();
+    out.clear();
     for (id, op) in l.iter_ops() {
         if !op.kind().produces_value() {
             continue;
@@ -67,7 +89,7 @@ pub fn lifetimes(
         }
         out.push(Lifetime { op: id, start, end });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// MaxLive: the maximum, over the II kernel cycles, of the number of

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod ims;
 mod kernel;
 mod mii;
@@ -51,6 +52,7 @@ mod mrt;
 mod schedule;
 mod table;
 
+pub use context::SchedContext;
 pub use ims::{
     modulo_schedule, modulo_schedule_with, schedule_at_ii, Priority, ScheduleError,
     SchedulerOptions,

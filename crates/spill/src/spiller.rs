@@ -1,10 +1,11 @@
 //! The iterative spill-until-fits driver of the paper's §5.4.
 
+use crate::resched::schedule_step;
 use crate::rewrite::spill_value;
 use ncdrf_ddg::{Loop, OpId};
 use ncdrf_machine::{Machine, MachineError};
-use ncdrf_regalloc::{lifetimes, Lifetime};
-use ncdrf_sched::{modulo_schedule_with, Schedule, ScheduleError, SchedulerOptions};
+use ncdrf_regalloc::{lifetimes, lifetimes_into, Lifetime};
+use ncdrf_sched::{modulo_schedule_with, SchedContext, Schedule, ScheduleError, SchedulerOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -216,7 +217,12 @@ fn run_spill_loop(
     requirement: &mut RequirementFn<'_>,
     opts: SpillOptions,
 ) -> Result<SpillResult, SpillError> {
-    let mut current = l.clone();
+    // `None` means "still the caller's unmodified loop": the steady path
+    // only materialises an owned copy when it actually returns or spills,
+    // and all scheduling/victim scratch lives in reused arenas.
+    let mut current: Option<Loop> = None;
+    let mut ctx = SchedContext::new();
+    let mut scratch = VictimScratch::default();
     let mut excluded: HashSet<String> = HashSet::new();
     let mut spilled = Vec::new();
     let mut spill_stores = 0usize;
@@ -226,14 +232,15 @@ fn run_spill_loop(
 
     loop {
         rounds += 1;
+        let cur = current.as_ref().unwrap_or(l);
         let mut sched = match seeded.take() {
             Some(base) => base,
-            None => modulo_schedule_with(&current, machine, opts.scheduler)?,
+            None => schedule_step(&mut ctx, cur, machine, opts.scheduler)?,
         };
-        let regs = requirement(&current, machine, &mut sched)?;
+        let regs = requirement(cur, machine, &mut sched)?;
         if regs <= budget {
             return Ok(SpillResult {
-                l: current,
+                l: take_current(current, l),
                 sched,
                 regs,
                 fits: true,
@@ -245,7 +252,15 @@ fn run_spill_loop(
         }
 
         let victim = if spilled.len() < opts.max_spills {
-            select_victim(&current, machine, &sched, &excluded, opts.policy, &mut rng)?
+            select_victim(
+                cur,
+                machine,
+                &sched,
+                &excluded,
+                opts.policy,
+                &mut rng,
+                &mut scratch,
+            )?
         } else {
             None
         };
@@ -254,7 +269,7 @@ fn run_spill_loop(
             // Nothing left to spill. Optionally trade II for pressure.
             if opts.escalate_ii {
                 return escalate_ii(
-                    current,
+                    take_current(current, l),
                     machine,
                     budget,
                     requirement,
@@ -268,7 +283,7 @@ fn run_spill_loop(
                 );
             }
             return Ok(SpillResult {
-                l: current,
+                l: take_current(current, l),
                 sched,
                 regs,
                 fits: false,
@@ -279,16 +294,23 @@ fn run_spill_loop(
             });
         };
 
-        let victim_name = current.op(victim).name().to_owned();
+        let victim_name = cur.op(victim).name().to_owned();
         let (next, reload_names, stats) =
-            spill_value(&current, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
-        excluded.insert(victim_name.clone());
+            spill_value(cur, victim).map_err(|e| SpillError::Rewrite(e.to_string()))?;
+        excluded.insert(cur.op(victim).name().to_owned());
         excluded.extend(reload_names);
         spilled.push(victim_name);
         spill_stores += stats.stores_added;
         spill_loads += stats.loads_added;
-        current = next;
+        current = Some(next);
     }
+}
+
+/// The owned loop a cold exit of the spill loop hands back: the spilled
+/// state when any spill happened, an owned copy of the caller's loop
+/// otherwise.
+fn take_current(current: Option<Loop>, l: &Loop) -> Loop {
+    current.unwrap_or_else(|| l.to_owned())
 }
 
 pub(crate) struct SpillTally {
@@ -360,6 +382,16 @@ pub(crate) fn escalate_ii(
     })
 }
 
+/// Reusable arena for [`select_victim`]: lifetime and consumer buffers
+/// plus candidate indices, so a spill descent's per-step victim selection
+/// allocates nothing once warm.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VictimScratch {
+    lts: Vec<Lifetime>,
+    consumers: Vec<Vec<(OpId, u32)>>,
+    candidates: Vec<u32>,
+}
+
 /// Selects the next value to spill among spillable candidates (value
 /// producers not created by the spiller and not spilled before).
 pub(crate) fn select_victim(
@@ -369,16 +401,19 @@ pub(crate) fn select_victim(
     excluded: &HashSet<String>,
     policy: SpillPolicy,
     rng: &mut Xorshift64,
+    scratch: &mut VictimScratch,
 ) -> Result<Option<OpId>, MachineError> {
-    let lts = lifetimes(l, machine, sched)?;
-    let consumers = l.consumers();
-    let candidates: Vec<&Lifetime> = lts
-        .iter()
-        .filter(|lt| {
-            let op = l.op(lt.op);
-            !excluded.contains(op.name()) && !lt.is_empty() && spillable(l, lt.op)
-        })
-        .collect();
+    l.consumers_into(&mut scratch.consumers);
+    lifetimes_into(l, machine, sched, &scratch.consumers, &mut scratch.lts)?;
+    let (lts, consumers) = (&scratch.lts, &scratch.consumers);
+    scratch.candidates.clear();
+    for (i, lt) in lts.iter().enumerate() {
+        let op = l.op(lt.op);
+        if !excluded.contains(op.name()) && !lt.is_empty() && spillable(l, lt.op) {
+            scratch.candidates.push(i as u32);
+        }
+    }
+    let candidates = &scratch.candidates;
     if candidates.is_empty() {
         return Ok(None);
     }
@@ -386,19 +421,19 @@ pub(crate) fn select_victim(
     let chosen = match policy {
         SpillPolicy::LongestLifetime => candidates
             .iter()
-            .max_by_key(|lt| (lt.len(), std::cmp::Reverse(lt.op)))
-            .copied(),
+            .map(|&i| &lts[i as usize])
+            .max_by_key(|lt| (lt.len(), std::cmp::Reverse(lt.op))),
         SpillPolicy::MostInstances => candidates
             .iter()
-            .max_by_key(|lt| (lt.instances(ii), std::cmp::Reverse(lt.op)))
-            .copied(),
+            .map(|&i| &lts[i as usize])
+            .max_by_key(|lt| (lt.instances(ii), std::cmp::Reverse(lt.op))),
         SpillPolicy::FewestUses => candidates
             .iter()
-            .min_by_key(|lt| (consumers[lt.op.index()].len(), lt.op))
-            .copied(),
+            .map(|&i| &lts[i as usize])
+            .min_by_key(|lt| (consumers[lt.op.index()].len(), lt.op)),
         SpillPolicy::Random(_) => {
             let i = (rng.next() % candidates.len() as u64) as usize;
-            Some(candidates[i])
+            Some(&lts[candidates[i] as usize])
         }
     };
     Ok(chosen.map(|lt| lt.op))

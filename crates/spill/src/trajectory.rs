@@ -51,12 +51,13 @@
 //! # }
 //! ```
 
+use crate::resched::schedule_step;
 use crate::rewrite::spill_value;
-use crate::spiller::{escalate_ii, select_victim, SpillTally, Xorshift64};
+use crate::spiller::{escalate_ii, select_victim, SpillTally, VictimScratch, Xorshift64};
 use crate::{RequirementFn, SpillError, SpillOptions, SpillResult};
 use ncdrf_ddg::Loop;
 use ncdrf_machine::Machine;
-use ncdrf_sched::{modulo_schedule_with, Schedule};
+use ncdrf_sched::{SchedContext, Schedule};
 use std::collections::HashSet;
 
 /// The heavy state of a checkpoint: the rewritten loop and its schedule.
@@ -249,6 +250,12 @@ pub struct SpillTrajectory {
     /// No further victim exists (or `max_spills` was reached): the
     /// descent cannot be extended, only escalated per budget.
     exhausted: bool,
+    /// Incremental scheduling context threaded through every extension
+    /// step (see [`ncdrf_sched::SchedContext`]): each `advance` reuses
+    /// the previous step's arenas and clean placements.
+    ctx: SchedContext,
+    /// Victim-selection arena, reused across extension steps.
+    scratch: VictimScratch,
 }
 
 impl SpillTrajectory {
@@ -288,6 +295,8 @@ impl SpillTrajectory {
             excluded: HashSet::new(),
             rng: Xorshift64::for_policy(opts.policy),
             exhausted: false,
+            ctx: SchedContext::new(),
+            scratch: VictimScratch::default(),
         })
     }
 
@@ -374,7 +383,7 @@ impl SpillTrajectory {
                     })?;
                 let (next, reload_names, stats) = spill_value(&last_state.l, victim)
                     .map_err(|e| SpillError::Rewrite(e.to_string()))?;
-                let mut sched = modulo_schedule_with(&next, machine, opts.scheduler)?;
+                let mut sched = schedule_step(&mut traj.ctx, &next, machine, opts.scheduler)?;
                 let regs = requirement(&next, machine, &mut sched)?;
                 if regs != step.regs || sched.ii() != step.ii || next.memory_ops() != step.mem_ops {
                     return Err(SpillError::Snapshot(format!(
@@ -521,6 +530,7 @@ impl SpillTrajectory {
                 &self.excluded,
                 self.opts.policy,
                 &mut rng,
+                &mut self.scratch,
             )?;
             let Some(victim) = victim else {
                 self.exhausted = true;
@@ -529,14 +539,14 @@ impl SpillTrajectory {
             let victim_name = last_state.l.op(victim).name().to_owned();
             let (next, reload_names, stats) = spill_value(&last_state.l, victim)
                 .map_err(|e| SpillError::Rewrite(e.to_string()))?;
-            let mut sched = modulo_schedule_with(&next, machine, self.opts.scheduler)?;
+            let mut sched = schedule_step(&mut self.ctx, &next, machine, self.opts.scheduler)?;
             let regs = requirement(&next, machine, &mut sched)?;
             (
                 SpillCheckpoint {
                     regs,
                     ii: sched.ii(),
                     mem_ops: next.memory_ops(),
-                    victim: Some(victim_name.clone()),
+                    victim: Some(last_state.l.op(victim).name().to_owned()),
                     spill_stores: last.spill_stores + stats.stores_added,
                     spill_loads: last.spill_loads + stats.loads_added,
                     state: Some(CheckpointState { l: next, sched }),

@@ -1,0 +1,295 @@
+//! The differential proof for incremental rescheduling: every grid cell
+//! of every preset (fig6/7, fig8/9, Table 1, `extended`) produces
+//! **byte-identical** report output and equal `CacheStats` whether the
+//! spill descent reschedules through the incremental `SchedContext` path
+//! (the default) or the reference full scheduler (`NCDRF_FULL_RESCHED=1`,
+//! or `set_full_resched(Some(true))` at runtime) — and the final spill
+//! code of both paths passes the `vliw` execution oracle.
+//!
+//! Also pinned here: the fallback contract. When a spill step's dirty
+//! closure grows to cover the whole loop (the common case on real
+//! corpus loops, whose spill stores/reloads share the memory port group
+//! with every load and store), the incremental path degrades to exactly
+//! the full-reschedule result, reusing nothing.
+//!
+//! The rescheduling mode is process-global, so this suite serialises
+//! its tests behind a mutex and runs under `RUST_TEST_THREADS=1` in CI
+//! (the `resched-identity` job).
+
+use ncdrf::corpus::Corpus;
+use ncdrf::machine::Machine;
+use ncdrf::spill::set_full_resched;
+use ncdrf::{default_points, Model, Render, ReportFormat, Sweep, SweepReport, TABLE1_POINTS};
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-global rescheduling mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once under the reference full-reschedule path and once under
+/// the incremental path, restoring the environment-driven default
+/// afterwards, and returns `(full, incremental)`.
+fn under_both_modes<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    set_full_resched(Some(true));
+    let full = f();
+    set_full_resched(Some(false));
+    let incremental = f();
+    set_full_resched(None);
+    (full, incremental)
+}
+
+/// The corpus slice the golden fixtures pin.
+fn corpus() -> Corpus {
+    Corpus::small().take(12)
+}
+
+fn fig67_report(corpus: &Corpus) -> SweepReport {
+    Sweep::new(corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::finite())
+        .points(default_points())
+        .run_sequential()
+        .unwrap()
+}
+
+fn fig89_report(corpus: &Corpus) -> SweepReport {
+    Sweep::new(corpus)
+        .clustered_latencies([3, 6])
+        .models(Model::all())
+        .budgets([64, 48, 32, 16])
+        .run_sequential()
+        .unwrap()
+}
+
+fn table1_report(corpus: &Corpus) -> SweepReport {
+    Sweep::new(corpus)
+        .pxly_configs([(1, 3), (2, 3), (1, 6), (2, 6)])
+        .models([Model::Unified])
+        .points(TABLE1_POINTS)
+        .run_sequential()
+        .unwrap()
+}
+
+fn extended_report(corpus: &Corpus) -> SweepReport {
+    ncdrf::preset_sweep(corpus, "extended")
+        .unwrap()
+        .run_sequential()
+        .unwrap()
+}
+
+/// Asserts a preset's report is bit-identical across the two modes:
+/// the full structured report (every cell, every counter), the rendered
+/// JSON and text bytes, and the `CacheStats` roll-up.
+fn assert_preset_identical(name: &str, report: impl FnMut() -> SweepReport) {
+    let (full, incremental) = under_both_modes(report);
+    assert_eq!(
+        full.scheduling, incremental.scheduling,
+        "{name}: CacheStats must match across rescheduling modes"
+    );
+    assert_eq!(
+        full, incremental,
+        "{name}: structured report must match across rescheduling modes"
+    );
+    assert_eq!(
+        full.render(ReportFormat::Json),
+        incremental.render(ReportFormat::Json),
+        "{name}: JSON bytes must match across rescheduling modes"
+    );
+    assert_eq!(
+        full.render(ReportFormat::Text),
+        incremental.render(ReportFormat::Text),
+        "{name}: text bytes must match across rescheduling modes"
+    );
+}
+
+#[test]
+fn fig67_grid_is_bit_identical_across_modes() {
+    let c = corpus();
+    assert_preset_identical("fig67", || fig67_report(&c));
+}
+
+#[test]
+fn fig89_grid_is_bit_identical_across_modes() {
+    let c = corpus();
+    assert_preset_identical("fig89", || fig89_report(&c));
+}
+
+#[test]
+fn table1_grid_is_bit_identical_across_modes() {
+    let c = corpus();
+    assert_preset_identical("table1", || table1_report(&c));
+}
+
+#[test]
+fn extended_grid_is_bit_identical_across_modes() {
+    let c = corpus();
+    assert_preset_identical("extended", || extended_report(&c));
+}
+
+/// The final spill code of both modes is identical per (loop, budget)
+/// cell and *executes* equivalently: the `vliw` end-to-end oracle checks
+/// the incremental path's rewritten loops against the sequential
+/// reference under a unified binding.
+#[test]
+fn final_spill_code_matches_and_executes_equivalently() {
+    use ncdrf::regalloc::{allocate_unified, lifetimes};
+    use ncdrf::spill::{requirement_unified, spill_until_fits, SpillOptions};
+    use ncdrf::vliw::{check_equivalence, Binding};
+
+    let machine = Machine::clustered(6, 1);
+    let opts = SpillOptions::default();
+    let mut spilled_cells = 0usize;
+    for l in Corpus::small().take(12).iter() {
+        for budget in [24, 12, 8] {
+            let (full, incremental) = under_both_modes(|| {
+                spill_until_fits(l, &machine, budget, &mut requirement_unified, opts).unwrap()
+            });
+            assert_eq!(full, incremental, "{} @{budget}", l.name());
+            if incremental.spilled.is_empty() {
+                continue;
+            }
+            spilled_cells += 1;
+            let r = &incremental;
+            let lts = lifetimes(&r.l, &machine, &r.sched).unwrap();
+            let uni = allocate_unified(&lts, r.sched.ii());
+            check_equivalence(&r.l, &machine, &r.sched, &Binding::unified(&lts, &uni), 16)
+                .unwrap_or_else(|e| panic!("{} @{budget}: {e}", l.name()));
+            assert!(r.l.ops().len() > l.ops().len(), "spilled cell must grow");
+        }
+    }
+    assert!(
+        spilled_cells > 0,
+        "the equivalence oracle must actually see spilled loops"
+    );
+}
+
+/// Session-level continuation (trajectory checkpoints, resumes and the
+/// per-budget escalation fallback) is also mode-independent: the same
+/// evaluations and the same `CacheStats` counters come out of a session
+/// ladder under either path.
+#[test]
+fn session_ladder_and_cache_stats_are_mode_independent() {
+    use ncdrf::{PipelineOptions, Session};
+
+    let opts = PipelineOptions::default();
+    let machine = Machine::clustered(6, 1);
+    let run = || {
+        let session = Session::new(machine.clone()).options(opts);
+        let mut results = Vec::new();
+        for l in Corpus::small().take(10).iter() {
+            for model in Model::all() {
+                for budget in [64, 32, 16, 4] {
+                    results.push(session.evaluate(l, model, budget).unwrap());
+                }
+            }
+        }
+        (results, session.cache_stats())
+    };
+    let ((full_results, full_stats), (inc_results, inc_stats)) = under_both_modes(run);
+    assert_eq!(full_results, inc_results);
+    assert_eq!(full_stats, inc_stats);
+    assert!(inc_stats.spill_steps > 0, "the ladder must actually spill");
+}
+
+/// The fallback contract, pinned at the scheduler level: a spill rewrite
+/// of a fully-connected chain dirties every op (the spill store and
+/// reloads share the memory port group with the loads/stores, and the
+/// chain's flow edges connect the rest), so the incremental entry point
+/// reuses **zero** placements and returns exactly the full-reschedule
+/// result.
+#[test]
+fn whole_loop_dirty_set_degrades_to_full_reschedule() {
+    use ncdrf::ddg::{LoopBuilder, ValueRef, Weight};
+    use ncdrf::sched::{modulo_schedule_with, SchedContext, SchedulerOptions};
+    use ncdrf::spill::spill_value;
+
+    // An 8-op chain: load -> muls -> store, every op reachable from
+    // every other through flow edges.
+    let mut b = LoopBuilder::new("chain8");
+    let x = b.array_in("x");
+    let z = b.array_out("z");
+    let ld = b.load("L", x, 0);
+    let mut prev = ld.now();
+    for i in 0..6 {
+        let m = b.mul(format!("M{i}"), prev, ValueRef::Const(1.5));
+        prev = m.now();
+    }
+    b.store("S", z, 0, prev);
+    let l = b.finish(Weight::default()).unwrap();
+
+    let machine = Machine::clustered(6, 1);
+    let opts = SchedulerOptions::default();
+    let mut ctx = SchedContext::new();
+    let first = ctx.schedule(&l, &machine, opts).unwrap();
+    assert_eq!(first, modulo_schedule_with(&l, &machine, opts).unwrap());
+
+    // Spill the load's value: the rewrite appends a spill store and
+    // reloads, patching every consumer of the load.
+    let victim = l.find_op("L").unwrap();
+    let (rewritten, _reloads, stats) = spill_value(&l, victim).unwrap();
+    assert!(stats.stores_added > 0 && stats.loads_added > 0);
+
+    let got = ctx
+        .reschedule_extended(&rewritten, &machine, opts, l.ops().len())
+        .unwrap();
+    let want = modulo_schedule_with(&rewritten, &machine, opts).unwrap();
+    assert_eq!(
+        got, want,
+        "whole-loop dirty set must degrade to the exact full-reschedule result"
+    );
+    assert_eq!(
+        ctx.last_reused_ops(),
+        0,
+        "nothing is clean when the closure covers the loop"
+    );
+    assert!(ctx.last_clean_mask().is_none());
+}
+
+/// The converse of the fallback test: on a loop with a genuinely
+/// separable component (a pure-ALU self-recurrence disjoint from the
+/// memory side in both edges and functional-unit groups), the
+/// incremental path really does reuse placements — and still matches
+/// the reference bit-for-bit.
+#[test]
+fn separable_component_is_reused_and_still_identical() {
+    use ncdrf::ddg::{LoopBuilder, ValueRef, Weight};
+    use ncdrf::sched::{modulo_schedule_with, SchedContext, SchedulerOptions};
+
+    let build = |extra: bool| {
+        let mut b = LoopBuilder::new("separable");
+        let x = b.array_in("x");
+        let z = b.array_out("z");
+        let ld = b.load("L", x, 0);
+        b.store("S", z, 0, ld.now());
+        let a = b.reserve_add("ACC");
+        b.bind(a, [ValueRef::Const(1.0), a.prev(1)]);
+        if extra {
+            let x2 = b.array_in("x2");
+            let z2 = b.array_out("z2");
+            let ld2 = b.load("L2", x2, 0);
+            b.store("S2", z2, 0, ld2.now());
+        }
+        b.finish(Weight::default()).unwrap()
+    };
+    let base = build(false);
+    let extended = build(true);
+
+    let machine = Machine::clustered(3, 1);
+    let opts = SchedulerOptions::default();
+    let mut ctx = SchedContext::new();
+    ctx.schedule(&base, &machine, opts).unwrap();
+    let got = ctx
+        .reschedule_extended(&extended, &machine, opts, base.ops().len())
+        .unwrap();
+    assert_eq!(
+        got,
+        modulo_schedule_with(&extended, &machine, opts).unwrap()
+    );
+    assert!(
+        ctx.last_reused_ops() >= 1,
+        "the ALU recurrence must stay clean and be reused"
+    );
+    let mask = ctx.last_clean_mask().expect("merged attempt served this");
+    let acc = extended.find_op("ACC").unwrap();
+    assert!(mask[acc.index()], "ACC is outside the dirty closure");
+}
