@@ -1,0 +1,107 @@
+//! Exact-integer JSON emission for the CLI's `--json` mode.
+//!
+//! The same contract as the farm's wire layer: integers render exactly
+//! (never through a float path), strings are escaped per RFC 8259, and
+//! the output parses back through the vendored `serde_json` with every
+//! integer landing on the exact-integer `Number` variants — so CI and
+//! farm tooling can consume lint/check/certify results with the one
+//! parser the workspace already ships.
+
+/// Incremental `{...}` builder. Keys are emitted in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&json_string(key));
+        self.body.push(':');
+    }
+
+    /// Appends a string member.
+    pub fn string(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.body.push_str(&json_string(value));
+    }
+
+    /// Appends an integer member — rendered exactly, never as a float.
+    pub fn integer(&mut self, key: &str, value: u128) {
+        self.key(key);
+        self.body.push_str(&value.to_string());
+    }
+
+    /// Appends a boolean member.
+    pub fn boolean(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn raw(&mut self, key: &str, json: &str) {
+        self.key(key);
+        self.body.push_str(json);
+    }
+
+    /// Closes the object and returns its bytes.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders `[...]` from pre-rendered element values.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a quoted, escaped JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_quote_and_backslash() {
+        assert_eq!(json_string("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        let mut o = JsonObject::new();
+        o.integer("n", u128::from(u64::MAX));
+        assert_eq!(o.finish(), format!("{{\"n\":{}}}", u64::MAX));
+    }
+}

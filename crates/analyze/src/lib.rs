@@ -26,10 +26,16 @@
 //! * **Artifact auditor** — [`audit`] (binary: `ncdrf_analyze audit`),
 //!   structural no-execution checks over a directory of shard
 //!   artifacts.
+//! * **Schedule certification** — [`certify`] (binary: `ncdrf_analyze
+//!   certify`), offline drivers for the independent `ncdrf-certify`
+//!   translation validator: certify-mode re-runs of the golden grids
+//!   and per-cell re-certification of artifact directories.
 
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod certify;
+pub mod emit;
 pub mod hb;
 pub mod lint;
 pub mod scenarios;

@@ -33,6 +33,16 @@
 //!   removed the per-step loop/schedule/lifetime copies, and a clone
 //!   creeping back in would silently undo it. Cold exits in those
 //!   functions use `.to_owned()`, which reads as a deliberate copy.
+//! * **truncating-cast** — no bare `as u32` / `as u16` narrows in the
+//!   u32-SoA files (`crates/sched/src/context.rs` and `crates/spill/`)
+//!   outside the sanctioned index-constructor helpers
+//!   ([`CAST_SANCTIONED`]): every index that crosses into the arena's
+//!   u32 space goes through a helper that asserts it fits, closing the
+//!   silent-overflow hole a bare cast leaves open.
+//! * **dead-allowlist** — every path (and `(file, fn)` pair) in this
+//!   lint's own watch tables must still exist in the tree; a refactor
+//!   that moves a file or renames a function must update the table, or
+//!   the allowlist would silently stop covering anything.
 //!
 //! The scanner is a small hand-rolled Rust lexer (strings, raw strings,
 //! nested block comments, char-vs-lifetime disambiguation), so rules
@@ -106,6 +116,21 @@ const SPILL_HOT_FNS: &[(&str, &str)] = &[
     ("crates/sched/src/context.rs", "schedule"),
     ("crates/sched/src/context.rs", "attempt"),
     ("crates/sched/src/context.rs", "attempt_merged"),
+];
+
+/// The files of the u32 SoA index space, watched by the
+/// `truncating-cast` rule: `crates/sched/src/context.rs` plus
+/// everything under this prefix.
+const CAST_WATCH_DIR: &str = "crates/spill/";
+
+/// The sanctioned index-constructor helpers, as `(file, fn)` pairs: the
+/// only places in the watched files where `as u32` / `as u16` may be
+/// spelled. Each helper asserts the value fits before narrowing, so a
+/// grown arena cannot silently wrap an index.
+const CAST_SANCTIONED: &[(&str, &str)] = &[
+    ("crates/sched/src/context.rs", "idx32"),
+    ("crates/sched/src/context.rs", "time32"),
+    ("crates/spill/src/spiller.rs", "idx32"),
 ];
 
 /// One lint violation.
@@ -352,6 +377,44 @@ fn strip_tests(tokens: Vec<Token>) -> Vec<Token> {
         }
     }
     tokens
+}
+
+/// Token-index spans of the bodies of the named functions: each span
+/// runs from the `fn`'s opening brace to its matching close, so a rule
+/// can scope itself inside (or outside) specific function bodies.
+fn fn_body_spans(tokens: &[Token], names: &[&str]) -> Vec<(usize, usize)> {
+    let ident = |t: &Token, s: &str| matches!(&t.tok, Tok::Ident(i) if i == s);
+    let punct = |t: &Token, c: char| t.tok == Tok::Punct(c);
+    let mut spans = Vec::new();
+    let mut w = 0usize;
+    while w + 1 < tokens.len() {
+        let hit = ident(&tokens[w], "fn")
+            && matches!(&tokens[w + 1].tok, Tok::Ident(name) if names.contains(&name.as_str()));
+        if !hit {
+            w += 1;
+            continue;
+        }
+        let mut j = w + 2;
+        while j < tokens.len() && !punct(&tokens[j], '{') {
+            j += 1;
+        }
+        let start = j;
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if punct(&tokens[j], '{') {
+                depth += 1;
+            } else if punct(&tokens[j], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        spans.push((start, j));
+        w = j.max(w + 1);
+    }
+    spans
 }
 
 fn allowed(rel: &str, allowlist: &[&str]) -> bool {
@@ -606,6 +669,38 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintFinding> {
         }
     }
 
+    // truncating-cast: a bare `as u32` / `as u16` narrow in the u32-SoA
+    // files, outside the sanctioned index-constructor helpers.
+    if rel == "crates/sched/src/context.rs" || rel.starts_with(CAST_WATCH_DIR) {
+        let sanctioned: Vec<&str> = CAST_SANCTIONED
+            .iter()
+            .filter(|(f, _)| *f == rel)
+            .map(|(_, name)| *name)
+            .collect();
+        let spans = fn_body_spans(&tokens, &sanctioned);
+        for w in 0..tokens.len().saturating_sub(1) {
+            let narrow = ident(&tokens[w], "as")
+                && matches!(&tokens[w + 1].tok, Tok::Ident(t) if t == "u32" || t == "u16");
+            if !narrow || spans.iter().any(|&(s, e)| w > s && w < e) {
+                continue;
+            }
+            let target = match &tokens[w + 1].tok {
+                Tok::Ident(t) => t.clone(),
+                _ => unreachable!("matched an ident above"),
+            };
+            findings.push(LintFinding {
+                path: rel.to_owned(),
+                line: tokens[w].line,
+                rule: "truncating-cast",
+                detail: format!(
+                    "bare `as {target}` narrow outside the sanctioned index constructors; \
+                     route the value through `idx32`/`time32` so an oversized index \
+                     asserts instead of wrapping"
+                ),
+            });
+        }
+    }
+
     if WIRE_FILES.contains(&rel) {
         for w in 0..tokens.len().saturating_sub(2) {
             if matches!(&tokens[w].tok, Tok::Str(s) if s == "version")
@@ -624,6 +719,85 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintFinding> {
         }
     }
 
+    findings
+}
+
+/// Checks this lint's own watch tables against the tree rooted at
+/// `root`: a path entry that no longer exists, or a `(file, fn)` entry
+/// whose function is no longer defined in that file, is a
+/// `dead-allowlist` finding. Findings point into this file, at the
+/// first line that spells the dead entry, so the fix is one click away.
+fn dead_allowlist_findings(root: &Path) -> Vec<LintFinding> {
+    const SELF: &str = "crates/analyze/src/lint.rs";
+    // Locate `entry` in this lint's own source so the finding carries a
+    // real line; the tables are string literals, so a plain substring
+    // scan finds them.
+    let own_source = std::fs::read_to_string(root.join(SELF)).unwrap_or_default();
+    let line_of = |entry: &str| -> usize {
+        own_source
+            .lines()
+            .position(|l| l.contains(entry))
+            .map_or(1, |i| i + 1)
+    };
+    let mut findings = Vec::new();
+    let mut dead = |entry: &str, detail: String| {
+        findings.push(LintFinding {
+            path: SELF.to_owned(),
+            line: line_of(entry),
+            rule: "dead-allowlist",
+            detail,
+        });
+    };
+
+    let path_tables: &[(&str, &[&str])] = &[
+        ("WALL_CLOCK_ALLOW", WALL_CLOCK_ALLOW),
+        ("WIRE_FILES", WIRE_FILES),
+        ("DAEMON_FILES", DAEMON_FILES),
+        ("MODEL_NAME_ALLOW", MODEL_NAME_ALLOW),
+    ];
+    for (table, entries) in path_tables {
+        for entry in *entries {
+            let target = root.join(entry);
+            let alive = if entry.ends_with('/') {
+                target.is_dir()
+            } else {
+                target.is_file()
+            };
+            if !alive {
+                dead(
+                    entry,
+                    format!("`{table}` allowlists `{entry}`, which no longer exists"),
+                );
+            }
+        }
+    }
+
+    let fn_tables: &[(&str, &[(&str, &str)])] = &[
+        ("SPILL_HOT_FNS", SPILL_HOT_FNS),
+        ("CAST_SANCTIONED", CAST_SANCTIONED),
+    ];
+    for (table, entries) in fn_tables {
+        for (file, name) in *entries {
+            let Ok(source) = std::fs::read_to_string(root.join(file)) else {
+                dead(
+                    file,
+                    format!("`{table}` names `{file}`, which no longer exists"),
+                );
+                continue;
+            };
+            let tokens = lex(&source);
+            let ident = |t: &Token, s: &str| matches!(&t.tok, Tok::Ident(i) if i == s);
+            let defined = (0..tokens.len().saturating_sub(1)).any(|w| {
+                ident(&tokens[w], "fn") && matches!(&tokens[w + 1].tok, Tok::Ident(i) if i == name)
+            });
+            if !defined {
+                dead(
+                    name,
+                    format!("`{table}` names `fn {name}`, no longer defined in `{file}`"),
+                );
+            }
+        }
+    }
     findings
 }
 
@@ -663,7 +837,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<LintFinding>, String> {
     for sub in ["crates", "tests", "examples"] {
         walk(&root.join(sub), &mut files);
     }
-    let mut findings = Vec::new();
+    let mut findings = dead_allowlist_findings(root);
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -817,5 +991,43 @@ mod tests {
         let benign = "// the \"unified\" model\nfn f() -> &'static str { \"unified-report\" }\n\
                       #[cfg(test)]\nmod tests { fn g() -> &'static str { \"swapped\" } }";
         assert!(lint_source("crates/core/src/sweep.rs", benign).is_empty());
+    }
+
+    #[test]
+    fn bare_narrows_are_flagged_in_the_soa_files() {
+        let src = "fn push(&mut self, n: usize) { self.group.push(n as u32); }";
+        let found = lint_source("crates/sched/src/context.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "truncating-cast");
+        assert!(found[0].detail.contains("idx32"));
+        let found = lint_source("crates/spill/src/rewrite.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "truncating-cast");
+        // Files outside the watched set narrow freely.
+        assert!(lint_source("crates/core/src/report.rs", src).is_empty());
+        // Widening casts never trip the rule.
+        let widen = "fn f(n: u32) -> u64 { n as u64 }";
+        assert!(lint_source("crates/sched/src/context.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn narrows_inside_the_sanctioned_constructors_are_exempt() {
+        let src = "fn idx32(i: usize) -> u32 {\n\
+                       debug_assert!(u32::try_from(i).is_ok());\n\
+                       i as u32\n\
+                   }\n\
+                   fn time32(t: i64) -> u32 { t as u32 }\n\
+                   fn other(n: usize) -> u32 { n as u32 }";
+        let found = lint_source("crates/sched/src/context.rs", src);
+        assert_eq!(
+            found.len(),
+            1,
+            "only the narrow outside the helpers: {found:?}"
+        );
+        assert_eq!(found[0].line, 6);
+        // The sanction is per-file: the same helper names in a file not
+        // listed in `CAST_SANCTIONED` do not shield their bodies.
+        let found = lint_source("crates/spill/src/rewrite.rs", src);
+        assert_eq!(found.len(), 3);
     }
 }

@@ -169,6 +169,7 @@ pub fn farm_lease_scenario(probes: Arc<FarmProbes>) -> impl Fn() + Send + Sync +
             lease_ms: 10,
             lease_cells,
             artifact_dir: None,
+            certify: false,
         }));
         let clock = Clock::manual(0);
         let receipt = farm

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod certify;
 mod distribution;
 mod experiment;
 mod model;
@@ -87,6 +88,10 @@ mod sweep;
 pub use artifact::{
     machine_from_name, preset_sweep, read_shard, read_shards, rebuild_corpus, rebuild_grid,
     scan_artifacts, sweep_for_signature, write_artifact, ArtifactError,
+};
+pub use certify::{
+    CellCertifier, CellFault, CertifyViolation, RULE_DEPENDENCE, RULE_FU_BINDING,
+    RULE_MRT_OVERFLOW, RULE_REQUIREMENT, RULE_SPILL_SHAPE, RULE_UNIT_CONFLICT,
 };
 pub use distribution::{default_points, Cumulative, Observation, TABLE1_POINTS};
 #[allow(deprecated)]
@@ -117,7 +122,7 @@ pub use report::{
 };
 pub use session::{BaseSchedule, CacheStats, Session, TrajectoryExport};
 pub use shard::{CellTrajectory, GridSignature, MachineSig, Provenance, ShardRole, SweepShard};
-pub use sweep::{shard_tasks, PartialSweep, Sweep, SweepReport};
+pub use sweep::{certify_shard, shard_tasks, PartialSweep, Sweep, SweepReport};
 
 /// Re-export of the corpus crate.
 pub use ncdrf_corpus as corpus;

@@ -67,6 +67,11 @@ pub enum PipelineStage {
     /// JSON). The payload is the original stage message verbatim, so a
     /// round-tripped report renders identically.
     Remote(String),
+    /// Certification rejected the cell: an independent
+    /// [`CellCertifier`](crate::CellCertifier) re-derived the paper's
+    /// constraints and found the produced artifact violates one. The
+    /// payload renders the violation (rule id plus locator).
+    Certify(String),
 }
 
 /// An invalid experiment configuration, detected before any loop runs.
@@ -229,7 +234,7 @@ impl std::error::Error for PipelineError {
             PipelineStage::Machine(e) => Some(e),
             PipelineStage::Spill(e) => Some(e),
             PipelineStage::Config(e) => Some(e),
-            PipelineStage::Panic(_) | PipelineStage::Remote(_) => None,
+            PipelineStage::Panic(_) | PipelineStage::Remote(_) | PipelineStage::Certify(_) => None,
         }
     }
 }
@@ -243,6 +248,7 @@ impl fmt::Display for PipelineStage {
             PipelineStage::Config(e) => write!(f, "invalid configuration: {e}"),
             PipelineStage::Panic(msg) => write!(f, "worker panicked: {msg}"),
             PipelineStage::Remote(msg) => f.write_str(msg),
+            PipelineStage::Certify(msg) => write!(f, "certification failed: {msg}"),
         }
     }
 }
@@ -429,7 +435,7 @@ impl LoopEval {
 
 /// Builds a [`LoopEval`] from a finished spill run (or, for
 /// [`ModelId::IDEAL`], from the base schedule).
-pub(crate) fn eval_from_spill(l: &Loop, model: ModelId, budget: u32, r: SpillResult) -> LoopEval {
+pub(crate) fn eval_from_spill(l: &Loop, model: ModelId, budget: u32, r: &SpillResult) -> LoopEval {
     LoopEval {
         name: l.name().to_owned(),
         model,
@@ -492,7 +498,7 @@ pub fn evaluate(
     };
     let r =
         spill_until_fits(l, machine, budget, &mut req, opts.spill).map_err(|e| fail(e.into()))?;
-    let mut eval = eval_from_spill(l, model, budget, r);
+    let mut eval = eval_from_spill(l, model, budget, &r);
     eval.ports = machine.memory_ports() as u32;
     Ok(eval)
 }

@@ -28,6 +28,7 @@
 //! Sessions are `Sync`: corpus-level sweeps run loops in parallel against
 //! one shared cache (see [`Session::analyze_corpus`]).
 
+use crate::certify::CellCertifier;
 use crate::model::{ModelId, RequirementCtx};
 use crate::pipeline::{
     eval_from_spill, requirement, LoopAnalysis, LoopEval, PipelineError, PipelineOptions,
@@ -156,6 +157,11 @@ pub struct Session {
     /// budget; *materialised* into `trajectories` (verified replay) the
     /// first time a budget needs the descent extended.
     imported: SnapshotCache,
+    /// Optional independent validator: when set, every analysis and
+    /// evaluation this session returns — and every checkpoint a snapshot
+    /// replay restores — is re-certified from first principles, and a
+    /// violation fails the cell with [`PipelineStage::Certify`].
+    certifier: Option<Arc<dyn CellCertifier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     traj_hits: AtomicU64,
@@ -174,6 +180,7 @@ impl Session {
             reqs: Mutex::new(HashMap::new()),
             trajectories: Mutex::new(HashMap::new()),
             imported: Mutex::new(HashMap::new()),
+            certifier: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             traj_hits: AtomicU64::new(0),
@@ -186,6 +193,24 @@ impl Session {
     pub fn options(mut self, opts: PipelineOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Attaches an independent certifier (builder style): every
+    /// analysis and evaluation this session returns is re-validated
+    /// against the paper's constraints, imported-snapshot evaluations
+    /// take the full replay path so each restored checkpoint is
+    /// certified, and any violation fails the cell with
+    /// [`PipelineStage::Certify`]. Scalar results and
+    /// [`CacheStats`] counters are unchanged by certification — only
+    /// violations are observable.
+    pub fn certify(mut self, certifier: Arc<dyn CellCertifier>) -> Self {
+        self.certifier = Some(certifier);
+        self
+    }
+
+    /// The attached certifier, if any.
+    pub fn certifier(&self) -> Option<&Arc<dyn CellCertifier>> {
+        self.certifier.as_ref()
     }
 
     /// The session's machine.
@@ -422,7 +447,7 @@ impl Session {
             self.reqs.lock().insert((l.name().to_owned(), model), regs);
             regs
         };
-        Ok(LoopAnalysis {
+        let analysis = LoopAnalysis {
             name: l.name().to_owned(),
             model,
             ii: sched.ii(),
@@ -430,7 +455,51 @@ impl Session {
             max_live: max_live(lts, sched.ii()),
             pressure,
             iterations: l.weight().iterations(),
-        })
+        };
+        if let Some(c) = &self.certifier {
+            c.certify_analysis(l, &self.machine, sched, &analysis)
+                .map_err(|v| {
+                    Self::fail(l, PipelineStage::Certify(format!("model `{model}`: {v}")))
+                })?;
+        }
+        Ok(analysis)
+    }
+
+    /// Runs the attached certifier (if any) over a finished evaluation,
+    /// passing through the evaluation on success.
+    #[allow(clippy::too_many_arguments)]
+    fn certified(
+        &self,
+        original: &Loop,
+        final_l: &Loop,
+        sched: &Schedule,
+        spilled: &[String],
+        spill_stores: usize,
+        spill_loads: usize,
+        eval: LoopEval,
+    ) -> Result<LoopEval, PipelineError> {
+        if let Some(c) = &self.certifier {
+            c.certify_eval(
+                original,
+                &self.machine,
+                final_l,
+                sched,
+                spilled,
+                spill_stores,
+                spill_loads,
+                &eval,
+            )
+            .map_err(|v| {
+                Self::fail(
+                    original,
+                    PipelineStage::Certify(format!(
+                        "model `{}` @ budget {}: {v}",
+                        eval.model, eval.budget
+                    )),
+                )
+            })?;
+        }
+        Ok(eval)
     }
 
     /// The cached spill trajectory of `(l, model)`, creating (and
@@ -496,14 +565,38 @@ impl Session {
         let mut req = move |l: &Loop, m: &Machine, s: &mut Schedule| -> Result<u32, MachineError> {
             requirement(l, m, s, model, &opts)
         };
-        let traj = SpillTrajectory::replay(
-            l,
-            &self.machine,
-            seed.sched.clone(),
-            snap,
-            &mut req,
-            self.opts.spill,
-        )
+        // With a certifier attached, every restored checkpoint is
+        // re-validated during the replay; a violation aborts the
+        // materialisation like any snapshot mismatch, naming the
+        // checkpoint and the violated rule.
+        let traj = match &self.certifier {
+            None => SpillTrajectory::replay(
+                l,
+                &self.machine,
+                seed.sched.clone(),
+                snap,
+                &mut req,
+                self.opts.spill,
+            ),
+            Some(certifier) => {
+                let machine = &self.machine;
+                let mut checker =
+                    |step: usize, cl: &Loop, sched: &Schedule, regs: u32| -> Result<(), String> {
+                        certifier
+                            .certify_checkpoint(step, cl, machine, sched, model, regs)
+                            .map_err(|v| v.to_string())
+                    };
+                SpillTrajectory::replay_with_checker(
+                    l,
+                    &self.machine,
+                    seed.sched.clone(),
+                    snap,
+                    &mut req,
+                    self.opts.spill,
+                    Some(&mut checker),
+                )
+            }
+        }
         .map_err(|e| Self::fail(l, e))?;
         let entry = Arc::new(Mutex::new(traj));
         let entry = self
@@ -595,11 +688,13 @@ impl Session {
         // evaluations the spiller would have returned unchanged.
         if model.spec().is_ideal() {
             let base = self.base(l)?;
-            return Ok(no_spill_eval(&base.sched, 0));
+            let eval = no_spill_eval(&base.sched, 0);
+            return self.certified(l, l, &base.sched, &[], 0, 0, eval);
         }
         let (req_base, regs) = self.cached_requirement(l, model)?;
         if regs <= budget {
-            return Ok(no_spill_eval(&req_base.sched, regs));
+            let eval = no_spill_eval(&req_base.sched, regs);
+            return self.certified(l, l, &req_base.sched, &[], 0, 0, eval);
         }
         // Slow path: real spilling, via the cached trajectory (seeded
         // from the cached base schedule; the swapped model re-derives
@@ -649,23 +744,33 @@ impl Session {
                             )),
                         ));
                     }
-                    if let Some(k) = snap.first_fit(budget) {
-                        self.traj_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(self.eval_from_snapshot(l, model, budget, &snap, k));
-                    }
-                    if snap.exhausted && !self.opts.spill.escalate_ii {
-                        // The recorded descent ended without fitting and
-                        // there is no fallback: the terminal checkpoint
-                        // is the honest (unfit) answer, exactly as the
-                        // live path serves it.
-                        self.traj_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(self.eval_from_snapshot(
-                            l,
-                            model,
-                            budget,
-                            &snap,
-                            snap.steps_recorded(),
-                        ));
+                    // In certify mode recorded scalars are never served
+                    // directly: the shortcut below is skipped, so the
+                    // snapshot is replayed (certifying every restored
+                    // checkpoint) and the budget is answered from the
+                    // live trajectory. The result and the cache counters
+                    // are identical either way — a replayed-checkpoint
+                    // serve recomputes no spill step and counts as the
+                    // same trajectory hit.
+                    if self.certifier.is_none() {
+                        if let Some(k) = snap.first_fit(budget) {
+                            self.traj_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(self.eval_from_snapshot(l, model, budget, &snap, k));
+                        }
+                        if snap.exhausted && !self.opts.spill.escalate_ii {
+                            // The recorded descent ended without fitting
+                            // and there is no fallback: the terminal
+                            // checkpoint is the honest (unfit) answer,
+                            // exactly as the live path serves it.
+                            self.traj_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(self.eval_from_snapshot(
+                                l,
+                                model,
+                                budget,
+                                &snap,
+                                snap.steps_recorded(),
+                            ));
+                        }
                     }
                     // This budget needs the descent extended (or the
                     // per-budget escalation fallback): replay the record
@@ -696,9 +801,17 @@ impl Session {
                 self.traj_hits.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mut eval = eval_from_spill(l, model, budget, r);
+        let mut eval = eval_from_spill(l, model, budget, &r);
         eval.ports = self.machine.memory_ports() as u32;
-        Ok(eval)
+        self.certified(
+            l,
+            &r.l,
+            &r.sched,
+            &r.spilled,
+            r.spill_stores,
+            r.spill_loads,
+            eval,
+        )
     }
 
     /// [`Session::analyze`] over every loop of `corpus`, in parallel,

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+use crate::artifact::ArtifactError;
+use crate::certify::{CellCertifier, CellFault};
 use crate::distribution::{Cumulative, Observation, TABLE1_POINTS};
 use crate::experiment::{relative_performance, BudgetOutcome, DistributionCurve, Table1Row};
 use crate::model::{Model, ModelId};
@@ -68,6 +70,7 @@ pub struct Sweep<'c> {
     workers: Option<usize>,
     pool: Option<Arc<Pool>>,
     persist: bool,
+    certifier: Option<Arc<dyn CellCertifier>>,
 }
 
 impl<'c> Sweep<'c> {
@@ -84,6 +87,7 @@ impl<'c> Sweep<'c> {
             workers: None,
             pool: None,
             persist: false,
+            certifier: None,
         }
     }
 
@@ -194,6 +198,30 @@ impl<'c> Sweep<'c> {
         self
     }
 
+    /// Certifies every cell this sweep evaluates: each [`Session`] the
+    /// sweep constructs — shared grid sessions and per-cell shard
+    /// sessions alike — runs with [`Session::certify`] set, so every
+    /// analysis, evaluation and replayed spill checkpoint is re-verified
+    /// from first principles before it contributes to a report or shard
+    /// artifact. A violation surfaces as a per-cell
+    /// [`crate::PipelineStage::Certify`] error through the usual
+    /// fault-tolerance channels.
+    pub fn certify(mut self, certifier: Arc<dyn CellCertifier>) -> Self {
+        self.certifier = Some(certifier);
+        self
+    }
+
+    /// One session over `machine` with this sweep's options and (when
+    /// set) certifier — the single construction point every run mode
+    /// shares, so certify mode cannot silently miss a path.
+    fn session_for(&self, machine: Machine) -> Session {
+        let session = Session::new(machine).options(self.opts);
+        match &self.certifier {
+            Some(c) => session.certify(Arc::clone(c)),
+            None => session,
+        }
+    }
+
     /// The pool this sweep's grids run on: the shared one when set,
     /// otherwise a fresh per-call pool honouring [`Sweep::workers`].
     fn executor(&self) -> Arc<Pool> {
@@ -236,7 +264,7 @@ impl<'c> Sweep<'c> {
         let sessions: Vec<Session> = self
             .machines
             .iter()
-            .map(|m| Session::new(m.clone()).options(self.opts))
+            .map(|m| self.session_for(m.clone()))
             .collect();
         let loops = self.corpus.loops();
         let n = loops.len();
@@ -373,7 +401,7 @@ impl<'c> Sweep<'c> {
         let want_points = !self.points.is_empty();
         let mut report = SweepReport::default();
         for machine in &self.machines {
-            let session = Session::new(machine.clone()).options(self.opts);
+            let session = self.session_for(machine.clone());
             let mut cells = Vec::with_capacity(self.corpus.len());
             for l in self.corpus.iter() {
                 cells.push(eval_cell(
@@ -603,7 +631,7 @@ impl<'c> Sweep<'c> {
                 let err = PipelineError::panic(l.name(), "injected fault");
                 return (CacheStats::default(), Err(err), Vec::new());
             }
-            let session = Session::new(self.machines[mi].clone()).options(self.opts);
+            let session = self.session_for(self.machines[mi].clone());
             if let Some(trajectories) = imports.get(&t) {
                 session.import_trajectories(trajectories.iter().map(|ct| TrajectoryExport {
                     loop_name: l.name().to_owned(),
@@ -754,6 +782,95 @@ pub(crate) fn assemble_cells(
             });
         }
     }
+}
+
+/// Certifies a shard artifact offline: rebuilds the grid its signature
+/// names, re-evaluates every **healthy** cell under a certify-mode
+/// [`Session`] (the certifier re-verifies every schedule, requirement
+/// and spill rewrite from first principles), and compares the fresh
+/// result against the artifact's claimed payload. Failed cells carry no
+/// claims and are skipped — [`crate::SweepShard::unresolved`] already
+/// reports them.
+///
+/// When the artifact persisted spill trajectories for a cell, they are
+/// imported first, so the recorded checkpoints are what gets replayed
+/// and certified — exactly the bytes a heal or reissue would trust.
+///
+/// Returns one [`CellFault`] per cell whose re-evaluation was rejected
+/// by the certifier, failed outright, or produced a different payload
+/// than the artifact claims. An empty vector means every healthy cell
+/// certified clean.
+///
+/// # Errors
+///
+/// [`ArtifactError::Grid`] when the signature names a corpus or machine
+/// this build cannot reconstruct.
+pub fn certify_shard(
+    shard: &crate::SweepShard,
+    certifier: Arc<dyn CellCertifier>,
+) -> Result<Vec<CellFault>, ArtifactError> {
+    let sig = shard.signature();
+    let (corpus, machines) = crate::rebuild_grid(sig)?;
+    let loops = corpus.loops();
+    let n = loops.len();
+    let want_points = !sig.points.is_empty();
+    let mut faults = Vec::new();
+    let mut fault = |cell: &ShardCell, machine: &str, detail: String| {
+        faults.push(CellFault {
+            task: cell.task,
+            loop_name: cell.loop_name.clone(),
+            machine: machine.to_owned(),
+            detail,
+        });
+    };
+    for cell in &shard.cells {
+        let Ok(claimed) = &cell.outcome else {
+            continue;
+        };
+        let t = cell.task as usize;
+        let (mi, li) = (t / n.max(1), t % n.max(1));
+        if n == 0 || mi >= machines.len() {
+            fault(
+                cell,
+                "?",
+                "task index outside the signature's grid".to_owned(),
+            );
+            continue;
+        }
+        let l = &loops[li];
+        let machine = &machines[mi];
+        if cell.loop_name != l.name() {
+            fault(
+                cell,
+                machine.name(),
+                format!(
+                    "artifact names loop `{}` but task {} is loop `{}`",
+                    cell.loop_name,
+                    cell.task,
+                    l.name()
+                ),
+            );
+            continue;
+        }
+        let session = Session::new(machine.clone()).certify(Arc::clone(&certifier));
+        if !cell.trajectories.is_empty() {
+            session.import_trajectories(cell.trajectories.iter().map(|ct| TrajectoryExport {
+                loop_name: l.name().to_owned(),
+                model: ct.model,
+                snapshot: ct.snapshot.clone(),
+            }));
+        }
+        match eval_cell(&session, l, &sig.models, &sig.budgets, want_points) {
+            Err(e) => fault(cell, machine.name(), e.to_string()),
+            Ok(fresh) if &fresh != claimed => fault(
+                cell,
+                machine.name(),
+                "certified re-evaluation disagrees with the artifact's payload".to_owned(),
+            ),
+            Ok(_) => {}
+        }
+    }
+    Ok(faults)
 }
 
 /// The task indices of shard `index` of `count` over a `total`-cell
@@ -1046,6 +1163,110 @@ mod tests {
 
     fn tiny() -> Corpus {
         Corpus::small().take(10)
+    }
+
+    /// Pins the certify wiring itself: a certify-mode sweep must invoke
+    /// the certifier for every produced cell (a silently-dropped hook
+    /// would make certify mode a no-op), and a rejecting certifier must
+    /// refuse the run. The real validator's behaviour is covered by
+    /// `ncdrf-certify` and `tests/certify_mutations.rs`; this guards the
+    /// plumbing with stub certifiers.
+    #[test]
+    fn certify_mode_invokes_the_certifier_on_every_path() {
+        use crate::certify::CertifyViolation;
+        use ncdrf_ddg::Loop;
+        use ncdrf_sched::Schedule;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Debug, Default)]
+        struct Stub {
+            calls: AtomicUsize,
+            reject: bool,
+        }
+        impl CellCertifier for Stub {
+            fn certify_analysis(
+                &self,
+                _: &Loop,
+                _: &Machine,
+                _: &Schedule,
+                _: &crate::LoopAnalysis,
+            ) -> Result<(), CertifyViolation> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.reject {
+                    return Err(CertifyViolation::new("stub", "rejects everything"));
+                }
+                Ok(())
+            }
+            #[allow(clippy::too_many_arguments)]
+            fn certify_eval(
+                &self,
+                _: &Loop,
+                _: &Machine,
+                _: &Loop,
+                _: &Schedule,
+                _: &[String],
+                _: usize,
+                _: usize,
+                _: &crate::LoopEval,
+            ) -> Result<(), CertifyViolation> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.reject {
+                    return Err(CertifyViolation::new("stub", "rejects everything"));
+                }
+                Ok(())
+            }
+            fn certify_checkpoint(
+                &self,
+                _: usize,
+                _: &Loop,
+                _: &Machine,
+                _: &Schedule,
+                _: crate::ModelId,
+                _: u32,
+            ) -> Result<(), CertifyViolation> {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+                if self.reject {
+                    return Err(CertifyViolation::new("stub", "rejects everything"));
+                }
+                Ok(())
+            }
+        }
+
+        let corpus = tiny();
+        let recipe = |certifier: Arc<dyn CellCertifier>| {
+            Sweep::new(&corpus)
+                .clustered_latencies([3])
+                .models(Model::finite())
+                .points([16, 32])
+                .budgets([16])
+                .certify(certifier)
+        };
+
+        let counting = Arc::new(Stub::default());
+        let sweep = recipe(Arc::clone(&counting) as Arc<dyn CellCertifier>);
+        sweep.run().expect("an accepting certifier changes nothing");
+        let parallel_calls = counting.calls.swap(0, Ordering::SeqCst);
+        assert!(parallel_calls > 0, "run() never invoked the certifier");
+        sweep
+            .run_sequential()
+            .expect("an accepting certifier changes nothing");
+        assert_eq!(
+            counting.calls.load(Ordering::SeqCst),
+            parallel_calls,
+            "run_sequential certifies the same cells as run"
+        );
+
+        let rejecting = recipe(Arc::new(Stub {
+            calls: AtomicUsize::new(0),
+            reject: true,
+        }));
+        let err = rejecting
+            .run_sequential()
+            .expect_err("a rejecting certifier refuses the sweep");
+        assert!(
+            err.to_string().contains("certification failed"),
+            "unexpected refusal: {err}"
+        );
     }
 
     #[test]

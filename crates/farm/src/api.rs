@@ -15,7 +15,8 @@
 //!
 //! Refusals are `{"error": "..."}` with the status from
 //! [`FarmError::http_status`]: 400 malformed, 404 unknown id, 409 not
-//! ready, 413 oversized grid, 429 queue full.
+//! ready, 413 oversized grid, 422 certification rejected the delivered
+//! artifact (certify-mode farms only), 429 queue full.
 
 use crate::farm::{Farm, FarmError, JobStatus};
 use crate::json::{error_body, json_array, JsonObject};

@@ -3,7 +3,7 @@
 //! ```text
 //! farm_daemon [--addr HOST:PORT] [--artifact-dir DIR] [--queue-cap N]
 //!             [--max-cells N] [--lease-ms MS] [--lease-cells N]
-//!             [--tick-ms MS] [--local-backend] [--workers N]
+//!             [--tick-ms MS] [--local-backend] [--workers N] [--certify]
 //! ```
 //!
 //! Serves the farm API (see `ncdrf_farm::api`), runs the scheduler
@@ -27,7 +27,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: farm_daemon [--addr HOST:PORT] [--artifact-dir DIR] [--queue-cap N] \
          [--max-cells N] [--lease-ms MS] [--lease-cells N] [--tick-ms MS] \
-         [--local-backend] [--workers N]"
+         [--local-backend] [--workers N] [--certify]"
     );
     exit(2);
 }
@@ -74,6 +74,7 @@ fn main() {
                     .unwrap_or_else(|_| die("--tick-ms needs milliseconds"));
             }
             "--local-backend" => local_backend = true,
+            "--certify" => config.certify = true,
             "--workers" => {
                 workers = Some(
                     value("--workers")

@@ -37,6 +37,16 @@ pub struct FarmConfig {
     /// cached, and consolidated artifacts found here at boot pre-seed
     /// the re-merge cache. `None` keeps everything in memory.
     pub artifact_dir: Option<PathBuf>,
+    /// Certify every delivered artifact before ingesting it: each
+    /// healthy cell is re-evaluated under a certify-mode session (see
+    /// [`ncdrf::certify_shard`]) and compared against the artifact's
+    /// claims. A delivery carrying a cell the certifier rejects is
+    /// refused with HTTP 422 and mutates no queue state — the lease
+    /// stays live, the cells stay accounted to it, and an honest
+    /// redelivery is still accepted. Off by default: certification
+    /// re-runs the lease's cells on the daemon, roughly doubling the
+    /// grid's compute.
+    pub certify: bool,
 }
 
 impl Default for FarmConfig {
@@ -47,6 +57,7 @@ impl Default for FarmConfig {
             lease_ms: 60_000,
             lease_cells: 8,
             artifact_dir: None,
+            certify: false,
         }
     }
 }
@@ -61,6 +72,10 @@ pub enum FarmError {
     NotFound(String),
     /// The job's report is not complete yet (HTTP 409).
     NotReady(String),
+    /// Certification rejected a delivered artifact: a cell's claimed
+    /// results could not be re-derived and certified (HTTP 422). The
+    /// message names the first bad cell and the violation.
+    CertifyRejected(String),
     /// The job's grid exceeds [`FarmConfig::max_cells`] (HTTP 413).
     Oversized {
         /// Cells the spec declared.
@@ -82,6 +97,7 @@ impl FarmError {
             FarmError::BadRequest(_) => 400,
             FarmError::NotFound(_) => 404,
             FarmError::NotReady(_) => 409,
+            FarmError::CertifyRejected(_) => 422,
             FarmError::Oversized { .. } => 413,
             FarmError::QueueFull { .. } => 429,
         }
@@ -91,7 +107,10 @@ impl FarmError {
 impl fmt::Display for FarmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FarmError::BadRequest(m) | FarmError::NotFound(m) | FarmError::NotReady(m) => {
+            FarmError::BadRequest(m)
+            | FarmError::NotFound(m)
+            | FarmError::NotReady(m)
+            | FarmError::CertifyRejected(m) => {
                 write!(f, "{m}")
             }
             FarmError::Oversized { cells, max } => {
@@ -732,13 +751,33 @@ impl Farm {
     ///
     /// [`FarmError::NotFound`] for a never-issued lease,
     /// [`FarmError::BadRequest`] for an artifact that does not match
-    /// the job's grid — neither mutates farm state.
+    /// the job's grid, [`FarmError::CertifyRejected`] when
+    /// [`FarmConfig::certify`] is set and a claimed cell cannot be
+    /// re-derived and certified — none of which mutate farm state.
     pub fn deliver(
         &self,
         lease_id: u64,
         artifact: SweepShard,
         now: u64,
     ) -> Result<DeliverReceipt, FarmError> {
+        // Certification re-evaluates the artifact's cells — real grid
+        // work — so it runs before the state lock, like the workers do.
+        // A rejection is a pure refusal: no lease or queue state has
+        // been touched yet.
+        if self.config.certify {
+            let faults = ncdrf::certify_shard(
+                &artifact,
+                std::sync::Arc::new(ncdrf_certify::ScheduleCertifier),
+            )
+            .map_err(|e| FarmError::BadRequest(format!("artifact is not certifiable: {e}")))?;
+            if let Some(first) = faults.first() {
+                return Err(FarmError::CertifyRejected(format!(
+                    "certification rejected {} of {} delivered cells; first: {first}",
+                    faults.len(),
+                    artifact.cell_count(),
+                )));
+            }
+        }
         let mut state = self.state.lock();
         let state = &mut *state;
         let lease = state

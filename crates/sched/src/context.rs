@@ -51,6 +51,27 @@ use std::collections::BinaryHeap;
 /// Sentinel for "unscheduled" / "never placed" in the flat arrays.
 const UNSCHED: u32 = u32::MAX;
 
+/// The sanctioned narrow into the context's `u32` SoA index space
+/// (ops, groups, edges): asserts the index fits instead of silently
+/// wrapping on a loop the arenas were never sized for.
+#[inline]
+fn idx32(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "SoA index {i} overflows u32");
+    i as u32
+}
+
+/// The sanctioned narrow for non-negative schedule times computed in
+/// `i64` (earliest-start arithmetic): asserts the cycle fits in the
+/// `u32` start arrays.
+#[inline]
+fn time32(t: i64) -> u32 {
+    debug_assert!(
+        (0..=i64::from(u32::MAX)).contains(&t),
+        "schedule time {t} outside u32"
+    );
+    t as u32
+}
+
 /// The cached outcome of the previous successful scheduling run: enough
 /// to (a) decide whether the next loop is an extension of this one,
 /// (b) recompute the dirty closure soundly from the real graph
@@ -190,7 +211,7 @@ impl SchedContext {
             .iter()
             .map(|op| machine.latency(op.kind()).unwrap_or(1))
             .sum::<u32>()
-            + n as u32
+            + idx32(n)
             + 1;
         let max_ii = match opts.max_ii {
             Some(cap) => cap,
@@ -270,19 +291,19 @@ impl SchedContext {
             if machine.groups()[g].count() == 0 {
                 return Err(MachineError::Unserved(op.kind()));
             }
-            self.group.push(g as u32);
+            self.group.push(idx32(g));
             self.lat.push(lt);
         }
         self.num_groups = machine.groups().len();
         self.mrt_cnt.clear();
         for g in machine.groups() {
-            self.mrt_cnt.push(g.count() as u32);
+            self.mrt_cnt.push(idx32(g.count()));
         }
 
         l.sched_edges_into(&mut self.edge_scratch);
         self.edges.clear();
         for &(f, t, d) in &self.edge_scratch {
-            self.edges.push((f.index() as u32, t.index() as u32, d));
+            self.edges.push((idx32(f.index()), idx32(t.index()), d));
         }
         let ne = self.edges.len();
 
@@ -303,7 +324,7 @@ impl SchedContext {
         self.cursor.extend_from_slice(&self.pred_off[..n]);
         for e in 0..ne {
             let t = self.edges[e].1 as usize;
-            self.pred_edge[self.cursor[t] as usize] = e as u32;
+            self.pred_edge[self.cursor[t] as usize] = idx32(e);
             self.cursor[t] += 1;
         }
 
@@ -321,7 +342,7 @@ impl SchedContext {
         self.cursor.extend_from_slice(&self.succ_off[..n]);
         for e in 0..ne {
             let f = self.edges[e].0 as usize;
-            self.succ_edge[self.cursor[f] as usize] = e as u32;
+            self.succ_edge[self.cursor[f] as usize] = idx32(e);
             self.cursor[f] += 1;
         }
         Ok(())
@@ -517,7 +538,7 @@ impl SchedContext {
         self.heap.clear();
         for v in 0..n {
             if !restricted || self.dirty[v] {
-                self.heap.push((self.height[v], Reverse(v as u32)));
+                self.heap.push((self.height[v], Reverse(idx32(v))));
             }
         }
 
@@ -541,7 +562,7 @@ impl SchedContext {
                         .max(self.start[p] as i64 + self.lat[p] as i64 - ii as i64 * dist as i64);
                 }
             }
-            let estart = estart.max(0) as u32;
+            let estart = time32(estart.max(0));
             let min_t = if self.prev_time[op] != UNSCHED {
                 estart.max(self.prev_time[op] + 1)
             } else {

@@ -10,6 +10,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
+/// The sanctioned narrow into the spiller's `u32` candidate-index
+/// space: asserts the index fits instead of silently wrapping.
+#[inline]
+fn idx32(i: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(i).is_ok(),
+        "candidate index {i} overflows u32"
+    );
+    i as u32
+}
+
 /// Victim-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SpillPolicy {
@@ -410,7 +421,7 @@ pub(crate) fn select_victim(
     for (i, lt) in lts.iter().enumerate() {
         let op = l.op(lt.op);
         if !excluded.contains(op.name()) && !lt.is_empty() && spillable(l, lt.op) {
-            scratch.candidates.push(i as u32);
+            scratch.candidates.push(idx32(i));
         }
     }
     let candidates = &scratch.candidates;

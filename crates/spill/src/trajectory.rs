@@ -60,6 +60,13 @@ use ncdrf_machine::Machine;
 use ncdrf_sched::{SchedContext, Schedule};
 use std::collections::HashSet;
 
+/// Per-checkpoint certification hook for
+/// [`SpillTrajectory::replay_with_checker`]: sees the step index (0 is
+/// the unspilled base), the (rewritten) loop, the post-requirement
+/// schedule and the requirement; an `Err` aborts the replay.
+pub type CheckpointChecker<'a> =
+    &'a mut dyn FnMut(usize, &Loop, &Schedule, u32) -> Result<(), String>;
+
 /// The heavy state of a checkpoint: the rewritten loop and its schedule.
 /// Retained only on the **record-minima frontier** (see
 /// [`SpillCheckpoint::loop_state`]); every other checkpoint keeps just
@@ -354,6 +361,32 @@ impl SpillTrajectory {
         requirement: &mut RequirementFn<'_>,
         opts: SpillOptions,
     ) -> Result<SpillTrajectory, SpillError> {
+        SpillTrajectory::replay_with_checker(l, machine, base, snapshot, requirement, opts, None)
+    }
+
+    /// [`SpillTrajectory::replay`] with an optional per-checkpoint
+    /// certification hook: after each restored checkpoint passes the
+    /// recorded-scalar verification, `checker` sees its step index (0 is
+    /// the unspilled base), the (rewritten) loop, the post-requirement
+    /// schedule and the requirement. A checker rejection aborts the
+    /// replay as [`SpillError::Snapshot`], carrying the checker's
+    /// message — the restored prefix is discarded, exactly as for a
+    /// scalar mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SpillTrajectory::replay`] returns, plus checker
+    /// rejections.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_with_checker(
+        l: &Loop,
+        machine: &Machine,
+        base: Schedule,
+        snapshot: &TrajectorySnapshot,
+        requirement: &mut RequirementFn<'_>,
+        opts: SpillOptions,
+        mut checker: Option<CheckpointChecker<'_>>,
+    ) -> Result<SpillTrajectory, SpillError> {
         let mut traj = SpillTrajectory::from_base(l, machine, base, requirement, opts)?;
         let base_cp = &traj.checkpoints[0];
         if base_cp.regs != snapshot.base_regs {
@@ -361,6 +394,13 @@ impl SpillTrajectory {
                 "base requirement is {}, the snapshot recorded {}",
                 base_cp.regs, snapshot.base_regs
             )));
+        }
+        if let Some(c) = checker.as_mut() {
+            let state = base_cp
+                .state
+                .as_ref()
+                .expect("the terminal checkpoint retains its state");
+            c(0, &state.l, &state.sched, base_cp.regs).map_err(SpillError::Snapshot)?;
         }
         for (i, step) in snapshot.steps.iter().enumerate() {
             let (checkpoint, reload_names) = {
@@ -397,6 +437,9 @@ impl SpillTrajectory {
                         step.ii,
                         step.mem_ops
                     )));
+                }
+                if let Some(c) = checker.as_mut() {
+                    c(i + 1, &next, &sched, regs).map_err(SpillError::Snapshot)?;
                 }
                 (
                     SpillCheckpoint {

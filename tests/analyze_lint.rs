@@ -68,6 +68,12 @@ fn seeded_violations_fail_the_tree() {
         "crates/core/src/sweep.rs",
         "pub fn default_model() -> &'static str { \"unified\" }\n",
     );
+    // truncating-cast: a bare narrow in the spill crate, outside any
+    // sanctioned index constructor.
+    plant(
+        "crates/spill/src/rewrite.rs",
+        "pub fn slot(i: usize) -> u32 { i as u32 }\n",
+    );
 
     let findings = lint_tree(&root).expect("lint runs on the seeded tree");
     let has = |rule: &str, file: &str| {
@@ -94,6 +100,30 @@ fn seeded_violations_fail_the_tree() {
     assert!(
         has("model-name-literal", "crates/core/src/sweep.rs"),
         "{findings:?}"
+    );
+    assert!(
+        has("truncating-cast", "crates/spill/src/rewrite.rs"),
+        "{findings:?}"
+    );
+    // The scratch tree lacks nearly every allowlisted path, so the
+    // dead-allowlist rule must fire — pointing at the lint's own source
+    // — for at least the wall-clock table and a sanctioned-cast entry.
+    let dead: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "dead-allowlist")
+        .collect();
+    assert!(
+        dead.iter()
+            .all(|f| f.path.ends_with("crates/analyze/src/lint.rs")),
+        "{dead:?}"
+    );
+    assert!(
+        dead.iter().any(|f| f.detail.contains("WALL_CLOCK_ALLOW")),
+        "{dead:?}"
+    );
+    assert!(
+        dead.iter().any(|f| f.detail.contains("CAST_SANCTIONED")),
+        "{dead:?}"
     );
     std::fs::remove_dir_all(&root).ok();
 }

@@ -16,6 +16,7 @@ fn farm() -> Farm {
         lease_ms: 1_000,
         lease_cells: 64,
         artifact_dir: None,
+        certify: false,
     })
 }
 
@@ -206,6 +207,74 @@ fn foreign_or_corrupt_artifact_is_refused_without_ingesting() {
         5,
     );
     assert_eq!(status, 200, "{reply}");
+}
+
+#[test]
+fn certify_mode_rejects_corrupt_artifacts_with_422_and_mutates_nothing() {
+    use ncdrf::{Render, ReportFormat};
+    let farm = Farm::new(FarmConfig {
+        queue_cap: 1,
+        max_cells: 16,
+        lease_ms: 1_000,
+        lease_cells: 64,
+        artifact_dir: None,
+        certify: true,
+    });
+    route(&farm, "POST", "/jobs", SPEC, 0);
+    let (status, offer_body) = route(&farm, "POST", "/leases", "w", 1);
+    assert_eq!(status, 200);
+    let offer = LeaseOffer::from_json(&offer_body).unwrap();
+    let honest = evaluate_lease(&offer, None).unwrap();
+    let before = farm.status("job-1").unwrap();
+
+    // Corrupt one claimed register requirement in the wire bytes: the
+    // artifact still parses and reconciles, but its payload no longer
+    // matches what a certified re-derivation produces.
+    let json = honest.render(ReportFormat::Json);
+    let at = json
+        .find("\"regs\":")
+        .expect("artifact carries requirements");
+    let digits: String = json[at + 7..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    let claimed: u32 = digits.parse().unwrap();
+    let corrupt = format!(
+        "{}\"regs\":{}{}",
+        &json[..at],
+        claimed + 1,
+        &json[at + 7 + digits.len()..]
+    );
+    assert!(
+        ncdrf::parse_sweep_shard(&corrupt).is_ok(),
+        "still well-formed"
+    );
+
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        &format!("/leases/{}/artifact", offer.lease),
+        &corrupt,
+        2,
+    );
+    assert_eq!(status, 422, "{reply}");
+    assert!(reply.contains("certification rejected"), "{reply}");
+    // The refusal mutated nothing: lease still live, no cells ingested.
+    let after = farm.status("job-1").unwrap();
+    assert_eq!(after.resolved, before.resolved);
+    assert_eq!(after.leased, before.leased);
+    assert_eq!(after.pending, before.pending);
+
+    // The honest artifact for the very same lease certifies and lands.
+    let (status, reply) = route(
+        &farm,
+        "POST",
+        &format!("/leases/{}/artifact", offer.lease),
+        &honest.render(ReportFormat::Json),
+        3,
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(farm.status("job-1").unwrap().state, JobState::Complete);
 }
 
 #[test]

@@ -46,6 +46,7 @@ fn config(dir: &std::path::Path) -> FarmConfig {
         lease_ms: 60_000,
         lease_cells: 2,
         artifact_dir: Some(dir.to_path_buf()),
+        certify: false,
     }
 }
 

@@ -21,6 +21,7 @@ fn farm_with(lease_cells: usize) -> Farm {
         lease_ms: LEASE_MS,
         lease_cells,
         artifact_dir: None,
+        certify: false,
     })
 }
 
